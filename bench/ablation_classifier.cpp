@@ -1,0 +1,91 @@
+// Ablation: random forest [7, 28] vs linear SVM [14] as the real-time
+// classifier.
+//
+// The paper adopts the e-Glass random forest; the classic alternative in
+// the seizure-detection literature is the patient-specific SVM. Both are
+// trained on the same algorithm-labeled windows and evaluated against
+// expert labels — quantifying how much of the pipeline's performance
+// comes from the classifier choice vs the self-labeling methodology.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/realtime_detector.hpp"
+#include "features/normalize.hpp"
+#include "ml/linear_svm.hpp"
+#include "ml/metrics.hpp"
+#include "ml/random_forest.hpp"
+#include "sim/cohort.hpp"
+
+int main() {
+  using namespace esl;
+  bench::print_header(
+      "ABLATION: random forest [7] vs linear SVM [14] as the classifier");
+
+  const sim::CohortSimulator simulator;
+  std::printf("%-4s | %-22s | %-22s\n", "ID", "forest sens/spec/gmean",
+              "svm sens/spec/gmean");
+
+  RealVector forest_gmeans;
+  RealVector svm_gmeans;
+  for (const std::size_t p : {0u, 2u, 4u, 8u}) {
+    const auto events = simulator.events_for_patient(p);
+    ml::Dataset train;
+    for (std::size_t e = 0; e < 2; ++e) {
+      const auto record = simulator.synthesize_sample(events[e], e, 700.0, 900.0);
+      train.append(core::build_window_dataset(record, record.seizures()));
+    }
+    Rng rng(17 + p);
+    const ml::Dataset balanced = ml::balance_classes(train, rng);
+    const features::ColumnStats scaler = features::fit_column_stats(balanced.x);
+    ml::Dataset scaled = balanced;
+    features::apply_zscore(scaled.x, scaler);
+
+    ml::RandomForest forest;
+    forest.fit(scaled, 7);
+    ml::LinearSvm svm;
+    svm.fit(scaled, 7);
+
+    ml::ConfusionMatrix forest_total;
+    ml::ConfusionMatrix svm_total;
+    for (std::size_t e = 2; e < events.size(); ++e) {
+      const auto record =
+          simulator.synthesize_sample(events[e], 100 + e, 700.0, 900.0);
+      const ml::Dataset test =
+          core::build_window_dataset(record, record.seizures());
+      ml::Dataset test_scaled = test;
+      features::apply_zscore(test_scaled.x, scaler);
+      const auto tally = [&](ml::ConfusionMatrix& total,
+                             const std::vector<int>& predicted) {
+        const ml::ConfusionMatrix m = ml::confusion(test.y, predicted);
+        total.true_positive += m.true_positive;
+        total.true_negative += m.true_negative;
+        total.false_positive += m.false_positive;
+        total.false_negative += m.false_negative;
+      };
+      tally(forest_total, forest.predict_all(test_scaled.x));
+      tally(svm_total, svm.predict_all(test_scaled.x));
+    }
+    std::printf("%-4zu | %.2f / %.2f / %-8.2f | %.2f / %.2f / %-8.2f\n",
+                p + 1, forest_total.sensitivity(), forest_total.specificity(),
+                forest_total.geometric_mean(), svm_total.sensitivity(),
+                svm_total.specificity(), svm_total.geometric_mean());
+    forest_gmeans.push_back(forest_total.geometric_mean());
+    svm_gmeans.push_back(svm_total.geometric_mean());
+  }
+
+  Real forest_mean = 0.0;
+  Real svm_mean = 0.0;
+  for (std::size_t i = 0; i < forest_gmeans.size(); ++i) {
+    forest_mean += forest_gmeans[i];
+    svm_mean += svm_gmeans[i];
+  }
+  forest_mean /= static_cast<Real>(forest_gmeans.size());
+  svm_mean /= static_cast<Real>(svm_gmeans.size());
+  std::printf("\nmean gmean: forest %.3f, linear svm %.3f\n", forest_mean,
+              svm_mean);
+  std::printf("\nexpected shape: both classifiers are strong on personalized\n"
+              "data; the forest holds an edge on specificity (nonlinear\n"
+              "boundaries), supporting the paper's adoption of [7] while\n"
+              "showing the methodology is not classifier-bound (SIII-C).\n");
+  return 0;
+}

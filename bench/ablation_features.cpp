@@ -1,0 +1,98 @@
+// Ablation: feature-count trade-off (§III-A).
+//
+// The paper sorted candidate features with backward elimination and kept
+// the ten most relevant as "a proper trade-off between accuracy and
+// complexity". This bench re-runs that analysis on the 10-feature set:
+// backward elimination ranks the features by labeling accuracy, then the
+// labeling deviation is reported for the top-k subsets.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/statistics.hpp"
+#include "core/aposteriori.hpp"
+#include "core/deviation_metric.hpp"
+#include "features/paper_features.hpp"
+#include "features/selection.hpp"
+#include "sim/cohort.hpp"
+
+namespace {
+
+using namespace esl;
+
+struct Case {
+  signal::EegRecord record;
+  features::WindowedFeatures windowed;
+  Seconds w = 0.0;
+};
+
+Real mean_delta_for_columns(const std::vector<Case>& cases,
+                            const std::vector<std::size_t>& columns) {
+  const core::APosterioriDetector detector;
+  RealVector deltas;
+  for (const auto& item : cases) {
+    features::WindowedFeatures subset;
+    subset.features = item.windowed.features.select_columns(columns);
+    subset.window_start_s = item.windowed.window_start_s;
+    subset.window_seconds = item.windowed.window_seconds;
+    subset.hop_seconds = item.windowed.hop_seconds;
+    const signal::Interval label = detector.label(subset, item.w);
+    deltas.push_back(
+        core::deviation_seconds(item.record.seizures().front(), label));
+  }
+  return stats::mean(deltas);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "ABLATION: backward elimination over the 10-feature set (SIII-A)");
+
+  const sim::CohortSimulator simulator;
+  const features::PaperFeatureExtractor extractor;
+  std::vector<Case> cases;
+  for (const std::size_t p : {0u, 4u, 7u}) {
+    const auto events = simulator.events_for_patient(p);
+    // Two seizures per patient keep the wrapper search tractable.
+    for (std::size_t e = 0; e < 2 && e < events.size(); ++e) {
+      Case item{simulator.synthesize_sample(events[e], 0, 900.0, 1100.0),
+                {},
+                simulator.average_seizure_duration(p)};
+      item.windowed = features::extract_windowed_features(item.record, extractor);
+      cases.push_back(std::move(item));
+    }
+  }
+  std::fprintf(stderr, "prepared %zu cases; running wrapper elimination...\n",
+               cases.size());
+
+  // Wrapper score: negative mean deviation (higher = better).
+  const features::SubsetScore score =
+      [&cases](const std::vector<std::size_t>& columns) {
+        return -mean_delta_for_columns(cases, columns);
+      };
+  const features::EliminationResult elimination =
+      features::backward_elimination(10, score, 1);
+
+  const auto names = extractor.feature_names();
+  std::printf("relevance ranking (most relevant first):\n");
+  for (std::size_t i = 0; i < elimination.ranking.size(); ++i) {
+    std::printf("  %2zu. %s\n", i + 1,
+                names[elimination.ranking[i]].c_str());
+  }
+
+  std::printf("\n%-12s %-18s %-30s\n", "kept k", "mean delta (s)",
+              "per-window cost (relative)");
+  for (std::size_t k = 1; k <= 10; ++k) {
+    std::vector<std::size_t> top(elimination.ranking.begin(),
+                                 elimination.ranking.begin() +
+                                     static_cast<std::ptrdiff_t>(k));
+    std::printf("%-12zu %-18.2f %-30.1f\n", k,
+                mean_delta_for_columns(cases, top),
+                static_cast<double>(k) / 10.0);
+  }
+  std::printf("\nexpected shape: deviation saturates well before k = 10 while\n"
+              "cost grows linearly in k — the paper's accuracy/complexity\n"
+              "trade-off argument for stopping at ten features.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Ablation: hierarchical (self-aware) detection — the paper's follow-up
+// direction [24].
+//
+// Table III shows the supervised classifier at 75 % duty consuming 85.7 %
+// of the energy. A cheap stage-1 screen (theta-power threshold) that
+// wakes the forest only on suspicious windows cuts that duty; this bench
+// measures the detection-quality cost and converts the stage-2 invocation
+// rate into battery lifetime with the platform model.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/statistics.hpp"
+#include "core/hierarchical.hpp"
+#include "ml/metrics.hpp"
+#include "platform/wearable.hpp"
+#include "sim/cohort.hpp"
+
+int main() {
+  using namespace esl;
+  bench::print_header(
+      "ABLATION: hierarchical detection (stage-1 screen + forest) [24]");
+
+  const sim::CohortSimulator simulator;
+  const std::size_t patient = 4;  // patient 5
+  const auto events = simulator.events_for_patient(patient);
+
+  // Train on the first two seizures, test on the rest.
+  ml::Dataset train;
+  for (std::size_t e = 0; e < 2; ++e) {
+    const auto record = simulator.synthesize_sample(events[e], e, 700.0, 900.0);
+    train.append(core::build_window_dataset(record, record.seizures()));
+  }
+  std::vector<signal::EegRecord> test_records;
+  for (std::size_t e = 2; e < events.size(); ++e) {
+    test_records.push_back(
+        simulator.synthesize_sample(events[e], 100 + e, 700.0, 900.0));
+  }
+  std::fprintf(stderr, "trained on 2 records, testing on %zu\n",
+               test_records.size());
+
+  const features::EglassFeatureExtractor extractor(2);
+  const auto window_labels = [&](const signal::EegRecord& record) {
+    const auto windowed = features::extract_windowed_features(record, extractor);
+    std::vector<int> labels(windowed.count());
+    const auto truth = record.seizures();
+    for (std::size_t w = 0; w < windowed.count(); ++w) {
+      const signal::Interval window{windowed.window_start_s[w],
+                                    windowed.window_start_s[w] + 4.0};
+      labels[w] = !truth.empty() && window.overlap(truth.front()) >= 2.0 ? 1 : 0;
+    }
+    return labels;
+  };
+
+  // Flat forest baseline.
+  core::RealtimeDetector flat;
+  flat.fit(train, 7);
+
+  const platform::WearableConfig platform_config;
+  std::printf("%-22s %-10s %-14s %-16s %-16s\n", "detector", "gmean",
+              "stage2 (%)", "detect duty (%)", "lifetime (days)");
+
+  // Baseline row: forest on every window = 75 % duty (paper).
+  {
+    ml::ConfusionMatrix total;
+    for (const auto& record : test_records) {
+      const auto truth = window_labels(record);
+      const auto predicted = flat.predict_windows(record);
+      const auto m = ml::confusion(truth, predicted);
+      total.true_positive += m.true_positive;
+      total.true_negative += m.true_negative;
+      total.false_positive += m.false_positive;
+      total.false_negative += m.false_negative;
+    }
+    platform::WearableConfig c = platform_config;
+    c.detection_duty = 0.75;
+    std::printf("%-22s %-10.3f %-14s %-16.1f %-16.2f\n", "flat forest (paper)",
+                total.geometric_mean(), "100.0", 75.0,
+                platform::lifetime_full_system(c, 1.0).lifetime_days());
+  }
+
+  for (const Real target : {0.999, 0.98, 0.90}) {
+    core::HierarchicalConfig config;
+    config.stage1_target_sensitivity = target;
+    core::HierarchicalDetector detector(config);
+    detector.fit(train, 7);
+
+    ml::ConfusionMatrix total;
+    RealVector stage2_fractions;
+    for (const auto& record : test_records) {
+      const auto truth = window_labels(record);
+      const auto prediction = detector.predict(record);
+      const auto m = ml::confusion(truth, prediction.labels);
+      total.true_positive += m.true_positive;
+      total.true_negative += m.true_negative;
+      total.false_positive += m.false_positive;
+      total.false_negative += m.false_negative;
+      stage2_fractions.push_back(prediction.stage2_fraction());
+    }
+    const Real stage2 = stats::mean(stage2_fractions);
+    // Duty model: stage 1 is a single band-power compare (~5 % of the
+    // window budget); stage 2 costs the full 75 % share when invoked.
+    const Real duty = 0.05 + stage2 * 0.75;
+    platform::WearableConfig c = platform_config;
+    c.detection_duty = duty;
+    char name[64];
+    std::snprintf(name, sizeof(name), "hierarchical s1=%.3f", target);
+    std::printf("%-22s %-10.3f %-14.1f %-16.1f %-16.2f\n", name,
+                total.geometric_mean(), 100.0 * stage2, 100.0 * duty,
+                platform::lifetime_full_system(c, 1.0).lifetime_days());
+  }
+
+  std::printf("\nexpected shape: screening cuts the classifier duty by an\n"
+              "order of magnitude at little gmean cost, stretching the\n"
+              "2.59-day worst-case lifetime toward the acquisition-limited\n"
+              "bound (~27 days) — the motivation for self-aware wearables\n"
+              "[24].\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Ablation: MCU numeric profiles of Algorithm 1.
+//
+// The target platform (STM32L151, Cortex-M3) has no FPU, so deployments
+// choose between software floats and fixed-point integers. This bench
+// quantifies the labeling cost of each profile against the double
+// reference on real pipeline data: argmax agreement, label deviation
+// delta, and maximum curve divergence.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/statistics.hpp"
+#include "core/deviation_metric.hpp"
+#include "core/precision.hpp"
+#include "features/extractor.hpp"
+#include "features/normalize.hpp"
+#include "features/paper_features.hpp"
+#include "sim/cohort.hpp"
+
+int main() {
+  using namespace esl;
+  using clock = std::chrono::steady_clock;
+  bench::print_header(
+      "ABLATION: numeric precision of the on-device distance engine");
+
+  const sim::CohortSimulator simulator;
+  const features::PaperFeatureExtractor extractor;
+
+  struct Case {
+    Matrix normalized;
+    std::size_t window_points;
+    signal::Interval truth;
+    Seconds hop_seconds;
+    Seconds w_seconds;
+  };
+  std::vector<Case> cases;
+  for (const std::size_t p : {2u, 4u, 7u}) {
+    const Seconds w = simulator.average_seizure_duration(p);
+    const auto events = simulator.events_for_patient(p);
+    for (std::size_t e = 0; e < 2 && e < events.size(); ++e) {
+      // Shorter records keep the naive O(L^2 W F) schedule tractable.
+      const auto record = simulator.synthesize_sample(events[e], 0, 600.0, 800.0);
+      const auto windowed = features::extract_windowed_features(record, extractor);
+      Case item;
+      item.normalized = features::zscore_normalized(windowed.features);
+      item.window_points = static_cast<std::size_t>(
+          std::lround(w / windowed.hop_seconds));
+      item.truth = record.seizures().front();
+      item.hop_seconds = windowed.hop_seconds;
+      item.w_seconds = w;
+      cases.push_back(std::move(item));
+    }
+  }
+  std::fprintf(stderr, "prepared %zu cases\n", cases.size());
+
+  // Reference curves (double).
+  std::vector<RealVector> reference;
+  for (const auto& item : cases) {
+    reference.push_back(core::distance_curve_profile(
+        item.normalized, item.window_points, 4, core::NumericProfile::kFloat64));
+  }
+
+  std::printf("%-12s %-14s %-16s %-18s %-12s\n", "profile", "argmax match",
+              "mean delta (s)", "max curve diverg.", "ms/case");
+  for (const auto profile :
+       {core::NumericProfile::kFloat64, core::NumericProfile::kFloat32,
+        core::NumericProfile::kFixedQ8_8}) {
+    std::size_t argmax_match = 0;
+    Real worst_divergence = 0.0;
+    RealVector deltas;
+    const auto start = clock::now();
+    for (std::size_t c = 0; c < cases.size(); ++c) {
+      const RealVector curve = core::distance_curve_profile(
+          cases[c].normalized, cases[c].window_points, 4, profile);
+      const std::size_t y = core::distance_argmax(curve);
+      if (y == core::distance_argmax(reference[c])) {
+        ++argmax_match;
+      }
+      for (std::size_t i = 0; i < curve.size(); ++i) {
+        worst_divergence = std::max(
+            worst_divergence, std::abs(curve[i] - reference[c][i]));
+      }
+      const Seconds onset = static_cast<Seconds>(y) * cases[c].hop_seconds;
+      deltas.push_back(core::deviation_seconds(
+          cases[c].truth, {onset, onset + cases[c].w_seconds}));
+    }
+    const auto elapsed =
+        std::chrono::duration<double, std::milli>(clock::now() - start).count();
+    const char* name = profile == core::NumericProfile::kFloat64 ? "float64"
+                       : profile == core::NumericProfile::kFloat32
+                           ? "float32"
+                           : "Q8.8";
+    std::printf("%-12s %zu/%-12zu %-16.2f %-18.2e %-12.1f\n", name,
+                argmax_match, cases.size(), stats::mean(deltas),
+                worst_divergence, elapsed / static_cast<double>(cases.size()));
+  }
+  std::printf("\nexpected shape: all profiles agree on the argmax (identical\n"
+              "labels); float32/Q8.8 curve divergence stays orders of\n"
+              "magnitude below the ictal peak height, so the FPU-less MCU\n"
+              "loses nothing.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Ablation: the "every fourth point" subsampling of Algorithm 1 (§IV).
+//
+// The paper argues that, given the 75 % window overlap, using every 4th
+// outside point avoids redundant information and cuts complexity. This
+// bench sweeps the stride and reports labeling deviation and wall time:
+// the expected shape is flat accuracy from stride 1 to 4 and ~linear
+// runtime savings.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/statistics.hpp"
+#include "core/aposteriori.hpp"
+#include "core/deviation_metric.hpp"
+#include "features/paper_features.hpp"
+#include "sim/cohort.hpp"
+
+int main() {
+  using namespace esl;
+  using clock = std::chrono::steady_clock;
+  bench::print_header(
+      "ABLATION: outside-point stride of Algorithm 1 (paper uses 4)");
+
+  const sim::CohortSimulator simulator;
+  // Two clean patients, two samples per seizure, shortened records.
+  const std::vector<std::size_t> patients = {4, 7};
+  const std::size_t samples = 2;
+
+  struct Case {
+    const signal::EegRecord record;
+    features::WindowedFeatures windowed;
+    Seconds w;
+  };
+  std::vector<Case> cases;
+  const features::PaperFeatureExtractor extractor;
+  for (const std::size_t p : patients) {
+    for (const auto& event : simulator.events_for_patient(p)) {
+      for (std::size_t s = 0; s < samples; ++s) {
+        Case item{simulator.synthesize_sample(event, s, 900.0, 1200.0),
+                  {},
+                  simulator.average_seizure_duration(p)};
+        item.windowed = features::extract_windowed_features(item.record, extractor);
+        cases.push_back(std::move(item));
+      }
+    }
+  }
+  std::fprintf(stderr, "prepared %zu labeling cases\n", cases.size());
+
+  std::printf("%-8s %-16s %-16s %-14s\n", "stride", "mean delta (s)",
+              "median delta (s)", "time (ms/case)");
+  for (const std::size_t stride : {1u, 2u, 4u, 8u, 16u}) {
+    core::APosterioriConfig config;
+    config.outside_stride = stride;
+    const core::APosterioriDetector detector(config);
+    RealVector deltas;
+    const auto start = clock::now();
+    for (const auto& item : cases) {
+      const signal::Interval label = detector.label(item.windowed, item.w);
+      deltas.push_back(
+          core::deviation_seconds(item.record.seizures().front(), label));
+    }
+    const auto elapsed =
+        std::chrono::duration<double, std::milli>(clock::now() - start).count();
+    std::printf("%-8zu %-16.2f %-16.2f %-14.3f\n", stride,
+                stats::mean(deltas), stats::median(deltas),
+                elapsed / static_cast<double>(cases.size()));
+  }
+  std::printf("\nexpected shape: accuracy flat through stride 4 (the paper's\n"
+              "choice), runtime shrinking with stride; accuracy degrades only\n"
+              "for very coarse strides.\n");
+  return 0;
+}

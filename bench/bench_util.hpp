@@ -1,0 +1,42 @@
+// Shared helpers for the paper-reproduction benches.
+//
+// Every bench prints the paper's published value next to the measured one
+// so the reproduction can be judged line by line. Sample counts follow
+// REPRO_SAMPLES (default 4; the paper used 100 — set REPRO_SAMPLES=100 to
+// match, at ~100x the runtime).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace esl::bench {
+
+/// Samples per seizure for the §VI-A protocol.
+inline std::size_t samples_per_seizure() {
+  if (const char* env = std::getenv("REPRO_SAMPLES")) {
+    const long value = std::atol(env);
+    if (value >= 1) {
+      return static_cast<std::size_t>(value);
+    }
+  }
+  return 4;
+}
+
+/// Stderr progress meter (keeps stdout clean for the table output).
+inline void progress_meter(std::size_t done, std::size_t total) {
+  if (done % 8 == 0 || done == total) {
+    std::fprintf(stderr, "\r  [%zu/%zu]", done, total);
+    if (done == total) {
+      std::fprintf(stderr, "\n");
+    }
+  }
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace esl::bench

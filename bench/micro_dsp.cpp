@@ -1,0 +1,90 @@
+// Microbenchmarks of the DSP substrate on paper-sized inputs
+// (4 s windows at 256 Hz = 1024 samples).
+#include <benchmark/benchmark.h>
+
+#include "common/random.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/spectrum.hpp"
+#include "dsp/wavelet.hpp"
+#include "entropy/permutation_entropy.hpp"
+#include "entropy/sample_entropy.hpp"
+
+namespace {
+
+using namespace esl;
+
+RealVector random_signal(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  RealVector v(n);
+  for (auto& x : v) {
+    x = rng.normal();
+  }
+  return v;
+}
+
+void bm_fft_1024(benchmark::State& state) {
+  const RealVector x = random_signal(1024, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::rfft(x));
+  }
+}
+BENCHMARK(bm_fft_1024);
+
+void bm_fft_bluestein_1000(benchmark::State& state) {
+  dsp::ComplexVector x(1000);
+  Rng rng(2);
+  for (auto& v : x) {
+    v = dsp::Complex(rng.normal(), rng.normal());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::fft(x));
+  }
+}
+BENCHMARK(bm_fft_bluestein_1000);
+
+void bm_periodogram_window(benchmark::State& state) {
+  const RealVector x = random_signal(1024, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::periodogram(x, 256.0));
+  }
+}
+BENCHMARK(bm_periodogram_window);
+
+void bm_wavedec_db4_level7(benchmark::State& state) {
+  const RealVector x = random_signal(1024, 4);
+  const dsp::Wavelet db4 = dsp::Wavelet::daubechies(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::wavedec(x, db4, 7));
+  }
+}
+BENCHMARK(bm_wavedec_db4_level7);
+
+void bm_welch_one_minute(benchmark::State& state) {
+  const RealVector x = random_signal(60 * 256, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::welch(x, 256.0, 1024));
+  }
+}
+BENCHMARK(bm_welch_one_minute)->Unit(benchmark::kMillisecond);
+
+void bm_permutation_entropy(benchmark::State& state) {
+  const auto order = static_cast<std::size_t>(state.range(0));
+  // Paper geometry: PE runs on tiny DWT levels (8-16 coefficients).
+  const RealVector x = random_signal(16, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(entropy::permutation_entropy(x, order));
+  }
+}
+BENCHMARK(bm_permutation_entropy)->Arg(5)->Arg(7);
+
+void bm_sample_entropy_level6(benchmark::State& state) {
+  const RealVector x = random_signal(16, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(entropy::sample_entropy_relative(x, 2, 0.2));
+  }
+}
+BENCHMARK(bm_sample_entropy_level6);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Reproduces TABLE I — classification performance per patient (§VI-A):
+// per-patient median of the per-seizure mean delta (Eq. 1) and median of
+// the per-seizure geometric-mean delta_norm (Eq. 2).
+#include <array>
+
+#include "bench_util.hpp"
+#include "core/evaluation.hpp"
+
+namespace {
+
+// Paper values (Table I).
+constexpr std::array<double, 9> k_paper_delta = {14.5, 53.2, 5.5, 15.9, 5.7,
+                                                 11.5, 13.9, 3.2, 5.0};
+constexpr std::array<double, 9> k_paper_norm = {99.0, 96.3, 99.6, 98.9, 99.6,
+                                                99.2, 99.1, 99.8, 99.7};
+
+}  // namespace
+
+int main() {
+  using namespace esl;
+  bench::print_header(
+      "TABLE I: per-patient a-posteriori labeling performance\n"
+      "paper protocol: N samples/seizure, 30-60 min records, W = patient mean");
+
+  const sim::CohortSimulator simulator;
+  core::LabelingEvaluationConfig config;
+  config.samples_per_seizure = bench::samples_per_seizure();
+  std::fprintf(stderr, "samples per seizure: %zu (REPRO_SAMPLES to change)\n",
+               config.samples_per_seizure);
+
+  const core::CohortLabelingResult result =
+      core::evaluate_labeling(simulator, config, bench::progress_meter);
+
+  std::printf("%-4s | %-14s %-14s | %-14s %-14s\n", "ID", "delta paper(s)",
+              "delta ours(s)", "norm paper(%)", "norm ours(%)");
+  std::printf("-----+-------------------------------+----------------------------\n");
+  for (std::size_t p = 0; p < result.patients.size(); ++p) {
+    const auto& patient = result.patients[p];
+    std::printf("%-4d | %-14.1f %-14.1f | %-14.1f %-14.2f\n",
+                patient.patient_id, k_paper_delta[p], patient.median_delta_s,
+                k_paper_norm[p], 100.0 * patient.median_delta_norm);
+  }
+  std::printf("\nshape checks:\n");
+  int worst_id = 0;
+  double worst = -1.0;
+  for (const auto& patient : result.patients) {
+    if (patient.median_delta_s > worst) {
+      worst = patient.median_delta_s;
+      worst_id = patient.patient_id;
+    }
+  }
+  std::printf("  worst patient: %d (paper: 2)\n", worst_id);
+  std::printf("  all patients' delta_norm > 95%%: %s (paper: yes)\n",
+              [&] {
+                for (const auto& patient : result.patients) {
+                  if (patient.median_delta_norm <= 0.95) {
+                    return "NO";
+                  }
+                }
+                return "yes";
+              }());
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces TABLE II — mean delta (Eq. 1, seconds) for each of the 45
+// seizures (§VI-A), including the three artifact-confounded outliers
+// (patients 2/3/4: 373 / 443 / 408 s in the paper).
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/evaluation.hpp"
+
+namespace {
+
+// Paper Table II rows, 0 = no entry.
+const std::vector<std::vector<double>> k_paper = {
+    {15, 19, 12, 7, 13, 16, 21}, {19, 373, 53},       {443, 4, 6, 3, 14, 3, 8},
+    {408, 21, 6, 11},            {3, 6, 10, 6, 3},    {12, 7, 17},
+    {12, 4, 32, 14, 40},         {3, 5, 2, 4},        {15, 3, 2, 3, 6, 13, 5},
+};
+
+}  // namespace
+
+int main() {
+  using namespace esl;
+  bench::print_header(
+      "TABLE II: mean delta (s) per seizure — paper value / measured value");
+
+  const sim::CohortSimulator simulator;
+  core::LabelingEvaluationConfig config;
+  config.samples_per_seizure = bench::samples_per_seizure();
+  std::fprintf(stderr, "samples per seizure: %zu (REPRO_SAMPLES to change)\n",
+               config.samples_per_seizure);
+
+  const core::CohortLabelingResult result =
+      core::evaluate_labeling(simulator, config, bench::progress_meter);
+
+  std::printf("%-8s | seizure number (paper -> measured)\n", "Patient");
+  std::printf("---------+----------------------------------------------------\n");
+  std::size_t outliers = 0;
+  for (std::size_t p = 0; p < result.patients.size(); ++p) {
+    std::printf("%-8d |", result.patients[p].patient_id);
+    const auto& seizures = result.patients[p].seizures;
+    for (std::size_t s = 0; s < seizures.size(); ++s) {
+      std::printf(" %.0f->%.0f", k_paper[p][s], seizures[s].mean_delta_s);
+      if (seizures[s].mean_delta_s > 120.0) {
+        ++outliers;
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("\nshape checks:\n");
+  std::printf("  gross outliers (> 2 min): %zu (paper: 3, on patients 2/3/4)\n",
+              outliers);
+  for (const auto& patient : result.patients) {
+    for (const auto& seizure : patient.seizures) {
+      if (seizure.mean_delta_s > 120.0) {
+        std::printf("    patient %d seizure %zu: %.0f s (artifact-confounded)\n",
+                    patient.patient_id, seizure.event.seizure_index + 1,
+                    seizure.mean_delta_s);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Reproduces TABLE III — battery lifetime of the system for the worst case
+// (one seizure per day) — plus the in-text §VI-C lifetime numbers and the
+// memory-budget statements.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "platform/wearable.hpp"
+
+namespace {
+
+void print_report(const esl::platform::LifetimeReport& report) {
+  std::printf("%-24s %-12s %-10s %-16s %-10s\n", "Task", "Current(mA)",
+              "Duty(%)", "Avg current(mA)", "Energy(%)");
+  for (const auto& row : report.rows) {
+    std::printf("%-24s %-12.3f %-10.2f %-16.4f %-10.2f\n", row.name.c_str(),
+                row.current_ma, 100.0 * row.duty_cycle,
+                row.average_current_ma, 100.0 * row.energy_share);
+  }
+  std::printf("%-24s %.3f mA -> %.2f h = %.2f days\n", "TOTAL",
+              report.total_average_current_ma, report.lifetime_hours,
+              report.lifetime_days());
+}
+
+}  // namespace
+
+int main() {
+  using namespace esl;
+  using namespace esl::platform;
+  bench::print_header("TABLE III: battery lifetime, worst case (1 seizure/day)");
+
+  const WearableConfig config;
+
+  std::printf("paper rows: acquisition 0.870 mA @100%% (9.47%%), detection\n"
+              "10.5 mA @75%% (85.72%%), labeling 10.5 mA @4.17%% (4.77%%),\n"
+              "idle 0.018 mA @20.83%% (0.04%%); lifetime 2.59 days\n\n");
+  print_report(lifetime_full_system(config, 1.0));
+
+  std::printf("\nIn-text SVI-C numbers (paper -> measured):\n");
+  std::printf("  labeling-only, 1 seizure/month: 631.46 h -> %.2f h\n",
+              lifetime_labeling_only(config, 1.0 / 30.0).lifetime_hours);
+  std::printf("  labeling-only, 1 seizure/day:   430.16 h -> %.2f h\n",
+              lifetime_labeling_only(config, 1.0).lifetime_hours);
+  std::printf("  detection-only:                 65.15 h (2.71 d) -> %.2f h (%.2f d)\n",
+              lifetime_detection_only(config).lifetime_hours,
+              lifetime_detection_only(config).lifetime_days());
+  std::printf("  full system, 1 seizure/month:   2.71 d -> %.2f d\n",
+              lifetime_full_system(config, 1.0 / 30.0).lifetime_days());
+  std::printf("  full system, 1 seizure/day:     2.59 d -> %.2f d\n",
+              lifetime_full_system(config, 1.0).lifetime_days());
+
+  std::printf("\nSeizure-rate sweep (full system):\n");
+  std::printf("  %-22s %-14s\n", "seizures/day", "lifetime (days)");
+  for (const double rate : {1.0 / 30.0, 1.0 / 14.0, 1.0 / 7.0, 0.5, 1.0, 2.0, 4.0}) {
+    std::printf("  %-22.3f %-14.3f\n", rate,
+                lifetime_full_system(config, rate).lifetime_days());
+  }
+
+  std::printf("\nMemory budget (paper: 240 KB needed for one hour of data;\n"
+              "platform: 48 KB RAM, 384 KB Flash):\n");
+  std::printf("  raw hour of signal:      %.0f KB (exceeds RAM -> stored in Flash)\n",
+              raw_signal_kb(config, 3600.0));
+  std::printf("  feature rows (10 x f64): %.0f KB\n",
+              feature_buffer_kb(3600.0, 10, 8));
+  std::printf("  paper's stated budget:   %.0f KB -> fits Flash: %s\n",
+              k_paper_hour_buffer_kb,
+              hour_buffer_fits(config, k_paper_hour_buffer_kb) ? "yes" : "NO");
+  return 0;
+}

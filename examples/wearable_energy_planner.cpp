@@ -1,0 +1,70 @@
+// Wearable energy planning: explores the platform model of §V-B/§VI-C.
+// Given a patient's seizure frequency and a battery size, how long does
+// the device live, and what dominates the energy budget? Also answers the
+// sizing question in reverse: what battery is needed for a target
+// lifetime?
+//
+// Build & run:  ./build/examples/example_wearable_energy_planner
+#include <cstdio>
+
+#include "platform/wearable.hpp"
+
+int main() {
+  using namespace esl::platform;
+
+  WearableConfig config;  // the paper's STM32L151 + ADS1299 + 570 mAh
+
+  std::printf("platform: STM32L151 @32 MHz, ADS1299 AFE, %.0f mAh battery\n\n",
+              config.battery_mah);
+
+  // 1. Lifetime vs seizure frequency.
+  std::printf("lifetime vs seizure rate (full self-learning system):\n");
+  std::printf("  %-24s %-16s %-18s\n", "seizure rate", "lifetime (days)",
+              "labeling share (%)");
+  for (const double per_month : {1.0, 4.0, 10.0, 30.0, 60.0}) {
+    const LifetimeReport report =
+        lifetime_full_system(config, per_month / 30.0);
+    std::printf("  %-24.1f %-16.2f %-18.2f\n", per_month,
+                report.lifetime_days(), 100.0 * report.rows[2].energy_share);
+  }
+
+  // 2. What battery reaches a one-week lifetime at 1 seizure/day?
+  std::printf("\nbattery sizing for target lifetimes (1 seizure/day):\n");
+  std::printf("  %-20s %-18s\n", "target (days)", "battery (mAh)");
+  const LifetimeReport worst = lifetime_full_system(config, 1.0);
+  for (const double target_days : {2.0, 3.0, 5.0, 7.0, 14.0}) {
+    const double mah = worst.total_average_current_ma * target_days * 24.0;
+    std::printf("  %-20.1f %-18.0f\n", target_days, mah);
+  }
+
+  // 3. The value of duty-cycling the classifier: what if the supervised
+  //    detector could run at lower duty (e.g. hierarchical wake-up as in
+  //    the self-aware follow-up work [24])?
+  std::printf("\nsensitivity to the detection duty cycle (1 seizure/day):\n");
+  std::printf("  %-20s %-16s\n", "detection duty (%)", "lifetime (days)");
+  for (const double duty : {0.75, 0.50, 0.25, 0.10}) {
+    WearableConfig variant = config;
+    variant.detection_duty = duty;
+    std::printf("  %-20.0f %-16.2f\n", 100.0 * duty,
+                lifetime_full_system(variant, 1.0).lifetime_days());
+  }
+
+  // 4. Memory plan.
+  std::printf("\nmemory plan for the 1 h a-posteriori buffer:\n");
+  std::printf("  raw signal:           %7.0f KB (RAM %.0f KB -> must go to Flash)\n",
+              raw_signal_kb(config, 3600.0), config.ram_kb);
+  std::printf("  10 features @ f32:    %7.0f KB\n",
+              feature_buffer_kb(3600.0, 10, 4));
+  std::printf("  10 features @ f64:    %7.0f KB\n",
+              feature_buffer_kb(3600.0, 10, 8));
+  std::printf("  paper budget:         %7.0f KB (fits %0.f KB Flash: %s)\n",
+              k_paper_hour_buffer_kb, config.flash_kb,
+              hour_buffer_fits(config, k_paper_hour_buffer_kb) ? "yes" : "no");
+
+  // 5. The real-time claim for the labeling pass.
+  const TimingEstimate timing = labeling_time_on_mcu(3600.0, 60.0, 10);
+  std::printf("\nlabeling one hour of signal on the MCU: %.0f s "
+              "(%.2f s per signal second; paper: ~1.0)\n",
+              timing.seconds_on_mcu, timing.seconds_per_signal_second);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Error handling and lightweight contract checks for the esl library.
+//
+// Following the C++ Core Guidelines (I.5/I.6, E.x) preconditions are
+// expressed as named check functions that throw typed exceptions rather
+// than as macros; callers get precise diagnostics and tests can assert
+// on the exception type.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace esl {
+
+/// Base class for all esl library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A function argument violated its documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Input data (file, record, matrix) is malformed or inconsistent.
+class DataError : public Error {
+ public:
+  explicit DataError(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant failed; indicates a library bug.
+class LogicError : public Error {
+ public:
+  explicit LogicError(const std::string& what) : Error(what) {}
+};
+
+/// Precondition check: throws InvalidArgument with `message` when
+/// `condition` is false.
+inline void expects(bool condition, const std::string& message) {
+  if (!condition) {
+    throw InvalidArgument(message);
+  }
+}
+
+/// Postcondition / invariant check: throws LogicError when false.
+inline void ensures(bool condition, const std::string& message) {
+  if (!condition) {
+    throw LogicError(message);
+  }
+}
+
+}  // namespace esl

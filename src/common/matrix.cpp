@@ -1,0 +1,80 @@
+#include "common/matrix.hpp"
+
+#include <string>
+
+namespace esl {
+
+Matrix Matrix::from_rows(const std::vector<RealVector>& rows) {
+  Matrix m;
+  for (const auto& r : rows) {
+    m.append_row(r);
+  }
+  return m;
+}
+
+Real Matrix::at(std::size_t r, std::size_t c) const {
+  expects(r < rows_ && c < cols_,
+          "Matrix::at: index (" + std::to_string(r) + ", " + std::to_string(c) +
+              ") out of range for " + std::to_string(rows_) + "x" +
+              std::to_string(cols_));
+  return (*this)(r, c);
+}
+
+std::span<const Real> Matrix::row(std::size_t r) const {
+  expects(r < rows_, "Matrix::row: row index out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<Real> Matrix::row(std::size_t r) {
+  expects(r < rows_, "Matrix::row: row index out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+RealVector Matrix::column(std::size_t c) const {
+  expects(c < cols_, "Matrix::column: column index out of range");
+  RealVector out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    out[r] = (*this)(r, c);
+  }
+  return out;
+}
+
+void Matrix::append_row(std::span<const Real> values) {
+  if (rows_ == 0 && cols_ == 0) {
+    cols_ = values.size();
+  }
+  expects(values.size() == cols_,
+          "Matrix::append_row: row length " + std::to_string(values.size()) +
+              " does not match column count " + std::to_string(cols_));
+  data_.insert(data_.end(), values.begin(), values.end());
+  ++rows_;
+}
+
+Matrix Matrix::select_columns(const std::vector<std::size_t>& columns) const {
+  for (const std::size_t c : columns) {
+    expects(c < cols_, "Matrix::select_columns: column index out of range");
+  }
+  Matrix out(rows_, columns.size());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t j = 0; j < columns.size(); ++j) {
+      out(r, j) = (*this)(r, columns[j]);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::select_rows(const std::vector<std::size_t>& row_indices) const {
+  for (const std::size_t r : row_indices) {
+    expects(r < rows_, "Matrix::select_rows: row index out of range");
+  }
+  Matrix out(row_indices.size(), cols_);
+  for (std::size_t i = 0; i < row_indices.size(); ++i) {
+    const auto src = row(row_indices[i]);
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out(i, c) = src[c];
+    }
+  }
+  return out;
+}
+
+}  // namespace esl

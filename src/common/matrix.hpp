@@ -1,0 +1,68 @@
+// Minimal row-major dense matrix used for feature arrays (L x F) and
+// machine-learning datasets. Not a general linear-algebra library; only
+// the operations the pipeline needs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace esl {
+
+/// Row-major dense matrix of Real. Row = data point / window, column = feature.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates a rows x cols matrix initialized to `fill`.
+  Matrix(std::size_t rows, std::size_t cols, Real fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds a matrix from nested vectors; all rows must share one length.
+  static Matrix from_rows(const std::vector<RealVector>& rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  Real& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  Real operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked element access.
+  Real at(std::size_t r, std::size_t c) const;
+
+  /// View of one row (length cols()).
+  std::span<const Real> row(std::size_t r) const;
+  std::span<Real> row(std::size_t r);
+
+  /// Copy of one column (length rows()).
+  RealVector column(std::size_t c) const;
+
+  /// Appends a row; its length must equal cols() (or sets cols() when empty).
+  void append_row(std::span<const Real> values);
+
+  /// Returns a new matrix keeping only the given column indices, in order.
+  Matrix select_columns(const std::vector<std::size_t>& columns) const;
+
+  /// Returns a new matrix keeping only the given row indices, in order.
+  Matrix select_rows(const std::vector<std::size_t>& row_indices) const;
+
+  /// Raw storage (row-major).
+  std::span<const Real> data() const { return data_; }
+  std::span<Real> data() { return data_; }
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Real> data_;
+};
+
+}  // namespace esl

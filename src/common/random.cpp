@@ -1,0 +1,106 @@
+#include "common/random.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace esl {
+
+std::uint64_t splitmix64_next(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = splitmix64_next(sm);
+  }
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+Real Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<Real>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+Real Rng::uniform(Real lo, Real hi) {
+  expects(lo <= hi, "Rng::uniform: lo must not exceed hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  expects(n > 0, "Rng::uniform_index: n must be positive");
+  // Modulo draw: the bias is < n / 2^64, far below anything observable for
+  // the index ranges used here, and it stays portable C++.
+  return next_u64() % n;
+}
+
+Real Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller with guards against log(0).
+  Real u1 = uniform();
+  while (u1 <= 0.0) {
+    u1 = uniform();
+  }
+  const Real u2 = uniform();
+  const Real radius = std::sqrt(-2.0 * std::log(u1));
+  const Real angle = 2.0 * std::numbers::pi_v<Real> * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+Real Rng::normal(Real mean, Real stddev) {
+  expects(stddev >= 0.0, "Rng::normal: stddev must be non-negative");
+  return mean + stddev * normal();
+}
+
+Real Rng::exponential(Real rate) {
+  expects(rate > 0.0, "Rng::exponential: rate must be positive");
+  Real u = uniform();
+  while (u <= 0.0) {
+    u = uniform();
+  }
+  return -std::log(u) / rate;
+}
+
+bool Rng::bernoulli(Real p) {
+  expects(p >= 0.0 && p <= 1.0, "Rng::bernoulli: p must lie in [0, 1]");
+  return uniform() < p;
+}
+
+Rng Rng::fork(std::uint64_t label) {
+  // Mix the label through splitmix64 together with fresh output so that
+  // fork(0), fork(1), ... give unrelated streams.
+  std::uint64_t mix = next_u64() ^ (label * 0xD1342543DE82EF95ULL + 0x2545F4914F6CDD1DULL);
+  return Rng(splitmix64_next(mix));
+}
+
+}  // namespace esl

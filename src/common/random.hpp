@@ -1,0 +1,76 @@
+// Deterministic pseudo-random number generation.
+//
+// The whole reproduction pipeline (synthetic cohort, record sampling,
+// bootstrap in the random forest) must be bit-reproducible across runs and
+// platforms, so we implement our own small PRNG instead of relying on
+// implementation-defined std:: distributions.
+//
+//  * splitmix64  — seed expander (Steele, Lea, Vigna).
+//  * Xoshiro256StarStar — main generator (Blackman & Vigna, 2018);
+//    fast, 256-bit state, passes BigCrush.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace esl {
+
+/// splitmix64 step; used to expand a single 64-bit seed into generator state.
+std::uint64_t splitmix64_next(std::uint64_t& state);
+
+/// xoshiro256** deterministic PRNG with explicit, portable distributions.
+class Rng {
+ public:
+  /// Seeds the four 64-bit words of state via splitmix64 so that even
+  /// adjacent seeds give unrelated streams.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  Real uniform();
+
+  /// Uniform in [lo, hi).
+  Real uniform(Real lo, Real hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard normal via Box-Muller (cached second value).
+  Real normal();
+
+  /// Normal with the given mean and standard deviation.
+  Real normal(Real mean, Real stddev);
+
+  /// Exponential with the given rate (lambda > 0).
+  Real exponential(Real rate);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(Real p);
+
+  /// Derives an unrelated child generator; `label` distinguishes streams
+  /// drawn from the same parent (patient id, record index, ...).
+  Rng fork(std::uint64_t label);
+
+  /// In-place Fisher-Yates shuffle of an index permutation [0, n).
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    if (values.size() < 2) {
+      return;
+    }
+    for (std::size_t i = values.size() - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_index(i + 1));
+      std::swap(values[i], values[j]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  bool has_cached_normal_ = false;
+  Real cached_normal_ = 0.0;
+};
+
+}  // namespace esl

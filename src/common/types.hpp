@@ -1,0 +1,24 @@
+// Fundamental scalar and index types shared across the esl library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace esl {
+
+/// Floating point type used for signal processing and features.
+/// Double keeps the optimized Algorithm-1 evaluation bit-comparable with
+/// the reference implementation over hour-long records.
+using Real = double;
+
+/// Index into sample/feature arrays.
+using Index = std::size_t;
+
+/// Contiguous real-valued signal buffer (one channel).
+using RealVector = std::vector<Real>;
+
+/// Seconds, used for annotation boundaries and metric values.
+using Seconds = double;
+
+}  // namespace esl

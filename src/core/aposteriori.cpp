@@ -1,0 +1,241 @@
+#include "core/aposteriori.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "features/normalize.hpp"
+
+namespace esl::core {
+
+namespace {
+
+/// The paper's outside-count normalizer: (L - W) / stride.
+Real outside_normalizer(std::size_t length, std::size_t window,
+                        std::size_t stride) {
+  return static_cast<Real>(length - window) / static_cast<Real>(stride);
+}
+
+/// Paper-faithful triple loop (0-based): window position i covers points
+/// [i, i+W) and excludes grid points inside the inclusive zone [i, i+W].
+RealVector distance_curve_naive(const Matrix& x, std::size_t window,
+                                std::size_t stride) {
+  const std::size_t length = x.rows();
+  const std::size_t features = x.cols();
+  const std::size_t positions = length - window;
+  const Real m = outside_normalizer(length, window, stride);
+
+  RealVector curve(positions, 0.0);
+  RealVector distance_vector(features);
+  for (std::size_t i = 0; i < positions; ++i) {
+    std::fill(distance_vector.begin(), distance_vector.end(), 0.0);
+    for (std::size_t w = 0; w < window; ++w) {
+      const auto point = x.row(i + w);
+      for (std::size_t k = 0; k < length; k += stride) {
+        if (k >= i && k <= i + window) {
+          continue;  // inside the exclusion zone
+        }
+        const auto other = x.row(k);
+        for (std::size_t f = 0; f < features; ++f) {
+          distance_vector[f] += std::abs(point[f] - other[f]);
+        }
+      }
+    }
+    Real norm2 = 0.0;
+    for (std::size_t f = 0; f < features; ++f) {
+      const Real v = distance_vector[f] / (m * static_cast<Real>(window));
+      norm2 += v * v;
+    }
+    curve[i] = std::sqrt(norm2);
+  }
+  return curve;
+}
+
+/// Exact optimized evaluation; see DESIGN.md §5 for the algebra.
+RealVector distance_curve_optimized(const Matrix& x, std::size_t window,
+                                    std::size_t stride) {
+  const std::size_t length = x.rows();
+  const std::size_t features = x.cols();
+  const std::size_t positions = length - window;
+  const Real m = outside_normalizer(length, window, stride);
+  const Real denom = m * static_cast<Real>(window);
+
+  // Grid of every stride-th point (the paper's "every fourth point").
+  std::vector<std::size_t> grid;
+  grid.reserve(length / stride + 1);
+  for (std::size_t k = 0; k < length; k += stride) {
+    grid.push_back(k);
+  }
+
+  // Per-feature accumulated squared distance-vector entries.
+  RealVector curve_sq(positions, 0.0);
+
+  RealVector column(length);
+  RealVector sorted_grid(grid.size());
+  RealVector prefix(grid.size() + 1);
+  RealVector t_all(length);      // T(p) = sum_{k in G} |x_p - x_k|
+  RealVector ts_prefix(length + 1);
+
+  for (std::size_t f = 0; f < features; ++f) {
+    for (std::size_t r = 0; r < length; ++r) {
+      column[r] = x(r, f);
+    }
+    // T(p) for all p via sorted grid values + prefix sums.
+    for (std::size_t g = 0; g < grid.size(); ++g) {
+      sorted_grid[g] = column[grid[g]];
+    }
+    std::sort(sorted_grid.begin(), sorted_grid.end());
+    prefix[0] = 0.0;
+    for (std::size_t g = 0; g < grid.size(); ++g) {
+      prefix[g + 1] = prefix[g] + sorted_grid[g];
+    }
+    const Real grid_total = prefix[grid.size()];
+    for (std::size_t p = 0; p < length; ++p) {
+      const Real v = column[p];
+      const auto it =
+          std::upper_bound(sorted_grid.begin(), sorted_grid.end(), v);
+      const auto below = static_cast<std::size_t>(it - sorted_grid.begin());
+      const Real below_sum = prefix[below];
+      const Real above_sum = grid_total - below_sum;
+      const auto above = grid.size() - below;
+      t_all[p] = v * static_cast<Real>(below) - below_sum + above_sum -
+                 v * static_cast<Real>(above);
+    }
+    ts_prefix[0] = 0.0;
+    for (std::size_t p = 0; p < length; ++p) {
+      ts_prefix[p + 1] = ts_prefix[p] + t_all[p];
+    }
+
+    // S(i) = sum over window points p of sum over in-zone grid points k of
+    // |x_p - x_k|, maintained incrementally as the window slides.
+    const auto in_grid = [&](std::size_t idx) { return idx % stride == 0; };
+    // In-zone grid indices for i = 0: grid k in [0, window].
+    std::vector<std::size_t> zone;
+    for (std::size_t k = 0; k <= window && k < length; k += stride) {
+      zone.push_back(k);
+    }
+    Real s = 0.0;
+    for (std::size_t p = 0; p < window; ++p) {
+      for (const std::size_t k : zone) {
+        s += std::abs(column[p] - column[k]);
+      }
+    }
+    std::size_t zone_begin = 0;  // first in-zone grid index
+    // Accumulate window 0.
+    {
+      const Real d = (ts_prefix[window] - ts_prefix[0] - s) / denom;
+      curve_sq[0] += d * d;
+    }
+
+    for (std::size_t i = 0; i + 1 < positions; ++i) {
+      const std::size_t next = i + 1;
+      // 1) Swap window point i -> i + window against the OLD zone
+      //    (grid in [i, i+window]).
+      Real removed_point = 0.0;
+      Real added_point = 0.0;
+      for (std::size_t k = zone_begin; k <= i + window; k += stride) {
+        removed_point += std::abs(column[i] - column[k]);
+        added_point += std::abs(column[i + window] - column[k]);
+      }
+      s += added_point - removed_point;
+      // 2) Update the zone: drop grid point i (if any), add grid point
+      //    i + window + 1 (if any), against the NEW point set
+      //    [i+1, i+1+window).
+      if (in_grid(i)) {
+        Real removed_grid = 0.0;
+        for (std::size_t p = next; p < next + window; ++p) {
+          removed_grid += std::abs(column[p] - column[i]);
+        }
+        s -= removed_grid;
+        zone_begin = i + stride;
+      }
+      const std::size_t incoming = i + window + 1;
+      if (incoming < length && in_grid(incoming)) {
+        Real added_grid = 0.0;
+        for (std::size_t p = next; p < next + window; ++p) {
+          added_grid += std::abs(column[p] - column[incoming]);
+        }
+        s += added_grid;
+      }
+      const Real d =
+          (ts_prefix[next + window] - ts_prefix[next] - s) / denom;
+      curve_sq[next] += d * d;
+    }
+  }
+
+  RealVector curve(positions);
+  for (std::size_t i = 0; i < positions; ++i) {
+    curve[i] = std::sqrt(curve_sq[i]);
+  }
+  return curve;
+}
+
+}  // namespace
+
+RealVector distance_curve(const Matrix& normalized_features,
+                          std::size_t window_points, std::size_t stride,
+                          DistanceEngine engine) {
+  expects(stride >= 1, "distance_curve: stride must be >= 1");
+  expects(window_points >= 1, "distance_curve: window must be >= 1 point");
+  expects(window_points < normalized_features.rows(),
+          "distance_curve: window must be shorter than the signal");
+  expects(normalized_features.cols() >= 1, "distance_curve: no features");
+  switch (engine) {
+    case DistanceEngine::kNaive:
+      return distance_curve_naive(normalized_features, window_points, stride);
+    case DistanceEngine::kOptimized:
+      return distance_curve_optimized(normalized_features, window_points,
+                                      stride);
+  }
+  throw LogicError("distance_curve: unknown engine");
+}
+
+APosterioriDetector::APosterioriDetector(APosterioriConfig config)
+    : config_(config) {
+  expects(config_.outside_stride >= 1,
+          "APosterioriDetector: stride must be >= 1");
+}
+
+APosterioriResult APosterioriDetector::detect(const Matrix& features,
+                                              std::size_t window_points) const {
+  const Matrix* input = &features;
+  Matrix normalized;
+  if (config_.normalize) {
+    normalized = features::zscore_normalized(features);
+    input = &normalized;
+  }
+  APosterioriResult result;
+  result.window_points = window_points;
+  result.distance = distance_curve(*input, window_points,
+                                   config_.outside_stride, config_.engine);
+  const auto it =
+      std::max_element(result.distance.begin(), result.distance.end());
+  result.seizure_index =
+      static_cast<std::size_t>(it - result.distance.begin());
+  result.peak_distance = *it;
+  return result;
+}
+
+signal::Interval APosterioriDetector::label(
+    const features::WindowedFeatures& windowed,
+    Seconds average_seizure_duration_s,
+    APosterioriResult* diagnostics) const {
+  expects(average_seizure_duration_s > 0.0,
+          "APosterioriDetector::label: W must be positive");
+  expects(windowed.hop_seconds > 0.0,
+          "APosterioriDetector::label: bad window geometry");
+  const auto window_points = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::lround(average_seizure_duration_s / windowed.hop_seconds)));
+  expects(window_points < windowed.count(),
+          "APosterioriDetector::label: record shorter than one seizure");
+
+  const APosterioriResult result = detect(windowed.features, window_points);
+  if (diagnostics != nullptr) {
+    *diagnostics = result;
+  }
+  const Seconds onset = windowed.index_to_seconds(result.seizure_index);
+  return signal::Interval{onset, onset + average_seizure_duration_s};
+}
+
+}  // namespace esl::core

@@ -1,0 +1,85 @@
+// Algorithm 1: minimally-supervised a-posteriori seizure detection (§IV).
+//
+// Given the features X[L][F] of the last hour of signal and the patient's
+// average seizure length W (the only expert input), the algorithm slides a
+// W-point window over the normalized feature array and scores each
+// position by the mean absolute distance (per feature, combined with the
+// Euclidean norm across features) between the points inside the window and
+// every `stride`-th point outside it. The argmax window is the seizure.
+//
+// Two exact engines are provided:
+//  * kNaive     — the paper's triple loop, O(L^2 W F); the reference.
+//  * kOptimized — an algebraically identical evaluation in
+//                 O(F (L log L + L W)) via sorted-prefix absolute-distance
+//                 sums and incremental window maintenance (see DESIGN.md §5).
+// Both produce the same distance curve up to floating-point associativity;
+// tests assert agreement to 1e-9 relative.
+#pragma once
+
+#include "common/matrix.hpp"
+#include "common/types.hpp"
+#include "features/extractor.hpp"
+#include "signal/annotation.hpp"
+
+namespace esl::core {
+
+/// Engine selection for the distance evaluation.
+enum class DistanceEngine {
+  kNaive,
+  kOptimized,
+};
+
+/// Algorithm-1 parameters.
+struct APosterioriConfig {
+  /// Every `outside_stride`-th point outside the window enters the
+  /// distance (4 in the paper, matching the 75 % window overlap).
+  std::size_t outside_stride = 4;
+  DistanceEngine engine = DistanceEngine::kOptimized;
+  /// Normalize features (Algorithm 1 line 1) before the distance pass.
+  /// Disable only when the caller already z-scored the matrix.
+  bool normalize = true;
+};
+
+/// Result of one labeling run.
+struct APosterioriResult {
+  /// y: feature-space index of the detected window start.
+  std::size_t seizure_index = 0;
+  /// Distance value at the argmax.
+  Real peak_distance = 0.0;
+  /// Full distance curve (length L - W), useful for diagnostics.
+  RealVector distance;
+  /// Window length in feature points actually used.
+  std::size_t window_points = 0;
+};
+
+/// Computes the distance curve for a pre-normalized feature matrix.
+/// Exposed for tests and benchmarks; most callers use APosterioriDetector.
+RealVector distance_curve(const Matrix& normalized_features,
+                          std::size_t window_points, std::size_t stride,
+                          DistanceEngine engine);
+
+/// The labeling algorithm over feature matrices and records.
+class APosterioriDetector {
+ public:
+  explicit APosterioriDetector(APosterioriConfig config = {});
+
+  /// Runs Algorithm 1 on X[L][F] with a window of `window_points`.
+  /// Requires 1 <= window_points < L.
+  APosterioriResult detect(const Matrix& features,
+                           std::size_t window_points) const;
+
+  /// Full §III pipeline on windowed features: converts the patient's
+  /// average seizure duration to feature points via the hop, runs the
+  /// distance pass, and returns the detected interval in record seconds
+  /// ([y, y + W], paper convention).
+  signal::Interval label(const features::WindowedFeatures& windowed,
+                         Seconds average_seizure_duration_s,
+                         APosterioriResult* diagnostics = nullptr) const;
+
+  const APosterioriConfig& config() const { return config_; }
+
+ private:
+  APosterioriConfig config_;
+};
+
+}  // namespace esl::core

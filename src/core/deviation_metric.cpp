@@ -1,0 +1,38 @@
+#include "core/deviation_metric.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace esl::core {
+
+Seconds deviation_seconds(const signal::Interval& truth,
+                          const signal::Interval& detected) {
+  return 0.5 * (std::abs(truth.onset - detected.onset) +
+                std::abs(truth.offset - detected.offset));
+}
+
+Seconds deviation_normalizer(const signal::Interval& truth,
+                             Seconds signal_length_s) {
+  expects(signal_length_s > 0.0,
+          "deviation_normalizer: signal length must be positive");
+  const Seconds midpoint = truth.midpoint();
+  return std::max(signal_length_s - midpoint, midpoint);
+}
+
+Real deviation_normalized(const signal::Interval& truth,
+                          const signal::Interval& detected,
+                          Seconds signal_length_s) {
+  const Seconds n = deviation_normalizer(truth, signal_length_s);
+  ensures(n > 0.0, "deviation_normalized: degenerate normalizer");
+  const Real value = 1.0 - (std::abs(truth.onset - detected.onset) +
+                            std::abs(truth.offset - detected.offset)) /
+                               (2.0 * n);
+  // Clamp tiny negative values that can only arise when the detected label
+  // lies outside the record (not produced by Algorithm 1, but callers may
+  // feed arbitrary intervals).
+  return std::clamp(value, 0.0, 1.0);
+}
+
+}  // namespace esl::core

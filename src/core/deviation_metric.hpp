@@ -1,0 +1,29 @@
+// The paper's deviation metric (§V-C).
+//
+// Eq. (1):  delta = (|y_start - y'_start| + |y_end - y'_end|) / 2   [seconds]
+// Eq. (2):  delta_norm = 1 - (|y_start - y'_start| + |y_end - y'_end|) / (2 N)
+//           with N = max(L - (y_start + y_end)/2, (y_start + y_end)/2),
+// i.e. N is the largest possible distance from the true seizure midpoint
+// to a record edge, so delta_norm in [0, 1] with 1 = perfect agreement.
+#pragma once
+
+#include "common/types.hpp"
+#include "signal/annotation.hpp"
+
+namespace esl::core {
+
+/// Eq. (1): average absolute deviation of the boundaries, in seconds.
+Seconds deviation_seconds(const signal::Interval& truth,
+                          const signal::Interval& detected);
+
+/// Eq. (2): normalized deviation in [0, 1] for a record of
+/// `signal_length_s` seconds (1 = perfect).
+Real deviation_normalized(const signal::Interval& truth,
+                          const signal::Interval& detected,
+                          Seconds signal_length_s);
+
+/// The normalizer N of Eq. (2).
+Seconds deviation_normalizer(const signal::Interval& truth,
+                             Seconds signal_length_s);
+
+}  // namespace esl::core

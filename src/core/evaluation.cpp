@@ -1,0 +1,248 @@
+#include "core/evaluation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/statistics.hpp"
+#include "core/deviation_metric.hpp"
+#include "features/paper_features.hpp"
+
+namespace esl::core {
+
+Real CohortLabelingResult::fraction_within(Seconds seconds) const {
+  std::size_t total = 0;
+  std::size_t within = 0;
+  for (const auto& patient : patients) {
+    for (const auto& seizure : patient.seizures) {
+      ++total;
+      if (seizure.mean_delta_s <= seconds) {
+        ++within;
+      }
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<Real>(within) / static_cast<Real>(total);
+}
+
+SampleResult evaluate_sample(const signal::EegRecord& record,
+                             Seconds average_seizure_duration_s,
+                             const APosterioriConfig& labeling) {
+  const std::vector<signal::Interval> truth = record.seizures();
+  expects(truth.size() == 1, "evaluate_sample: record must hold one seizure");
+
+  const features::PaperFeatureExtractor extractor;
+  const features::WindowedFeatures windowed =
+      features::extract_windowed_features(record, extractor);
+
+  const APosterioriDetector detector(labeling);
+  const signal::Interval detected =
+      detector.label(windowed, average_seizure_duration_s);
+
+  SampleResult result;
+  result.delta_s = deviation_seconds(truth.front(), detected);
+  result.delta_norm = deviation_normalized(truth.front(), detected,
+                                           record.duration_seconds());
+  return result;
+}
+
+CohortLabelingResult evaluate_labeling(const sim::CohortSimulator& simulator,
+                                       const LabelingEvaluationConfig& config,
+                                       const ProgressHook& progress) {
+  expects(config.samples_per_seizure >= 1,
+          "evaluate_labeling: need at least one sample per seizure");
+
+  const std::size_t total_samples =
+      simulator.events().size() * config.samples_per_seizure;
+  std::size_t done_samples = 0;
+
+  CohortLabelingResult cohort_result;
+  for (std::size_t p = 0; p < simulator.cohort().size(); ++p) {
+    PatientLabelingResult patient_result;
+    patient_result.patient_id = simulator.cohort()[p].id;
+    const Seconds w = simulator.average_seizure_duration(p);
+
+    for (const auto& event : simulator.events_for_patient(p)) {
+      SeizureResult seizure_result;
+      seizure_result.event = event;
+      RealVector deltas;
+      RealVector norms;
+      for (std::size_t s = 0; s < config.samples_per_seizure; ++s) {
+        const signal::EegRecord record = simulator.synthesize_sample(
+            event, s, config.min_record_s, config.max_record_s);
+        const SampleResult sample =
+            evaluate_sample(record, w, config.labeling);
+        seizure_result.samples.push_back(sample);
+        deltas.push_back(sample.delta_s);
+        // Guard the geometric mean: clamp away exact zeros, which would
+        // be produced only by a label at the far record edge.
+        norms.push_back(std::max(sample.delta_norm, 1e-9));
+        ++done_samples;
+        if (progress) {
+          progress(done_samples, total_samples);
+        }
+      }
+      seizure_result.mean_delta_s = stats::mean(deltas);
+      seizure_result.gmean_delta_norm = stats::geometric_mean(norms);
+      patient_result.seizures.push_back(std::move(seizure_result));
+    }
+
+    RealVector per_seizure_delta;
+    RealVector per_seizure_norm;
+    for (const auto& s : patient_result.seizures) {
+      per_seizure_delta.push_back(s.mean_delta_s);
+      per_seizure_norm.push_back(s.gmean_delta_norm);
+    }
+    patient_result.median_delta_s = stats::median(per_seizure_delta);
+    patient_result.median_delta_norm = stats::median(per_seizure_norm);
+    cohort_result.patients.push_back(std::move(patient_result));
+  }
+
+  RealVector all_delta;
+  RealVector all_norm;
+  for (const auto& patient : cohort_result.patients) {
+    for (const auto& seizure : patient.seizures) {
+      all_delta.push_back(seizure.mean_delta_s);
+      all_norm.push_back(seizure.gmean_delta_norm);
+    }
+  }
+  cohort_result.total_median_delta_s = stats::median(all_delta);
+  cohort_result.total_median_delta_norm = stats::median(all_norm);
+  return cohort_result;
+}
+
+namespace {
+
+/// Everything the validation needs from one seizure record, extracted once
+/// and shared by the expert-label and algorithm-label arms.
+struct PreparedRecord {
+  signal::EegRecord record;
+  signal::Interval expert_label{};
+  signal::Interval algorithm_label{};
+};
+
+ml::ConfusionMatrix operator+(const ml::ConfusionMatrix& a,
+                              const ml::ConfusionMatrix& b) {
+  ml::ConfusionMatrix sum = a;
+  sum.true_positive += b.true_positive;
+  sum.true_negative += b.true_negative;
+  sum.false_positive += b.false_positive;
+  sum.false_negative += b.false_negative;
+  return sum;
+}
+
+}  // namespace
+
+ValidationResult validate_self_learning(const sim::CohortSimulator& simulator,
+                                        const ValidationConfig& config,
+                                        const ProgressHook& progress) {
+  expects(config.max_training_seizures >= 2,
+          "validate_self_learning: need at least 2 training seizures");
+
+  ValidationResult result;
+  RealVector expert_gmeans;
+  RealVector algorithm_gmeans;
+  RealVector expert_sens;
+  RealVector algorithm_sens;
+  RealVector expert_spec;
+  RealVector algorithm_spec;
+
+  std::vector<std::size_t> patient_indices = config.patients;
+  if (patient_indices.empty()) {
+    for (std::size_t p = 0; p < simulator.cohort().size(); ++p) {
+      patient_indices.push_back(p);
+    }
+  }
+  const std::size_t total_patients = patient_indices.size();
+  std::size_t done_patients = 0;
+  for (const std::size_t p : patient_indices) {
+    expects(p < simulator.cohort().size(),
+            "validate_self_learning: patient index out of range");
+    const auto events = simulator.events_for_patient(p);
+    expects(events.size() >= 2,
+            "validate_self_learning: patient needs >= 2 seizures");
+    const Seconds w = simulator.average_seizure_duration(p);
+    const APosterioriDetector labeler(config.labeling);
+
+    // One record per seizure; first `train_count` go to training
+    // ("2 to 5 seizures", §VI-B), the rest are held out for testing.
+    const std::size_t train_count =
+        std::min({config.max_training_seizures, events.size() - 1,
+                  std::size_t{5}});
+    std::vector<PreparedRecord> prepared;
+    for (std::size_t e = 0; e < events.size(); ++e) {
+      PreparedRecord item{
+          simulator.synthesize_sample(events[e], 1000 + e, config.min_record_s,
+                                      config.max_record_s),
+          {},
+          {}};
+      item.expert_label = item.record.seizures().front();
+      const features::PaperFeatureExtractor paper_extractor;
+      const features::WindowedFeatures windowed =
+          features::extract_windowed_features(item.record, paper_extractor);
+      item.algorithm_label = labeler.label(windowed, w);
+      prepared.push_back(std::move(item));
+    }
+
+    PatientValidationResult patient;
+    patient.patient_id = simulator.cohort()[p].id;
+    patient.training_seizures = train_count;
+    patient.test_seizures = events.size() - train_count;
+
+    // Two arms: identical except for the training label source.
+    for (const bool use_algorithm_labels : {false, true}) {
+      ml::Dataset train;
+      for (std::size_t e = 0; e < train_count; ++e) {
+        const signal::Interval label = use_algorithm_labels
+                                           ? prepared[e].algorithm_label
+                                           : prepared[e].expert_label;
+        train.append(build_window_dataset(prepared[e].record, {label},
+                                          config.realtime));
+      }
+      Rng rng(config.seed + p * 2 + (use_algorithm_labels ? 1 : 0));
+      const ml::Dataset balanced = ml::balance_classes(train, rng);
+
+      RealtimeDetector detector(config.realtime);
+      detector.fit(balanced, config.seed);
+
+      ml::ConfusionMatrix total;
+      for (std::size_t e = train_count; e < prepared.size(); ++e) {
+        total = total + detector.evaluate(prepared[e].record,
+                                          {prepared[e].expert_label});
+      }
+      if (use_algorithm_labels) {
+        patient.algorithm_sensitivity = total.sensitivity();
+        patient.algorithm_specificity = total.specificity();
+        patient.algorithm_gmean = total.geometric_mean();
+      } else {
+        patient.expert_sensitivity = total.sensitivity();
+        patient.expert_specificity = total.specificity();
+        patient.expert_gmean = total.geometric_mean();
+      }
+    }
+
+    expert_gmeans.push_back(patient.expert_gmean);
+    algorithm_gmeans.push_back(patient.algorithm_gmean);
+    expert_sens.push_back(patient.expert_sensitivity);
+    algorithm_sens.push_back(patient.algorithm_sensitivity);
+    expert_spec.push_back(patient.expert_specificity);
+    algorithm_spec.push_back(patient.algorithm_specificity);
+    result.patients.push_back(patient);
+    ++done_patients;
+    if (progress) {
+      progress(done_patients, total_patients);
+    }
+  }
+
+  result.overall_expert_gmean = stats::mean(expert_gmeans);
+  result.overall_algorithm_gmean = stats::mean(algorithm_gmeans);
+  result.gmean_degradation =
+      result.overall_expert_gmean - result.overall_algorithm_gmean;
+  result.sensitivity_degradation =
+      stats::mean(expert_sens) - stats::mean(algorithm_sens);
+  result.specificity_degradation =
+      stats::mean(expert_spec) - stats::mean(algorithm_spec);
+  return result;
+}
+
+}  // namespace esl::core

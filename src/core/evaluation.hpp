@@ -1,0 +1,127 @@
+// Evaluation harnesses reproducing the paper's protocols.
+//
+// §VI-A (labeling quality): for each of the 45 seizures, N samples of
+// random duration (30-60 min) containing that seizure; delta (Eq. 1) and
+// delta_norm (Eq. 2) per sample; arithmetic mean of delta and geometric
+// mean of delta_norm per seizure; median across a patient's seizures per
+// patient (Table I); median across all seizures for the headline numbers.
+//
+// §VI-B (self-learning validation, Fig. 4): per patient, train the
+// real-time classifier on 2-5 seizures labeled (a) by the ground truth
+// ("medical experts") and (b) by Algorithm 1, evaluate
+// sensitivity/specificity/geometric-mean against expert labels on
+// held-out records.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/aposteriori.hpp"
+#include "core/realtime_detector.hpp"
+#include "sim/cohort.hpp"
+
+namespace esl::core {
+
+// ----------------------------------------------------------------------
+// §VI-A labeling evaluation
+
+struct LabelingEvaluationConfig {
+  std::size_t samples_per_seizure = 100;
+  Seconds min_record_s = 1800.0;
+  Seconds max_record_s = 3600.0;
+  APosterioriConfig labeling;
+};
+
+/// delta / delta_norm of one sample.
+struct SampleResult {
+  Seconds delta_s = 0.0;
+  Real delta_norm = 0.0;
+};
+
+/// Aggregates for one seizure (one Table II cell).
+struct SeizureResult {
+  sim::SeizureEvent event;
+  Real mean_delta_s = 0.0;       // arithmetic mean across samples
+  Real gmean_delta_norm = 0.0;   // geometric mean across samples [31]
+  std::vector<SampleResult> samples;
+};
+
+/// Aggregates for one patient (one Table I column).
+struct PatientLabelingResult {
+  int patient_id = 0;
+  Real median_delta_s = 0.0;      // median across the patient's seizures
+  Real median_delta_norm = 0.0;
+  std::vector<SeizureResult> seizures;
+};
+
+/// Whole-cohort result (headline §VI-A numbers).
+struct CohortLabelingResult {
+  std::vector<PatientLabelingResult> patients;
+  Real total_median_delta_s = 0.0;     // paper: 10.1 s
+  Real total_median_delta_norm = 0.0;  // paper: 0.9935
+
+  /// Fraction of seizures whose mean delta is within `seconds`
+  /// (paper: 73.3 % <= 15 s, 86.7 % <= 30 s, 93.3 % <= 60 s).
+  Real fraction_within(Seconds seconds) const;
+};
+
+/// Optional progress hook: (samples done, samples total).
+using ProgressHook = std::function<void(std::size_t, std::size_t)>;
+
+/// Labels one synthesized sample and scores it against the ground truth.
+SampleResult evaluate_sample(const signal::EegRecord& record,
+                             Seconds average_seizure_duration_s,
+                             const APosterioriConfig& labeling);
+
+/// Full §VI-A protocol over the cohort.
+CohortLabelingResult evaluate_labeling(const sim::CohortSimulator& simulator,
+                                       const LabelingEvaluationConfig& config,
+                                       const ProgressHook& progress = {});
+
+// ----------------------------------------------------------------------
+// §VI-B self-learning validation
+
+struct ValidationConfig {
+  /// Training seizures per patient, clamped to [2, 5] and to count-1 so at
+  /// least one seizure is always held out for testing.
+  std::size_t max_training_seizures = 5;
+  Seconds min_record_s = 1800.0;
+  Seconds max_record_s = 3600.0;
+  APosterioriConfig labeling;
+  RealtimeConfig realtime;
+  std::uint64_t seed = 20190326;
+  /// Patient indices (0-based) to evaluate; empty = the whole cohort.
+  std::vector<std::size_t> patients;
+};
+
+/// One Fig. 4 bar pair.
+struct PatientValidationResult {
+  int patient_id = 0;
+  std::size_t training_seizures = 0;
+  std::size_t test_seizures = 0;
+  // Trained on expert labels:
+  Real expert_sensitivity = 0.0;
+  Real expert_specificity = 0.0;
+  Real expert_gmean = 0.0;
+  // Trained on Algorithm-1 labels:
+  Real algorithm_sensitivity = 0.0;
+  Real algorithm_specificity = 0.0;
+  Real algorithm_gmean = 0.0;
+};
+
+/// Fig. 4 plus the in-text overall numbers.
+struct ValidationResult {
+  std::vector<PatientValidationResult> patients;
+  Real overall_expert_gmean = 0.0;      // paper: 94.95 %
+  Real overall_algorithm_gmean = 0.0;   // paper: 92.60 %
+  Real gmean_degradation = 0.0;         // paper: 2.35 %
+  Real sensitivity_degradation = 0.0;   // paper: 2.43 %
+  Real specificity_degradation = 0.0;   // paper: 2.26 %
+};
+
+/// Full §VI-B protocol over the cohort.
+ValidationResult validate_self_learning(const sim::CohortSimulator& simulator,
+                                        const ValidationConfig& config,
+                                        const ProgressHook& progress = {});
+
+}  // namespace esl::core

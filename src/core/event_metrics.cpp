@@ -1,0 +1,111 @@
+#include "core/event_metrics.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace esl::core {
+
+std::size_t EventEvaluation::detected_events() const {
+  std::size_t count = 0;
+  for (const auto& e : events) {
+    count += e.detected ? 1 : 0;
+  }
+  return count;
+}
+
+Real EventEvaluation::event_sensitivity() const {
+  if (events.empty()) {
+    return 1.0;
+  }
+  return static_cast<Real>(detected_events()) /
+         static_cast<Real>(events.size());
+}
+
+Seconds EventEvaluation::mean_latency_s() const {
+  Seconds sum = 0.0;
+  std::size_t count = 0;
+  for (const auto& e : events) {
+    if (e.detected) {
+      sum += e.latency_s;
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<Seconds>(count);
+}
+
+Real EventEvaluation::false_alarm_rate_per_hour() const {
+  if (record_duration_s <= 0.0) {
+    return 0.0;
+  }
+  return static_cast<Real>(false_alarms) * 3600.0 / record_duration_s;
+}
+
+EventEvaluation evaluate_events(const std::vector<int>& window_predictions,
+                                const std::vector<Seconds>& window_start_s,
+                                const std::vector<signal::Interval>& truth,
+                                Seconds record_duration_s,
+                                const EventEvaluationConfig& config) {
+  expects(window_predictions.size() == window_start_s.size(),
+          "evaluate_events: predictions/times length mismatch");
+  expects(config.min_consecutive >= 1,
+          "evaluate_events: min_consecutive must be >= 1");
+  expects(record_duration_s > 0.0,
+          "evaluate_events: record duration must be positive");
+
+  EventEvaluation out;
+  out.record_duration_s = record_duration_s;
+  for (const auto& t : truth) {
+    out.events.push_back(EventOutcome{t, false, 0.0});
+  }
+
+  // Scan alarm runs.
+  std::size_t run = 0;
+  std::size_t i = 0;
+  const std::size_t n = window_predictions.size();
+  while (i < n) {
+    if (window_predictions[i] != 1) {
+      run = 0;
+      ++i;
+      continue;
+    }
+    ++run;
+    if (run == config.min_consecutive) {
+      // Alarm fires now; the covered span is the whole run so far plus
+      // any following positives (consume them as one alarm).
+      const std::size_t run_begin = i + 1 - config.min_consecutive;
+      std::size_t run_end = i;
+      while (run_end + 1 < n && window_predictions[run_end + 1] == 1) {
+        ++run_end;
+      }
+      const Seconds alarm_time = window_start_s[i] + config.window_seconds;
+      const signal::Interval alarm_span{
+          window_start_s[run_begin],
+          window_start_s[run_end] + config.window_seconds};
+
+      bool matched = false;
+      for (auto& event : out.events) {
+        const signal::Interval tolerant{
+            event.event.onset,
+            event.event.offset + config.postictal_grace_s};
+        if (alarm_span.intersects(tolerant)) {
+          matched = true;
+          if (!event.detected) {
+            event.detected = true;
+            event.latency_s = alarm_time - event.event.onset;
+          }
+        }
+      }
+      if (!matched) {
+        ++out.false_alarms;
+      }
+      i = run_end + 1;
+      run = 0;
+      continue;
+    }
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace esl::core

@@ -1,0 +1,62 @@
+// Event-level evaluation of the real-time detector.
+//
+// Window-level sensitivity/specificity (Fig. 4) is the paper's metric, but
+// clinical deployments are judged per event: was each seizure detected,
+// how long after onset did the alarm fire, and how many false alarms per
+// hour does the caregiver receive. These metrics drive the examples and
+// the hierarchical-detection ablation.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "signal/annotation.hpp"
+
+namespace esl::core {
+
+/// Per-event outcome.
+struct EventOutcome {
+  signal::Interval event;
+  bool detected = false;
+  /// Alarm time minus onset (negative = alarm before the annotated onset,
+  /// possible when the alarm run starts on a boundary window).
+  Seconds latency_s = 0.0;
+};
+
+/// Event-level evaluation summary.
+struct EventEvaluation {
+  std::vector<EventOutcome> events;
+  std::size_t false_alarms = 0;
+  Seconds record_duration_s = 0.0;
+
+  std::size_t total_events() const { return events.size(); }
+  std::size_t detected_events() const;
+  /// Detected / total; 1 when there are no events.
+  Real event_sensitivity() const;
+  /// Mean latency over detected events (0 when none detected).
+  Seconds mean_latency_s() const;
+  /// False alarms per hour of recording.
+  Real false_alarm_rate_per_hour() const;
+};
+
+/// Evaluation parameters.
+struct EventEvaluationConfig {
+  /// Consecutive positive windows required to raise an alarm.
+  std::size_t min_consecutive = 3;
+  /// An alarm within this margin after a seizure's offset still counts as
+  /// that seizure (post-ictal positives are not false alarms).
+  Seconds postictal_grace_s = 60.0;
+  Seconds window_seconds = 4.0;
+};
+
+/// Scores per-window predictions against ground-truth seizure intervals.
+/// `window_start_s[i]` is the start time of window i; predictions and
+/// window starts must be parallel arrays.
+EventEvaluation evaluate_events(const std::vector<int>& window_predictions,
+                                const std::vector<Seconds>& window_start_s,
+                                const std::vector<signal::Interval>& truth,
+                                Seconds record_duration_s,
+                                const EventEvaluationConfig& config = {});
+
+}  // namespace esl::core

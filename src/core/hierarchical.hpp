@@ -1,0 +1,75 @@
+// Hierarchical (self-aware) real-time detection.
+//
+// The paper's energy budget is dominated by the supervised classifier
+// running at 75 % duty (Table III, Fig. 5). Its companion work
+// [24, Forooghifar et al., DSD'18] shows the fix: a cheap first stage
+// screens windows and wakes the expensive classifier only when needed.
+// We implement that extension: stage 1 thresholds a single spectral
+// feature (F7-T3 theta-band power, the strongest ictal marker); stage 2
+// is the full random forest over the 108 e-Glass features, invoked only
+// for windows stage 1 flags. The threshold is fitted on the training set
+// to keep a configurable fraction of seizure windows (stage-1
+// sensitivity), and the resulting stage-2 invocation rate converts
+// directly into CPU duty and battery lifetime via the platform model
+// (see bench/ablation_hierarchical).
+#pragma once
+
+#include <optional>
+
+#include "core/realtime_detector.hpp"
+
+namespace esl::core {
+
+/// Hierarchical detector configuration.
+struct HierarchicalConfig {
+  RealtimeConfig realtime;
+  /// Fraction of training seizure windows stage 1 must pass (its recall).
+  Real stage1_target_sensitivity = 0.98;
+  /// Column of the e-Glass feature vector used by stage 1.
+  /// Default 14 = "ch0.power_theta" (see EglassFeatureExtractor).
+  std::size_t screening_feature = 14;
+};
+
+/// Outcome of running the two-stage detector over a record.
+struct HierarchicalPrediction {
+  std::vector<int> labels;       // per window
+  std::size_t stage2_windows = 0;  // windows that invoked the forest
+  std::size_t total_windows = 0;
+
+  /// Fraction of windows that needed the expensive classifier.
+  Real stage2_fraction() const {
+    return total_windows == 0
+               ? 0.0
+               : static_cast<Real>(stage2_windows) /
+                     static_cast<Real>(total_windows);
+  }
+};
+
+/// Two-stage screening + random-forest detector.
+class HierarchicalDetector {
+ public:
+  explicit HierarchicalDetector(HierarchicalConfig config = {});
+
+  /// Fits the stage-1 threshold and the stage-2 forest on labeled window
+  /// data (raw, unscaled e-Glass features).
+  void fit(const ml::Dataset& train, std::uint64_t seed = 1);
+
+  bool is_fitted() const { return threshold_.has_value(); }
+
+  /// Runs the two-stage detector over a record.
+  HierarchicalPrediction predict(const signal::EegRecord& record) const;
+
+  /// Stage-1 threshold on the screening feature (physical units).
+  Real stage1_threshold() const;
+
+  const HierarchicalConfig& config() const { return config_; }
+
+ private:
+  HierarchicalConfig config_;
+  features::EglassFeatureExtractor extractor_;
+  ml::RandomForest forest_;
+  std::optional<features::ColumnStats> scaler_;
+  std::optional<Real> threshold_;
+};
+
+}  // namespace esl::core

@@ -1,0 +1,134 @@
+#include "core/precision.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace esl::core {
+
+namespace {
+
+/// Naive schedule templated on the working scalar type.
+template <typename Scalar>
+RealVector naive_curve(const Matrix& x, std::size_t window,
+                       std::size_t stride) {
+  const std::size_t length = x.rows();
+  const std::size_t features = x.cols();
+  const std::size_t positions = length - window;
+  const auto m = static_cast<Scalar>(static_cast<Real>(length - window) /
+                                     static_cast<Real>(stride));
+
+  // Convert once to the working precision.
+  std::vector<Scalar> data(length * features);
+  for (std::size_t r = 0; r < length; ++r) {
+    for (std::size_t f = 0; f < features; ++f) {
+      data[r * features + f] = static_cast<Scalar>(x(r, f));
+    }
+  }
+
+  RealVector curve(positions, 0.0);
+  std::vector<Scalar> distance_vector(features);
+  for (std::size_t i = 0; i < positions; ++i) {
+    std::fill(distance_vector.begin(), distance_vector.end(), Scalar{0});
+    for (std::size_t w = 0; w < window; ++w) {
+      const Scalar* point = &data[(i + w) * features];
+      for (std::size_t k = 0; k < length; k += stride) {
+        if (k >= i && k <= i + window) {
+          continue;
+        }
+        const Scalar* other = &data[k * features];
+        for (std::size_t f = 0; f < features; ++f) {
+          distance_vector[f] += std::abs(point[f] - other[f]);
+        }
+      }
+    }
+    Scalar norm2{0};
+    for (std::size_t f = 0; f < features; ++f) {
+      const Scalar v =
+          distance_vector[f] / (m * static_cast<Scalar>(window));
+      norm2 += v * v;
+    }
+    curve[i] = static_cast<Real>(std::sqrt(norm2));
+  }
+  return curve;
+}
+
+/// Q8.8 fixed point: int16 storage, int64 accumulation.
+RealVector fixed_q88_curve(const Matrix& x, std::size_t window,
+                           std::size_t stride) {
+  const std::size_t length = x.rows();
+  const std::size_t features = x.cols();
+  const std::size_t positions = length - window;
+  constexpr Real k_scale = 256.0;  // 8 fractional bits
+
+  std::vector<std::int16_t> data(length * features);
+  for (std::size_t r = 0; r < length; ++r) {
+    for (std::size_t f = 0; f < features; ++f) {
+      const Real clamped = std::clamp(x(r, f), -127.99, 127.99);
+      data[r * features + f] =
+          static_cast<std::int16_t>(std::lround(clamped * k_scale));
+    }
+  }
+
+  const Real m = static_cast<Real>(length - window) / static_cast<Real>(stride);
+  RealVector curve(positions, 0.0);
+  std::vector<std::int64_t> distance_vector(features);
+  for (std::size_t i = 0; i < positions; ++i) {
+    std::fill(distance_vector.begin(), distance_vector.end(), 0);
+    for (std::size_t w = 0; w < window; ++w) {
+      const std::int16_t* point = &data[(i + w) * features];
+      for (std::size_t k = 0; k < length; k += stride) {
+        if (k >= i && k <= i + window) {
+          continue;
+        }
+        const std::int16_t* other = &data[k * features];
+        for (std::size_t f = 0; f < features; ++f) {
+          const std::int32_t diff = static_cast<std::int32_t>(point[f]) -
+                                    static_cast<std::int32_t>(other[f]);
+          distance_vector[f] += diff >= 0 ? diff : -diff;
+        }
+      }
+    }
+    // Back to physical units for the norm (the MCU would compare squared
+    // integers directly; converting here keeps the curve comparable to
+    // the floating-point engines).
+    Real norm2 = 0.0;
+    for (std::size_t f = 0; f < features; ++f) {
+      const Real v = (static_cast<Real>(distance_vector[f]) / k_scale) /
+                     (m * static_cast<Real>(window));
+      norm2 += v * v;
+    }
+    curve[i] = std::sqrt(norm2);
+  }
+  return curve;
+}
+
+}  // namespace
+
+RealVector distance_curve_profile(const Matrix& normalized_features,
+                                  std::size_t window_points,
+                                  std::size_t stride, NumericProfile profile) {
+  expects(stride >= 1, "distance_curve_profile: stride must be >= 1");
+  expects(window_points >= 1 && window_points < normalized_features.rows(),
+          "distance_curve_profile: window must lie in [1, L)");
+  switch (profile) {
+    case NumericProfile::kFloat64:
+      return naive_curve<double>(normalized_features, window_points, stride);
+    case NumericProfile::kFloat32:
+      return naive_curve<float>(normalized_features, window_points, stride);
+    case NumericProfile::kFixedQ8_8:
+      return fixed_q88_curve(normalized_features, window_points, stride);
+  }
+  throw LogicError("distance_curve_profile: unknown profile");
+}
+
+std::size_t distance_argmax(const RealVector& curve) {
+  expects(!curve.empty(), "distance_argmax: empty curve");
+  return static_cast<std::size_t>(
+      std::max_element(curve.begin(), curve.end()) - curve.begin());
+}
+
+}  // namespace esl::core

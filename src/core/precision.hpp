@@ -1,0 +1,37 @@
+// MCU numeric profiles of Algorithm 1.
+//
+// The STM32L151 (Cortex-M3) has no FPU: deployments either pay for
+// software double/float emulation or run fixed-point. These engines mirror
+// what actually ships on the device:
+//  * kFloat32  — single-precision software floats (the paper's timing
+//                budget assumes this class of arithmetic);
+//  * kFixedQ8_8 — int16 features with 8 fractional bits (range +-128,
+//                resolution 1/256), 64-bit accumulation — a conventional
+//                integer implementation for FPU-less MCUs.
+// Both run the paper's naive O(L^2 W F) schedule, exactly as the MCU
+// would. bench/ablation_precision quantifies the accuracy cost.
+#pragma once
+
+#include "common/matrix.hpp"
+#include "common/types.hpp"
+
+namespace esl::core {
+
+/// Numeric representation for the MCU-profile distance engines.
+enum class NumericProfile {
+  kFloat64,   // reference (identical to DistanceEngine::kNaive)
+  kFloat32,
+  kFixedQ8_8,
+};
+
+/// Distance curve of Algorithm 1 computed in the given numeric profile.
+/// Input must already be normalized (Algorithm 1 line 1); z-scored
+/// features fit comfortably in the Q8.8 range (+-128).
+RealVector distance_curve_profile(const Matrix& normalized_features,
+                                  std::size_t window_points,
+                                  std::size_t stride, NumericProfile profile);
+
+/// Argmax helper over a distance curve.
+std::size_t distance_argmax(const RealVector& curve);
+
+}  // namespace esl::core

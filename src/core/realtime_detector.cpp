@@ -1,0 +1,102 @@
+#include "core/realtime_detector.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "features/extractor.hpp"
+
+namespace esl::core {
+
+namespace {
+
+/// Window label: 1 when overlap with any seizure interval reaches the
+/// configured fraction of the window length.
+int window_label(Seconds window_start, Seconds window_seconds,
+                 const std::vector<signal::Interval>& seizures) {
+  const signal::Interval window{window_start, window_start + window_seconds};
+  for (const auto& s : seizures) {
+    if (window.overlap(s) >= k_window_label_overlap * window_seconds) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+ml::Dataset build_window_dataset(const signal::EegRecord& record,
+                                 const std::vector<signal::Interval>& seizures,
+                                 const RealtimeConfig& config) {
+  const features::EglassFeatureExtractor extractor(2);
+  const features::WindowedFeatures windowed = features::extract_windowed_features(
+      record, extractor, config.window_seconds, config.overlap);
+
+  ml::Dataset data;
+  for (std::size_t w = 0; w < windowed.count(); ++w) {
+    data.push_back(windowed.features.row(w),
+                   window_label(windowed.window_start_s[w],
+                                config.window_seconds, seizures));
+  }
+  return data;
+}
+
+RealtimeDetector::RealtimeDetector(RealtimeConfig config)
+    : config_(config), extractor_(2), forest_(config.forest) {}
+
+ml::Dataset RealtimeDetector::scale(const ml::Dataset& data) const {
+  expects(scaler_.has_value(), "RealtimeDetector: scaler not fitted");
+  ml::Dataset scaled = data;
+  features::apply_zscore(scaled.x, *scaler_);
+  return scaled;
+}
+
+void RealtimeDetector::fit(const ml::Dataset& train, std::uint64_t seed) {
+  train.check();
+  expects(train.size() >= 4, "RealtimeDetector::fit: dataset too small");
+  scaler_ = features::fit_column_stats(train.x);
+  ml::Dataset scaled = train;
+  features::apply_zscore(scaled.x, *scaler_);
+  forest_.fit(scaled, seed);
+}
+
+std::vector<int> RealtimeDetector::predict_windows(
+    const signal::EegRecord& record) const {
+  expects(is_fitted(), "RealtimeDetector::predict_windows: not fitted");
+  const features::WindowedFeatures windowed = features::extract_windowed_features(
+      record, extractor_, config_.window_seconds, config_.overlap);
+  Matrix scaled = windowed.features;
+  features::apply_zscore(scaled, *scaler_);
+  return forest_.predict_all(scaled);
+}
+
+ml::ConfusionMatrix RealtimeDetector::evaluate(
+    const signal::EegRecord& record,
+    const std::vector<signal::Interval>& truth) const {
+  expects(is_fitted(), "RealtimeDetector::evaluate: not fitted");
+  const features::WindowedFeatures windowed = features::extract_windowed_features(
+      record, extractor_, config_.window_seconds, config_.overlap);
+  Matrix scaled = windowed.features;
+  features::apply_zscore(scaled, *scaler_);
+  const std::vector<int> predicted = forest_.predict_all(scaled);
+  std::vector<int> labels(windowed.count());
+  for (std::size_t w = 0; w < windowed.count(); ++w) {
+    labels[w] = window_label(windowed.window_start_s[w],
+                             config_.window_seconds, truth);
+  }
+  return ml::confusion(labels, predicted);
+}
+
+bool RealtimeDetector::raises_alarm(const signal::EegRecord& record,
+                                    std::size_t min_consecutive) const {
+  const std::vector<int> predicted = predict_windows(record);
+  std::size_t run = 0;
+  for (const int p : predicted) {
+    run = (p == 1) ? run + 1 : 0;
+    if (run >= min_consecutive) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace esl::core

@@ -1,0 +1,70 @@
+// Supervised real-time seizure detection (§III-C).
+//
+// A random forest over the e-Glass 54-features-per-electrode set [7],
+// trained on windows labeled either by medical experts (ground truth) or
+// by the a-posteriori labeling algorithm — the comparison behind Fig. 4.
+#pragma once
+
+#include <optional>
+
+#include "features/eglass_features.hpp"
+#include "features/normalize.hpp"
+#include "ml/dataset.hpp"
+#include "ml/metrics.hpp"
+#include "ml/random_forest.hpp"
+#include "signal/eeg_record.hpp"
+
+namespace esl::core {
+
+/// Window labeling rule: a window is a seizure window when at least this
+/// fraction of it overlaps a labeled seizure interval.
+inline constexpr Real k_window_label_overlap = 0.5;
+
+/// Real-time detector configuration.
+struct RealtimeConfig {
+  ml::ForestConfig forest;
+  Seconds window_seconds = 4.0;
+  Real overlap = 0.75;
+};
+
+/// Builds a labeled window dataset from a record: one e-Glass feature row
+/// per window, label 1 when the window overlaps a `seizure` interval by at
+/// least k_window_label_overlap of its length.
+ml::Dataset build_window_dataset(const signal::EegRecord& record,
+                                 const std::vector<signal::Interval>& seizures,
+                                 const RealtimeConfig& config = {});
+
+/// The trainable detector.
+class RealtimeDetector {
+ public:
+  explicit RealtimeDetector(RealtimeConfig config = {});
+
+  /// Fits the forest (and the feature scaler) on a labeled dataset.
+  void fit(const ml::Dataset& train, std::uint64_t seed = 1);
+
+  bool is_fitted() const { return scaler_.has_value(); }
+
+  /// Per-window hard labels for a record.
+  std::vector<int> predict_windows(const signal::EegRecord& record) const;
+
+  /// Confusion matrix of the detector against ground-truth intervals.
+  ml::ConfusionMatrix evaluate(const signal::EegRecord& record,
+                               const std::vector<signal::Interval>& truth) const;
+
+  /// True when the record triggers a seizure alarm: at least
+  /// `min_consecutive` consecutive positive windows.
+  bool raises_alarm(const signal::EegRecord& record,
+                    std::size_t min_consecutive = 3) const;
+
+  const RealtimeConfig& config() const { return config_; }
+
+ private:
+  ml::Dataset scale(const ml::Dataset& data) const;
+
+  RealtimeConfig config_;
+  features::EglassFeatureExtractor extractor_;
+  ml::RandomForest forest_;
+  std::optional<features::ColumnStats> scaler_;
+};
+
+}  // namespace esl::core

@@ -1,0 +1,63 @@
+#include "core/self_learning.hpp"
+
+#include "common/error.hpp"
+#include "features/extractor.hpp"
+
+namespace esl::core {
+
+SelfLearningPipeline::SelfLearningPipeline(SelfLearningConfig config)
+    : config_(config),
+      labeler_(config.labeling),
+      detector_(config.realtime) {
+  expects(config_.average_seizure_duration_s > 0.0,
+          "SelfLearningPipeline: W must be positive");
+}
+
+signal::Interval SelfLearningPipeline::on_patient_trigger(
+    const signal::EegRecord& record) {
+  // Label the last hour of signal with Algorithm 1 over the 10-feature set.
+  const features::PaperFeatureExtractor paper_extractor;
+  const features::WindowedFeatures windowed =
+      features::extract_windowed_features(record, paper_extractor);
+  const signal::Interval label =
+      labeler_.label(windowed, config_.average_seizure_duration_s);
+
+  // The labeled record provides both positive and negative windows.
+  buffer_.append(build_window_dataset(record, {label}, config_.realtime));
+  ++labeled_seizures_;
+  if (config_.retrain_on_label) {
+    retrain();
+  }
+  return label;
+}
+
+void SelfLearningPipeline::add_background_record(
+    const signal::EegRecord& record) {
+  buffer_.append(build_window_dataset(record, {}, config_.realtime));
+}
+
+void SelfLearningPipeline::retrain() {
+  expects(labeled_seizures_ > 0,
+          "SelfLearningPipeline::retrain: no labeled seizures yet");
+  expects(buffer_.positives() > 0 && buffer_.positives() < buffer_.size(),
+          "SelfLearningPipeline::retrain: buffer must hold both classes");
+  // Balanced training set, as in §VI-B.
+  Rng rng(config_.training_seed + labeled_seizures_);
+  const ml::Dataset balanced = ml::balance_classes(buffer_, rng);
+  detector_.fit(balanced, config_.training_seed);
+}
+
+MonitoringOutcome SelfLearningPipeline::monitor(
+    const signal::EegRecord& record) {
+  MonitoringOutcome outcome;
+  if (detector_.is_fitted() && detector_.raises_alarm(record)) {
+    outcome.alarm_raised = true;
+    return outcome;  // caregivers alerted; nothing to learn
+  }
+  // Missed seizure: the patient recovers and presses the button.
+  outcome.patient_triggered = true;
+  outcome.label = on_patient_trigger(record);
+  return outcome;
+}
+
+}  // namespace esl::core

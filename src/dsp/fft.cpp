@@ -1,0 +1,162 @@
+#include "dsp/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace esl::dsp {
+
+namespace {
+
+constexpr Real k_two_pi = 2.0 * std::numbers::pi_v<Real>;
+
+void bit_reverse_permute(std::span<Complex> data) {
+  const std::size_t n = data.size();
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    while (j & bit) {
+      j ^= bit;
+      bit >>= 1;
+    }
+    j |= bit;
+    if (i < j) {
+      std::swap(data[i], data[j]);
+    }
+  }
+}
+
+/// Bluestein chirp-z transform: expresses an arbitrary-size DFT as a
+/// convolution, evaluated with a power-of-two FFT.
+ComplexVector bluestein(std::span<const Complex> input, bool inverse) {
+  const std::size_t n = input.size();
+  const std::size_t m = next_power_of_two(2 * n + 1);
+  const Real sign = inverse ? 1.0 : -1.0;
+
+  // Chirp w[k] = exp(sign * i * pi * k^2 / n).
+  ComplexVector chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // k^2 mod 2n keeps the argument small and the chirp exactly periodic.
+    const std::size_t k2 = (k * k) % (2 * n);
+    const Real angle = sign * std::numbers::pi_v<Real> *
+                       static_cast<Real>(k2) / static_cast<Real>(n);
+    chirp[k] = Complex(std::cos(angle), std::sin(angle));
+  }
+
+  ComplexVector a(m, Complex(0.0, 0.0));
+  ComplexVector b(m, Complex(0.0, 0.0));
+  for (std::size_t k = 0; k < n; ++k) {
+    a[k] = input[k] * chirp[k];
+    b[k] = std::conj(chirp[k]);
+  }
+  for (std::size_t k = 1; k < n; ++k) {
+    b[m - k] = std::conj(chirp[k]);
+  }
+
+  fft_radix2_inplace(a, false);
+  fft_radix2_inplace(b, false);
+  for (std::size_t k = 0; k < m; ++k) {
+    a[k] *= b[k];
+  }
+  fft_radix2_inplace(a, true);
+
+  ComplexVector out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out[k] = a[k] * chirp[k];
+  }
+  if (inverse) {
+    for (auto& v : out) {
+      v /= static_cast<Real>(n);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool is_power_of_two(std::size_t n) {
+  return n >= 1 && (n & (n - 1)) == 0;
+}
+
+std::size_t next_power_of_two(std::size_t n) {
+  expects(n >= 1, "next_power_of_two: n must be >= 1");
+  std::size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+void fft_radix2_inplace(std::span<Complex> data, bool inverse) {
+  const std::size_t n = data.size();
+  expects(is_power_of_two(n), "fft_radix2_inplace: size must be a power of two");
+  if (n == 1) {
+    return;
+  }
+  bit_reverse_permute(data);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const Real angle = (inverse ? k_two_pi : -k_two_pi) / static_cast<Real>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const Complex u = data[i + j];
+        const Complex v = data[i + j + len / 2] * w;
+        data[i + j] = u + v;
+        data[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& v : data) {
+      v /= static_cast<Real>(n);
+    }
+  }
+}
+
+ComplexVector fft(std::span<const Complex> input) {
+  expects(!input.empty(), "fft: empty input");
+  if (is_power_of_two(input.size())) {
+    ComplexVector data(input.begin(), input.end());
+    fft_radix2_inplace(data, false);
+    return data;
+  }
+  return bluestein(input, false);
+}
+
+ComplexVector ifft(std::span<const Complex> input) {
+  expects(!input.empty(), "ifft: empty input");
+  if (is_power_of_two(input.size())) {
+    ComplexVector data(input.begin(), input.end());
+    fft_radix2_inplace(data, true);
+    return data;
+  }
+  return bluestein(input, true);
+}
+
+ComplexVector rfft(std::span<const Real> input) {
+  expects(!input.empty(), "rfft: empty input");
+  ComplexVector data(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    data[i] = Complex(input[i], 0.0);
+  }
+  ComplexVector full = fft(data);
+  full.resize(input.size() / 2 + 1);
+  return full;
+}
+
+ComplexVector dft_reference(std::span<const Complex> input) {
+  const std::size_t n = input.size();
+  ComplexVector out(n, Complex(0.0, 0.0));
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t t = 0; t < n; ++t) {
+      const Real angle = -k_two_pi * static_cast<Real>(k * t) / static_cast<Real>(n);
+      out[k] += input[t] * Complex(std::cos(angle), std::sin(angle));
+    }
+  }
+  return out;
+}
+
+}  // namespace esl::dsp

@@ -1,0 +1,42 @@
+// Fast Fourier Transform.
+//
+// Radix-2 iterative Cooley-Tukey for power-of-two sizes plus a Bluestein
+// (chirp-z) fallback for arbitrary sizes, so the spectral estimators can
+// work on any window length. All transforms are unscaled forward
+// (X[k] = sum x[n] e^{-2pi i kn/N}) with the inverse applying the 1/N factor.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace esl::dsp {
+
+using Complex = std::complex<Real>;
+using ComplexVector = std::vector<Complex>;
+
+/// True when n is a power of two (n >= 1).
+bool is_power_of_two(std::size_t n);
+
+/// Smallest power of two >= n (n >= 1).
+std::size_t next_power_of_two(std::size_t n);
+
+/// In-place radix-2 FFT. Requires power-of-two size.
+/// `inverse` selects the conjugate transform and applies the 1/N scale.
+void fft_radix2_inplace(std::span<Complex> data, bool inverse);
+
+/// Forward FFT of arbitrary size (radix-2 when possible, Bluestein otherwise).
+ComplexVector fft(std::span<const Complex> input);
+
+/// Inverse FFT of arbitrary size; applies the 1/N normalization.
+ComplexVector ifft(std::span<const Complex> input);
+
+/// Forward FFT of a real signal; returns the n/2+1 non-redundant bins.
+ComplexVector rfft(std::span<const Real> input);
+
+/// Naive O(n^2) DFT used as a test oracle.
+ComplexVector dft_reference(std::span<const Complex> input);
+
+}  // namespace esl::dsp

@@ -1,0 +1,93 @@
+// Digital filtering: biquad sections, Butterworth IIR design (bilinear
+// transform), RBJ notch, and windowed-sinc FIR design.
+//
+// The EEG simulator uses these to shape background activity, and the
+// acquisition front-end model offers the standard 0.5 Hz high-pass /
+// power-line notch conditioning chain.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dsp/window.hpp"
+
+namespace esl::dsp {
+
+/// Second-order IIR section, direct form II transposed.
+/// y[n] = (b0 x[n] + b1 x[n-1] + b2 x[n-2] - a1 y[n-1] - a2 y[n-2]) / a0.
+struct Biquad {
+  Real b0 = 1.0, b1 = 0.0, b2 = 0.0;
+  Real a0 = 1.0, a1 = 0.0, a2 = 0.0;
+
+  /// Magnitude response at the given frequency.
+  Real magnitude_at(Real frequency_hz, Real sample_rate_hz) const;
+};
+
+/// Stateful cascade of biquad sections.
+class BiquadCascade {
+ public:
+  explicit BiquadCascade(std::vector<Biquad> sections);
+
+  /// Processes one sample through every section.
+  Real process(Real input);
+
+  /// Filters a whole signal (stateful; call reset() between signals).
+  RealVector filter(std::span<const Real> signal);
+
+  /// Clears the delay lines.
+  void reset();
+
+  const std::vector<Biquad>& sections() const { return sections_; }
+
+  /// Cascade magnitude response at the given frequency.
+  Real magnitude_at(Real frequency_hz, Real sample_rate_hz) const;
+
+ private:
+  std::vector<Biquad> sections_;
+  std::vector<std::array<Real, 2>> state_;
+};
+
+/// Butterworth low-pass of even or odd order via bilinear transform.
+BiquadCascade butterworth_lowpass(std::size_t order, Real cutoff_hz,
+                                  Real sample_rate_hz);
+
+/// Butterworth high-pass of even or odd order via bilinear transform.
+BiquadCascade butterworth_highpass(std::size_t order, Real cutoff_hz,
+                                   Real sample_rate_hz);
+
+/// Band-pass as a high-pass/low-pass cascade (order each).
+BiquadCascade butterworth_bandpass(std::size_t order, Real low_hz, Real high_hz,
+                                   Real sample_rate_hz);
+
+/// RBJ cookbook notch at `center_hz` with the given quality factor.
+Biquad notch(Real center_hz, Real quality, Real sample_rate_hz);
+
+/// Zero-phase filtering: forward pass, reverse, forward, reverse.
+/// Doubles the effective order and removes group delay.
+RealVector filtfilt(BiquadCascade cascade, std::span<const Real> signal);
+
+/// Windowed-sinc FIR low-pass taps (odd `taps` recommended).
+RealVector fir_lowpass(std::size_t taps, Real cutoff_hz, Real sample_rate_hz,
+                       WindowKind window = WindowKind::kHamming);
+
+/// Windowed-sinc FIR high-pass taps (spectral inversion; `taps` must be odd).
+RealVector fir_highpass(std::size_t taps, Real cutoff_hz, Real sample_rate_hz,
+                        WindowKind window = WindowKind::kHamming);
+
+/// Windowed-sinc FIR band-pass taps (`taps` must be odd).
+RealVector fir_bandpass(std::size_t taps, Real low_hz, Real high_hz,
+                        Real sample_rate_hz,
+                        WindowKind window = WindowKind::kHamming);
+
+/// Convolves the signal with FIR taps; output is time-aligned (the group
+/// delay of (taps-1)/2 samples is compensated, edges use zero padding).
+RealVector fir_filter(std::span<const Real> taps, std::span<const Real> signal);
+
+/// Anti-aliased integer-factor decimation (FIR low-pass then keep every
+/// `factor`-th sample).
+RealVector decimate(std::span<const Real> signal, std::size_t factor,
+                    Real sample_rate_hz);
+
+}  // namespace esl::dsp

@@ -1,0 +1,161 @@
+#include "dsp/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dsp/fft.hpp"
+
+namespace esl::dsp {
+
+Psd periodogram(std::span<const Real> signal, Real sample_rate_hz,
+                WindowKind window) {
+  expects(signal.size() >= 2, "periodogram: need at least 2 samples");
+  expects(sample_rate_hz > 0.0, "periodogram: sample rate must be positive");
+
+  const std::size_t n = signal.size();
+  const RealVector w = make_window(window, n, /*periodic=*/true);
+  RealVector tapered(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tapered[i] = signal[i] * w[i];
+  }
+
+  const ComplexVector spectrum = rfft(tapered);
+  const Real scale = 1.0 / (sample_rate_hz * window_power(w));
+
+  Psd psd;
+  psd.frequency.resize(spectrum.size());
+  psd.density.resize(spectrum.size());
+  for (std::size_t k = 0; k < spectrum.size(); ++k) {
+    psd.frequency[k] =
+        static_cast<Real>(k) * sample_rate_hz / static_cast<Real>(n);
+    Real value = std::norm(spectrum[k]) * scale;
+    // One-sided doubling: all bins except DC and (for even n) Nyquist.
+    const bool is_dc = (k == 0);
+    const bool is_nyquist = (n % 2 == 0) && (k == spectrum.size() - 1);
+    if (!is_dc && !is_nyquist) {
+      value *= 2.0;
+    }
+    psd.density[k] = value;
+  }
+  return psd;
+}
+
+Psd welch(std::span<const Real> signal, Real sample_rate_hz,
+          std::size_t segment_length, Real overlap, WindowKind window) {
+  expects(segment_length >= 2, "welch: segment_length must be >= 2");
+  expects(overlap >= 0.0 && overlap < 1.0, "welch: overlap must lie in [0, 1)");
+  if (signal.size() <= segment_length) {
+    return periodogram(signal, sample_rate_hz, window);
+  }
+  const auto hop = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::lround(static_cast<Real>(segment_length) * (1.0 - overlap))));
+
+  Psd accumulated;
+  std::size_t segments = 0;
+  for (std::size_t start = 0; start + segment_length <= signal.size();
+       start += hop) {
+    const Psd segment_psd =
+        periodogram(signal.subspan(start, segment_length), sample_rate_hz, window);
+    if (segments == 0) {
+      accumulated = segment_psd;
+    } else {
+      for (std::size_t k = 0; k < accumulated.density.size(); ++k) {
+        accumulated.density[k] += segment_psd.density[k];
+      }
+    }
+    ++segments;
+  }
+  for (auto& v : accumulated.density) {
+    v /= static_cast<Real>(segments);
+  }
+  return accumulated;
+}
+
+Real band_power(const Psd& psd, Band band) {
+  expects(band.low_hz < band.high_hz, "band_power: empty band");
+  const Real df = psd.bin_width();
+  if (df <= 0.0) {
+    return 0.0;
+  }
+  Real power = 0.0;
+  for (std::size_t k = 0; k < psd.frequency.size(); ++k) {
+    const Real f = psd.frequency[k];
+    if (f >= band.low_hz && f < band.high_hz) {
+      power += psd.density[k] * df;
+    }
+  }
+  return power;
+}
+
+Real total_power(const Psd& psd) {
+  if (psd.frequency.empty()) {
+    return 0.0;
+  }
+  return band_power(psd, Band{0.5, psd.frequency.back() + psd.bin_width()});
+}
+
+Real relative_band_power(const Psd& psd, Band band) {
+  const Real total = total_power(psd);
+  if (total <= 0.0) {
+    return 0.0;
+  }
+  return band_power(psd, band) / total;
+}
+
+Real spectral_edge_frequency(const Psd& psd, Real fraction) {
+  expects(fraction > 0.0 && fraction <= 1.0,
+          "spectral_edge_frequency: fraction must lie in (0, 1]");
+  const Real total = total_power(psd);
+  if (total <= 0.0) {
+    return 0.0;
+  }
+  const Real df = psd.bin_width();
+  Real cumulative = 0.0;
+  for (std::size_t k = 0; k < psd.frequency.size(); ++k) {
+    if (psd.frequency[k] < 0.5) {
+      continue;
+    }
+    cumulative += psd.density[k] * df;
+    if (cumulative >= fraction * total) {
+      return psd.frequency[k];
+    }
+  }
+  return psd.frequency.back();
+}
+
+Real peak_frequency(const Psd& psd) {
+  Real best_f = 0.0;
+  Real best_v = -1.0;
+  for (std::size_t k = 0; k < psd.frequency.size(); ++k) {
+    if (psd.frequency[k] < 0.5) {
+      continue;
+    }
+    if (psd.density[k] > best_v) {
+      best_v = psd.density[k];
+      best_f = psd.frequency[k];
+    }
+  }
+  return best_f;
+}
+
+Real spectral_entropy(const Psd& psd) {
+  Real total = 0.0;
+  for (const Real v : psd.density) {
+    total += v;
+  }
+  if (total <= 0.0) {
+    return 0.0;
+  }
+  Real entropy = 0.0;
+  for (const Real v : psd.density) {
+    if (v > 0.0) {
+      const Real p = v / total;
+      entropy -= p * std::log(p);
+    }
+  }
+  return entropy;
+}
+
+}  // namespace esl::dsp

@@ -1,0 +1,86 @@
+#include "dsp/stft.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dsp/fft.hpp"
+
+namespace esl::dsp {
+
+Stft stft(std::span<const Real> signal, Real sample_rate_hz,
+          std::size_t window_length, std::size_t hop, WindowKind window) {
+  expects(sample_rate_hz > 0.0, "stft: sample rate must be positive");
+  expects(window_length >= 2, "stft: window_length must be >= 2");
+  expects(hop >= 1, "stft: hop must be >= 1");
+  expects(signal.size() >= window_length, "stft: signal shorter than window");
+
+  const std::size_t frames = (signal.size() - window_length) / hop + 1;
+  const std::size_t bins = window_length / 2 + 1;
+  const RealVector taper = make_window(window, window_length, /*periodic=*/true);
+
+  Stft out;
+  out.magnitude = Matrix(frames, bins);
+  out.frequency.resize(bins);
+  for (std::size_t k = 0; k < bins; ++k) {
+    out.frequency[k] =
+        static_cast<Real>(k) * sample_rate_hz / static_cast<Real>(window_length);
+  }
+  out.frame_time.resize(frames);
+
+  RealVector tapered(window_length);
+  for (std::size_t f = 0; f < frames; ++f) {
+    const std::size_t start = f * hop;
+    out.frame_time[f] = static_cast<Real>(start) / sample_rate_hz;
+    for (std::size_t i = 0; i < window_length; ++i) {
+      tapered[i] = signal[start + i] * taper[i];
+    }
+    const ComplexVector spectrum = rfft(tapered);
+    auto row = out.magnitude.row(f);
+    for (std::size_t k = 0; k < bins; ++k) {
+      row[k] = std::abs(spectrum[k]);
+    }
+  }
+  return out;
+}
+
+Matrix spectrogram_db(const Stft& transform, Real floor_db) {
+  expects(floor_db < 0.0, "spectrogram_db: floor must be negative");
+  Real peak = 0.0;
+  for (const Real v : transform.magnitude.data()) {
+    peak = std::max(peak, v);
+  }
+  Matrix out(transform.frames(), transform.bins(), floor_db);
+  if (peak <= 0.0) {
+    return out;
+  }
+  for (std::size_t f = 0; f < transform.frames(); ++f) {
+    for (std::size_t k = 0; k < transform.bins(); ++k) {
+      const Real v = transform.magnitude(f, k);
+      if (v > 0.0) {
+        out(f, k) = std::max(floor_db, 20.0 * std::log10(v / peak));
+      }
+    }
+  }
+  return out;
+}
+
+Real frame_peak_frequency(const Stft& transform, std::size_t frame,
+                          Real min_hz) {
+  expects(frame < transform.frames(),
+          "frame_peak_frequency: frame out of range");
+  Real best_f = 0.0;
+  Real best_v = -1.0;
+  for (std::size_t k = 0; k < transform.bins(); ++k) {
+    if (transform.frequency[k] < min_hz) {
+      continue;
+    }
+    if (transform.magnitude(frame, k) > best_v) {
+      best_v = transform.magnitude(frame, k);
+      best_f = transform.frequency[k];
+    }
+  }
+  return best_f;
+}
+
+}  // namespace esl::dsp

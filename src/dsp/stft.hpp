@@ -1,0 +1,40 @@
+// Short-time Fourier transform and spectrogram.
+//
+// Not used by Algorithm 1 itself, but the standard inspection tool for
+// EEG: the cohort explorer and tests use it to verify that the synthetic
+// ictal discharges actually chirp the way real electrographic seizures
+// do.
+#pragma once
+
+#include <span>
+
+#include "common/matrix.hpp"
+#include "common/types.hpp"
+#include "dsp/window.hpp"
+
+namespace esl::dsp {
+
+/// STFT result: one row per frame, one column per frequency bin.
+struct Stft {
+  Matrix magnitude;       // |X[frame, bin]|
+  RealVector frequency;   // Hz, per column
+  RealVector frame_time;  // seconds of each frame start, per row
+
+  std::size_t frames() const { return magnitude.rows(); }
+  std::size_t bins() const { return magnitude.cols(); }
+};
+
+/// Magnitude STFT with the given analysis window length and hop (samples).
+Stft stft(std::span<const Real> signal, Real sample_rate_hz,
+          std::size_t window_length, std::size_t hop,
+          WindowKind window = WindowKind::kHann);
+
+/// Converts an STFT to dB relative to the peak magnitude, clamped at
+/// `floor_db` (a displayable spectrogram).
+Matrix spectrogram_db(const Stft& transform, Real floor_db = -80.0);
+
+/// Frequency of the strongest bin above `min_hz` in the given frame.
+Real frame_peak_frequency(const Stft& transform, std::size_t frame,
+                          Real min_hz = 0.5);
+
+}  // namespace esl::dsp

@@ -1,0 +1,259 @@
+#include "dsp/wavelet.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace esl::dsp {
+
+namespace {
+
+// Daubechies scaling coefficients (natural order, sum = sqrt(2)).
+// db1/db2 are exact closed forms; db3/db4 are the standard published
+// values. Orthonormality (sum h[k] h[k+2m] = delta_m) is asserted in tests.
+RealVector daubechies_lowpass(int vanishing_moments) {
+  const Real s2 = std::sqrt(2.0);
+  const Real s3 = std::sqrt(3.0);
+  switch (vanishing_moments) {
+    case 1:
+      return {1.0 / s2, 1.0 / s2};
+    case 2:
+      return {(1.0 + s3) / (4.0 * s2), (3.0 + s3) / (4.0 * s2),
+              (3.0 - s3) / (4.0 * s2), (1.0 - s3) / (4.0 * s2)};
+    case 3: {
+      // Closed form: with a = sqrt(10), b = sqrt(5 + 2 sqrt(10)),
+      // h = {1+a+b, 5+a+3b, 10-2a+2b, 10-2a-2b, 5+a-3b, 1+a-b} / (16 sqrt(2)).
+      const Real a = std::sqrt(10.0);
+      const Real b = std::sqrt(5.0 + 2.0 * a);
+      const Real denom = 16.0 * s2;
+      return {(1.0 + a + b) / denom,        (5.0 + a + 3.0 * b) / denom,
+              (10.0 - 2.0 * a + 2.0 * b) / denom,
+              (10.0 - 2.0 * a - 2.0 * b) / denom,
+              (5.0 + a - 3.0 * b) / denom,  (1.0 + a - b) / denom};
+    }
+    case 4:
+      return {0.23037781330885523, 0.71484657055254153, 0.63088076792959036,
+              -0.02798376941698385, -0.18703481171888114, 0.03084138183598697,
+              0.03288301166698295, -0.01059740178499728};
+    default:
+      throw InvalidArgument(
+          "Wavelet::daubechies: supported vanishing moments are 1..4, got " +
+          std::to_string(vanishing_moments));
+  }
+}
+
+std::size_t reflect_index(std::ptrdiff_t index, std::size_t n) {
+  // Half-point symmetric extension: ... x1 x0 | x0 x1 ... xn-1 | xn-1 xn-2 ...
+  auto sn = static_cast<std::ptrdiff_t>(n);
+  // Period of the reflected signal is 2n.
+  std::ptrdiff_t m = index % (2 * sn);
+  if (m < 0) {
+    m += 2 * sn;
+  }
+  if (m >= sn) {
+    m = 2 * sn - 1 - m;
+  }
+  return static_cast<std::size_t>(m);
+}
+
+}  // namespace
+
+Wavelet::Wavelet(std::string name, RealVector lowpass)
+    : name_(std::move(name)), lowpass_(std::move(lowpass)) {
+  const std::size_t n = lowpass_.size();
+  highpass_.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const Real sign = (k % 2 == 0) ? 1.0 : -1.0;
+    highpass_[k] = sign * lowpass_[n - 1 - k];
+  }
+}
+
+Wavelet Wavelet::daubechies(int vanishing_moments) {
+  return Wavelet("db" + std::to_string(vanishing_moments),
+                 daubechies_lowpass(vanishing_moments));
+}
+
+DwtLevel dwt_single(std::span<const Real> signal, const Wavelet& wavelet,
+                    ExtensionMode mode) {
+  expects(signal.size() >= 2, "dwt_single: need at least 2 samples");
+  const std::size_t filter_length = wavelet.length();
+  const RealVector& h = wavelet.lowpass();
+  const RealVector& g = wavelet.highpass();
+
+  DwtLevel out;
+  if (mode == ExtensionMode::kPeriodic) {
+    // Odd lengths are periodized by repeating the last sample (pywt 'per').
+    RealVector padded;
+    std::span<const Real> x = signal;
+    if (signal.size() % 2 != 0) {
+      padded.assign(signal.begin(), signal.end());
+      padded.push_back(signal.back());
+      x = padded;
+    }
+    const std::size_t n = x.size();
+    const std::size_t half = n / 2;
+    out.approx.assign(half, 0.0);
+    out.detail.assign(half, 0.0);
+    for (std::size_t i = 0; i < half; ++i) {
+      Real a = 0.0;
+      Real d = 0.0;
+      for (std::size_t k = 0; k < filter_length; ++k) {
+        const Real v = x[(2 * i + k) % n];
+        a += h[k] * v;
+        d += g[k] * v;
+      }
+      out.approx[i] = a;
+      out.detail[i] = d;
+    }
+    return out;
+  }
+
+  // Symmetric mode: correlation against the reflected signal;
+  // coefficient index i reads x_sym(2i + k - N + 2).
+  const std::size_t n = signal.size();
+  const std::size_t count = (n + filter_length - 1) / 2;
+  out.approx.assign(count, 0.0);
+  out.detail.assign(count, 0.0);
+  for (std::size_t i = 0; i < count; ++i) {
+    Real a = 0.0;
+    Real d = 0.0;
+    for (std::size_t k = 0; k < filter_length; ++k) {
+      const auto idx = static_cast<std::ptrdiff_t>(2 * i + k) -
+                       static_cast<std::ptrdiff_t>(filter_length) + 2;
+      const Real v = signal[reflect_index(idx, n)];
+      a += h[k] * v;
+      d += g[k] * v;
+    }
+    out.approx[i] = a;
+    out.detail[i] = d;
+  }
+  return out;
+}
+
+RealVector idwt_single(std::span<const Real> approx,
+                       std::span<const Real> detail, const Wavelet& wavelet,
+                       ExtensionMode mode, std::size_t output_length) {
+  expects(approx.size() == detail.size(),
+          "idwt_single: approx/detail length mismatch");
+  expects(!approx.empty(), "idwt_single: empty coefficients");
+  const std::size_t filter_length = wavelet.length();
+  const RealVector& h = wavelet.lowpass();
+  const RealVector& g = wavelet.highpass();
+  const std::size_t count = approx.size();
+
+  if (mode == ExtensionMode::kPeriodic) {
+    const std::size_t n = 2 * count;
+    expects(output_length == n || output_length + 1 == n,
+            "idwt_single: output_length incompatible with coefficient count");
+    RealVector full(n, 0.0);
+    for (std::size_t i = 0; i < count; ++i) {
+      for (std::size_t k = 0; k < filter_length; ++k) {
+        full[(2 * i + k) % n] += approx[i] * h[k] + detail[i] * g[k];
+      }
+    }
+    full.resize(output_length);
+    return full;
+  }
+
+  // Symmetric mode: upsample-and-scatter, then trim N-2 leading samples
+  // (mirror of the analysis offset) and truncate to output_length.
+  expects(2 * count >= filter_length,
+          "idwt_single: coefficients too short for this wavelet");
+  const std::size_t reconstructed = 2 * count - filter_length + 2;
+  expects(output_length <= reconstructed,
+          "idwt_single: output_length incompatible with coefficient count");
+  RealVector full(2 * count + filter_length - 1, 0.0);
+  for (std::size_t i = 0; i < count; ++i) {
+    for (std::size_t k = 0; k < filter_length; ++k) {
+      full[2 * i + k] += approx[i] * h[k] + detail[i] * g[k];
+    }
+  }
+  RealVector out(output_length);
+  for (std::size_t m = 0; m < output_length; ++m) {
+    out[m] = full[m + filter_length - 2];
+  }
+  return out;
+}
+
+const RealVector& WaveletDecomposition::detail_at_level(
+    std::size_t level) const {
+  expects(level >= 1 && level <= details.size(),
+          "WaveletDecomposition::detail_at_level: level out of range");
+  return details[level - 1];
+}
+
+std::size_t max_decomposition_levels(std::size_t signal_length,
+                                     const Wavelet& wavelet) {
+  const std::size_t denom = wavelet.length() - 1;
+  if (denom == 0 || signal_length < 2 * denom) {
+    return signal_length >= 2 ? 1 : 0;
+  }
+  std::size_t levels = 0;
+  std::size_t n = signal_length / denom;
+  while (n > 1) {
+    n >>= 1;
+    ++levels;
+  }
+  return levels;
+}
+
+WaveletDecomposition wavedec(std::span<const Real> signal,
+                             const Wavelet& wavelet, std::size_t levels,
+                             ExtensionMode mode) {
+  expects(levels >= 1, "wavedec: levels must be >= 1");
+  expects(signal.size() >= 2, "wavedec: need at least 2 samples");
+
+  WaveletDecomposition out;
+  RealVector current(signal.begin(), signal.end());
+  for (std::size_t level = 0; level < levels; ++level) {
+    expects(current.size() >= 2,
+            "wavedec: signal too short for requested level count");
+    out.signal_lengths.push_back(current.size());
+    DwtLevel step = dwt_single(current, wavelet, mode);
+    out.details.push_back(std::move(step.detail));
+    current = std::move(step.approx);
+  }
+  out.approx = std::move(current);
+  return out;
+}
+
+RealVector waverec(const WaveletDecomposition& decomposition,
+                   const Wavelet& wavelet, ExtensionMode mode) {
+  expects(decomposition.levels() >= 1, "waverec: empty decomposition");
+  expects(decomposition.signal_lengths.size() == decomposition.levels(),
+          "waverec: corrupt decomposition metadata");
+  RealVector current = decomposition.approx;
+  for (std::size_t level = decomposition.levels(); level-- > 0;) {
+    current = idwt_single(current, decomposition.details[level], wavelet, mode,
+                          decomposition.signal_lengths[level]);
+  }
+  return current;
+}
+
+RealVector wavelet_energy_distribution(const WaveletDecomposition& d) {
+  RealVector energies;
+  energies.reserve(d.levels() + 1);
+  Real total = 0.0;
+  for (const auto& detail : d.details) {
+    Real e = 0.0;
+    for (const Real v : detail) {
+      e += v * v;
+    }
+    energies.push_back(e);
+    total += e;
+  }
+  Real approx_energy = 0.0;
+  for (const Real v : d.approx) {
+    approx_energy += v * v;
+  }
+  energies.push_back(approx_energy);
+  total += approx_energy;
+  if (total > 0.0) {
+    for (auto& e : energies) {
+      e /= total;
+    }
+  }
+  return energies;
+}
+
+}  // namespace esl::dsp

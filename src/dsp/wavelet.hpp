@@ -1,0 +1,109 @@
+// Discrete wavelet transform (DWT).
+//
+// The paper decomposes each 4-second EEG window to level 7 with the
+// Daubechies-4 (db4) basis and computes entropies of selected detail
+// levels (§III-A). We provide orthogonal Daubechies banks db1..db4, single
+// and multi-level transforms, perfect-reconstruction inverses, and two
+// boundary handling modes (periodic and symmetric reflection).
+//
+// Conventions (verified by the perfect-reconstruction tests):
+//  * h = scaling (lowpass) coefficients in natural order, sum(h) = sqrt(2);
+//  * analysis uses correlation with h / g where g[k] = (-1)^k h[N-1-k];
+//  * synthesis scatters with the same h / g (orthogonal bank).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace esl::dsp {
+
+/// Orthogonal wavelet filter bank.
+class Wavelet {
+ public:
+  /// Daubechies wavelet with the given number of vanishing moments (1-4).
+  /// db1 is the Haar wavelet; the paper uses db4 (8 taps).
+  static Wavelet daubechies(int vanishing_moments);
+
+  /// Convenience alias for daubechies(1).
+  static Wavelet haar() { return daubechies(1); }
+
+  const std::string& name() const { return name_; }
+  /// Scaling (lowpass) coefficients, natural order.
+  const RealVector& lowpass() const { return lowpass_; }
+  /// Wavelet (highpass) coefficients: g[k] = (-1)^k h[N-1-k].
+  const RealVector& highpass() const { return highpass_; }
+  /// Filter length N.
+  std::size_t length() const { return lowpass_.size(); }
+
+ private:
+  Wavelet(std::string name, RealVector lowpass);
+
+  std::string name_;
+  RealVector lowpass_;
+  RealVector highpass_;
+};
+
+/// Boundary handling for the transforms.
+enum class ExtensionMode {
+  kPeriodic,   // circular wrap; coefficient length ceil(n/2)
+  kSymmetric,  // half-point reflection (pywt 'symmetric');
+               // coefficient length floor((n + N - 1) / 2)
+};
+
+/// Approximation/detail pair produced by one analysis level.
+struct DwtLevel {
+  RealVector approx;
+  RealVector detail;
+};
+
+/// Single-level analysis. Requires at least 2 samples.
+DwtLevel dwt_single(std::span<const Real> signal, const Wavelet& wavelet,
+                    ExtensionMode mode = ExtensionMode::kPeriodic);
+
+/// Single-level synthesis; `output_length` is the original signal length
+/// (needed because both n and n+1 map to the same coefficient lengths).
+RealVector idwt_single(std::span<const Real> approx,
+                       std::span<const Real> detail, const Wavelet& wavelet,
+                       ExtensionMode mode, std::size_t output_length);
+
+/// Multi-level decomposition result.
+///
+/// details[0] is level 1 (finest scale, highest frequencies);
+/// details[levels-1] is the coarsest detail; approx is the final
+/// approximation. signal_lengths[l] records the input length at level l+1
+/// so the inverse can truncate correctly.
+struct WaveletDecomposition {
+  std::vector<RealVector> details;
+  RealVector approx;
+  std::vector<std::size_t> signal_lengths;
+
+  std::size_t levels() const { return details.size(); }
+
+  /// Detail coefficients of the given 1-based level (paper notation:
+  /// "seventh level" = detail_at_level(7)).
+  const RealVector& detail_at_level(std::size_t level) const;
+};
+
+/// Largest meaningful decomposition depth, floor(log2(n / (N - 1))).
+std::size_t max_decomposition_levels(std::size_t signal_length,
+                                     const Wavelet& wavelet);
+
+/// Multi-level analysis (wavedec). `levels` >= 1.
+WaveletDecomposition wavedec(std::span<const Real> signal,
+                             const Wavelet& wavelet, std::size_t levels,
+                             ExtensionMode mode = ExtensionMode::kPeriodic);
+
+/// Multi-level synthesis (waverec); returns a signal of the original length.
+RealVector waverec(const WaveletDecomposition& decomposition,
+                   const Wavelet& wavelet,
+                   ExtensionMode mode = ExtensionMode::kPeriodic);
+
+/// Fraction of total coefficient energy in each detail level plus the final
+/// approximation (levels()+1 entries summing to 1 for non-zero signals);
+/// used by the e-Glass-style feature set.
+RealVector wavelet_energy_distribution(const WaveletDecomposition& d);
+
+}  // namespace esl::dsp

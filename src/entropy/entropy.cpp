@@ -1,0 +1,75 @@
+#include "entropy/entropy.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "entropy/histogram.hpp"
+
+namespace esl::entropy {
+
+namespace {
+
+void check_probabilities(std::span<const Real> probabilities,
+                         const char* where) {
+  expects(!probabilities.empty(), std::string(where) + ": empty distribution");
+  Real sum = 0.0;
+  for (const Real p : probabilities) {
+    expects(p >= 0.0, std::string(where) + ": negative probability");
+    sum += p;
+  }
+  expects(std::abs(sum - 1.0) < 1e-6,
+          std::string(where) + ": probabilities must sum to 1");
+}
+
+}  // namespace
+
+Real shannon(std::span<const Real> probabilities) {
+  check_probabilities(probabilities, "entropy::shannon");
+  Real h = 0.0;
+  for (const Real p : probabilities) {
+    if (p > 0.0) {
+      h -= p * std::log(p);
+    }
+  }
+  return h;
+}
+
+Real renyi(std::span<const Real> probabilities, Real alpha) {
+  check_probabilities(probabilities, "entropy::renyi");
+  expects(alpha > 0.0, "entropy::renyi: alpha must be positive");
+  expects(alpha != 1.0, "entropy::renyi: alpha = 1 is Shannon entropy");
+  Real sum = 0.0;
+  for (const Real p : probabilities) {
+    if (p > 0.0) {
+      sum += std::pow(p, alpha);
+    }
+  }
+  return std::log(sum) / (1.0 - alpha);
+}
+
+Real tsallis(std::span<const Real> probabilities, Real q) {
+  check_probabilities(probabilities, "entropy::tsallis");
+  expects(q != 1.0, "entropy::tsallis: q = 1 is Shannon entropy");
+  Real sum = 0.0;
+  for (const Real p : probabilities) {
+    if (p > 0.0) {
+      sum += std::pow(p, q);
+    }
+  }
+  return (1.0 - sum) / (q - 1.0);
+}
+
+Real renyi_of_signal(std::span<const Real> signal, Real alpha,
+                     std::size_t bins) {
+  const Histogram histogram(signal, bins);
+  const RealVector p = histogram.probabilities();
+  return renyi(p, alpha);
+}
+
+Real shannon_of_signal(std::span<const Real> signal, std::size_t bins) {
+  const Histogram histogram(signal, bins);
+  const RealVector p = histogram.probabilities();
+  return shannon(p);
+}
+
+}  // namespace esl::entropy

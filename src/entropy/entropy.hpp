@@ -1,0 +1,33 @@
+// Distribution entropies: Shannon, Rényi and Tsallis, over explicit
+// probability vectors or directly over signals via histogram binning.
+//
+// The paper's feature set uses the Rényi entropy of the third DWT detail
+// level of electrode F8T4 (§III-A).
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+
+namespace esl::entropy {
+
+/// Shannon entropy (nats) of a probability mass function.
+/// Zero entries are skipped; entries must be non-negative.
+Real shannon(std::span<const Real> probabilities);
+
+/// Rényi entropy of order `alpha` (alpha > 0, alpha != 1) in nats.
+/// alpha -> 1 converges to Shannon entropy.
+Real renyi(std::span<const Real> probabilities, Real alpha);
+
+/// Tsallis entropy of order `q` (q != 1).
+Real tsallis(std::span<const Real> probabilities, Real q);
+
+/// Rényi entropy of a signal using a `bins`-bin histogram estimate.
+/// This is the "Rényi entropy of level-k DWT coefficients" feature.
+Real renyi_of_signal(std::span<const Real> signal, Real alpha,
+                     std::size_t bins = 16);
+
+/// Shannon entropy of a signal via histogram binning.
+Real shannon_of_signal(std::span<const Real> signal, std::size_t bins = 16);
+
+}  // namespace esl::entropy

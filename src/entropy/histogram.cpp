@@ -1,0 +1,37 @@
+#include "entropy/histogram.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace esl::entropy {
+
+Histogram::Histogram(std::span<const Real> values, std::size_t bins) {
+  expects(bins >= 1, "Histogram: need at least one bin");
+  expects(!values.empty(), "Histogram: empty input");
+  const auto [lo_it, hi_it] = std::minmax_element(values.begin(), values.end());
+  low_ = *lo_it;
+  high_ = *hi_it;
+  counts_.assign(bins, 0);
+  total_ = values.size();
+  if (low_ == high_) {
+    counts_[0] = total_;
+    return;
+  }
+  const Real width = (high_ - low_) / static_cast<Real>(bins);
+  for (const Real v : values) {
+    auto bin = static_cast<std::size_t>((v - low_) / width);
+    bin = std::min(bin, bins - 1);  // max value lands in the last bin
+    ++counts_[bin];
+  }
+}
+
+RealVector Histogram::probabilities() const {
+  RealVector p(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    p[i] = static_cast<Real>(counts_[i]) / static_cast<Real>(total_);
+  }
+  return p;
+}
+
+}  // namespace esl::entropy

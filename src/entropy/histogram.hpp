@@ -1,0 +1,35 @@
+// Uniform-bin histogram and probability-mass estimation for the
+// distribution-based entropies (Shannon / Rényi / Tsallis).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace esl::entropy {
+
+/// Histogram over [min(values), max(values)] with `bins` equal-width bins.
+/// A constant signal collapses into one occupied bin.
+class Histogram {
+ public:
+  Histogram(std::span<const Real> values, std::size_t bins);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  const std::vector<std::size_t>& counts() const { return counts_; }
+
+  /// Probability mass per bin (counts / total).
+  RealVector probabilities() const;
+
+  Real bin_low() const { return low_; }
+  Real bin_high() const { return high_; }
+
+ private:
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  Real low_ = 0.0;
+  Real high_ = 0.0;
+};
+
+}  // namespace esl::entropy

@@ -1,0 +1,45 @@
+#include "features/normalize.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/statistics.hpp"
+
+namespace esl::features {
+
+ColumnStats fit_column_stats(const Matrix& features) {
+  expects(features.rows() > 0, "fit_column_stats: empty matrix");
+  ColumnStats out;
+  out.mean.resize(features.cols());
+  out.stddev.resize(features.cols());
+  for (std::size_t c = 0; c < features.cols(); ++c) {
+    stats::RunningStats acc;
+    for (std::size_t r = 0; r < features.rows(); ++r) {
+      acc.add(features(r, c));
+    }
+    out.mean[c] = acc.mean();
+    out.stddev[c] = acc.stddev();
+  }
+  return out;
+}
+
+void apply_zscore(Matrix& features, const ColumnStats& stats) {
+  expects(stats.size() == features.cols(),
+          "apply_zscore: stats width does not match matrix");
+  for (std::size_t c = 0; c < features.cols(); ++c) {
+    const Real mu = stats.mean[c];
+    const Real sigma = stats.stddev[c];
+    for (std::size_t r = 0; r < features.rows(); ++r) {
+      const Real centered = features(r, c) - mu;
+      features(r, c) = sigma > 0.0 ? centered / sigma : 0.0;
+    }
+  }
+}
+
+Matrix zscore_normalized(const Matrix& features) {
+  Matrix copy = features;
+  apply_zscore(copy, fit_column_stats(features));
+  return copy;
+}
+
+}  // namespace esl::features

@@ -1,0 +1,30 @@
+// Feature normalization (Algorithm 1, line 1): each feature column is
+// centered on its mean over the whole signal and divided by its standard
+// deviation, so all features live on one scale before distances are
+// accumulated.
+#pragma once
+
+#include "common/matrix.hpp"
+#include "common/types.hpp"
+
+namespace esl::features {
+
+/// Per-column mean/stddev fitted on a feature matrix.
+struct ColumnStats {
+  RealVector mean;
+  RealVector stddev;
+
+  std::size_t size() const { return mean.size(); }
+};
+
+/// Fits column statistics (population stddev).
+ColumnStats fit_column_stats(const Matrix& features);
+
+/// Applies z-scoring in place. Columns with zero spread are centered only
+/// (left at 0), keeping degenerate features harmless.
+void apply_zscore(Matrix& features, const ColumnStats& stats);
+
+/// fit + apply on a copy; this is exactly Normalize() of Algorithm 1.
+Matrix zscore_normalized(const Matrix& features);
+
+}  // namespace esl::features

@@ -1,0 +1,63 @@
+#include "features/selection.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace esl::features {
+
+EliminationResult backward_elimination(std::size_t feature_count,
+                                       const SubsetScore& score,
+                                       std::size_t keep) {
+  expects(feature_count >= 1, "backward_elimination: no features");
+  expects(keep >= 1 && keep <= feature_count,
+          "backward_elimination: keep must lie in [1, feature_count]");
+  expects(static_cast<bool>(score), "backward_elimination: empty score");
+
+  EliminationResult result;
+  std::vector<std::size_t> remaining(feature_count);
+  for (std::size_t i = 0; i < feature_count; ++i) {
+    remaining[i] = i;
+  }
+
+  while (remaining.size() > keep) {
+    std::size_t best_index = 0;  // position in `remaining` to drop
+    Real best_score = 0.0;
+    bool first = true;
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      std::vector<std::size_t> candidate;
+      candidate.reserve(remaining.size() - 1);
+      for (std::size_t j = 0; j < remaining.size(); ++j) {
+        if (j != i) {
+          candidate.push_back(remaining[j]);
+        }
+      }
+      const Real s = score(candidate);
+      if (first || s > best_score) {
+        first = false;
+        best_score = s;
+        best_index = i;
+      }
+    }
+    EliminationStep step;
+    step.removed_feature = remaining[best_index];
+    step.score_after_removal = best_score;
+    remaining.erase(remaining.begin() +
+                    static_cast<std::ptrdiff_t>(best_index));
+    step.remaining = remaining;
+    result.steps.push_back(std::move(step));
+  }
+
+  result.selected = remaining;
+  // Ranking: survivors first (unordered among themselves, keep index
+  // order), then eliminated features from last-removed to first-removed.
+  result.ranking = remaining;
+  for (auto it = result.steps.rbegin(); it != result.steps.rend(); ++it) {
+    result.ranking.push_back(it->removed_feature);
+  }
+  ensures(result.ranking.size() == feature_count,
+          "backward_elimination: ranking size drifted");
+  return result;
+}
+
+}  // namespace esl::features

@@ -1,0 +1,44 @@
+// Backward-elimination feature selection [25].
+//
+// The paper sorts candidate features by relevance with backward
+// elimination and keeps the ten most relevant (§III-A). The procedure is
+// generic: starting from all features, greedily drop the feature whose
+// removal hurts a caller-supplied score the least, until `keep` features
+// remain. The removal order induces a relevance ranking (removed last =
+// most relevant).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace esl::features {
+
+/// Scores a candidate feature subset; higher is better.
+using SubsetScore = std::function<Real(const std::vector<std::size_t>&)>;
+
+/// One greedy elimination step.
+struct EliminationStep {
+  std::size_t removed_feature = 0;
+  Real score_after_removal = 0.0;
+  std::vector<std::size_t> remaining;
+};
+
+/// Full elimination trace.
+struct EliminationResult {
+  /// Steps in removal order (first = least relevant feature).
+  std::vector<EliminationStep> steps;
+  /// Features surviving at the end (`keep` of them).
+  std::vector<std::size_t> selected;
+  /// All features ranked from most to least relevant.
+  std::vector<std::size_t> ranking;
+};
+
+/// Runs backward elimination over features [0, feature_count).
+/// `keep` must satisfy 1 <= keep <= feature_count.
+EliminationResult backward_elimination(std::size_t feature_count,
+                                       const SubsetScore& score,
+                                       std::size_t keep);
+
+}  // namespace esl::features

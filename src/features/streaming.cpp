@@ -1,0 +1,65 @@
+#include "features/streaming.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace esl::features {
+
+StreamingExtractor::StreamingExtractor(const WindowFeatureExtractor& extractor,
+                                       Real sample_rate_hz,
+                                       Seconds window_seconds, Real overlap)
+    : extractor_(extractor), sample_rate_hz_(sample_rate_hz) {
+  expects(sample_rate_hz > 0.0,
+          "StreamingExtractor: sample rate must be positive");
+  expects(window_seconds > 0.0,
+          "StreamingExtractor: window must be positive");
+  expects(overlap >= 0.0 && overlap < 1.0,
+          "StreamingExtractor: overlap must lie in [0, 1)");
+  window_length_ = static_cast<std::size_t>(
+      std::lround(window_seconds * sample_rate_hz));
+  hop_ = static_cast<std::size_t>(
+      std::lround(window_seconds * (1.0 - overlap) * sample_rate_hz));
+  if (hop_ == 0) {
+    hop_ = 1;
+  }
+  expects(window_length_ >= 1, "StreamingExtractor: window too short");
+  buffers_.resize(extractor_.required_channels());
+}
+
+std::vector<RealVector> StreamingExtractor::push(
+    const std::vector<std::span<const Real>>& block) {
+  expects(block.size() >= buffers_.size(),
+          "StreamingExtractor::push: too few channels in block");
+  const std::size_t block_length = block.empty() ? 0 : block[0].size();
+  for (std::size_t c = 0; c < buffers_.size(); ++c) {
+    expects(block[c].size() == block_length,
+            "StreamingExtractor::push: channel block lengths differ");
+    buffers_[c].insert(buffers_[c].end(), block[c].begin(), block[c].end());
+  }
+
+  std::vector<RealVector> rows;
+  std::vector<std::span<const Real>> views(buffers_.size());
+  while (!buffers_.empty() && buffers_.front().size() >= window_length_) {
+    for (std::size_t c = 0; c < buffers_.size(); ++c) {
+      views[c] = std::span<const Real>(buffers_[c]).subspan(0, window_length_);
+    }
+    rows.push_back(extractor_.extract(views, sample_rate_hz_));
+    ++emitted_;
+    // Slide by one hop.
+    for (auto& buffer : buffers_) {
+      buffer.erase(buffer.begin(),
+                   buffer.begin() + static_cast<std::ptrdiff_t>(hop_));
+    }
+    consumed_before_buffer_ += hop_;
+  }
+  return rows;
+}
+
+Seconds StreamingExtractor::window_start_s(std::size_t index) const {
+  expects(index < emitted_,
+          "StreamingExtractor::window_start_s: window not yet emitted");
+  return static_cast<Seconds>(index * hop_) / sample_rate_hz_;
+}
+
+}  // namespace esl::features

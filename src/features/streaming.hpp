@@ -1,0 +1,54 @@
+// Streaming window feature extraction for the edge device.
+//
+// The wearable does not see whole records: samples arrive continuously
+// from the AFE. StreamingExtractor buffers a multichannel stream and
+// emits one feature row whenever a full 4-second window completes,
+// sliding by the configured hop — byte-identical to the batch
+// extract_windowed_features() output (verified by tests).
+#pragma once
+
+#include <vector>
+
+#include "features/extractor.hpp"
+
+namespace esl::features {
+
+/// Incremental counterpart of extract_windowed_features().
+class StreamingExtractor {
+ public:
+  /// `extractor` must outlive this object (it is borrowed, not copied).
+  StreamingExtractor(const WindowFeatureExtractor& extractor,
+                     Real sample_rate_hz, Seconds window_seconds = 4.0,
+                     Real overlap = 0.75);
+
+  /// Feeds one block of samples (one span per channel, equal lengths;
+  /// blocks of any size, including single samples). Returns the feature
+  /// rows of every window completed by this block.
+  std::vector<RealVector> push(const std::vector<std::span<const Real>>& block);
+
+  /// Number of windows emitted so far.
+  std::size_t emitted() const { return emitted_; }
+
+  /// Start time (seconds since stream start) of emitted window `index`.
+  Seconds window_start_s(std::size_t index) const;
+
+  /// Samples per window / hop, as derived from the constructor arguments.
+  std::size_t window_length() const { return window_length_; }
+  std::size_t hop() const { return hop_; }
+
+  /// Current buffer fill (samples pending before the next emission).
+  std::size_t buffered() const {
+    return buffers_.empty() ? 0 : buffers_.front().size();
+  }
+
+ private:
+  const WindowFeatureExtractor& extractor_;
+  Real sample_rate_hz_;
+  std::size_t window_length_;
+  std::size_t hop_;
+  std::vector<RealVector> buffers_;  // one per channel
+  std::size_t emitted_ = 0;
+  std::size_t consumed_before_buffer_ = 0;  // stream position of buffer[0]
+};
+
+}  // namespace esl::features

@@ -1,0 +1,167 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace esl::ml {
+
+namespace {
+
+/// Gini impurity of a (pos, total) count.
+Real gini(std::size_t positives, std::size_t total) {
+  if (total == 0) {
+    return 0.0;
+  }
+  const Real p = static_cast<Real>(positives) / static_cast<Real>(total);
+  return 2.0 * p * (1.0 - p);
+}
+
+struct SplitCandidate {
+  bool valid = false;
+  std::size_t feature = 0;
+  Real threshold = 0.0;
+  Real impurity = std::numeric_limits<Real>::max();
+};
+
+}  // namespace
+
+void DecisionTree::fit(const Matrix& x, const std::vector<int>& y, Rng& rng,
+                       const TreeConfig& config) {
+  std::vector<std::size_t> all(x.rows());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    all[i] = i;
+  }
+  fit(x, y, all, rng, config);
+}
+
+void DecisionTree::fit(const Matrix& x, const std::vector<int>& y,
+                       const std::vector<std::size_t>& sample_indices,
+                       Rng& rng, const TreeConfig& config) {
+  expects(x.rows() == y.size(), "DecisionTree::fit: row/label mismatch");
+  expects(!sample_indices.empty(), "DecisionTree::fit: no training samples");
+  expects(config.max_depth >= 1, "DecisionTree::fit: max_depth must be >= 1");
+  for (const std::size_t i : sample_indices) {
+    expects(i < x.rows(), "DecisionTree::fit: sample index out of range");
+  }
+  nodes_.clear();
+  depth_ = 0;
+  std::vector<std::size_t> indices = sample_indices;
+  build(x, y, indices, 0, indices.size(), 0, rng, config);
+}
+
+std::size_t DecisionTree::build(const Matrix& x, const std::vector<int>& y,
+                                std::vector<std::size_t>& indices,
+                                std::size_t begin, std::size_t end,
+                                std::size_t level, Rng& rng,
+                                const TreeConfig& config) {
+  const std::size_t count = end - begin;
+  std::size_t positives = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    positives += static_cast<std::size_t>(y[indices[i]]);
+  }
+
+  depth_ = std::max(depth_, level);
+  const std::size_t node_index = nodes_.size();
+  nodes_.push_back(Node{});
+  nodes_[node_index].positive_fraction =
+      static_cast<Real>(positives) / static_cast<Real>(count);
+
+  const bool pure = (positives == 0 || positives == count);
+  if (pure || level + 1 >= config.max_depth ||
+      count < config.min_samples_split) {
+    return node_index;
+  }
+
+  // Feature subset for this split.
+  std::vector<std::size_t> features(x.cols());
+  for (std::size_t f = 0; f < features.size(); ++f) {
+    features[f] = f;
+  }
+  if (config.features_per_split > 0 &&
+      config.features_per_split < features.size()) {
+    rng.shuffle(features);
+    features.resize(config.features_per_split);
+  }
+
+  // Best split search: sort (value, label) per feature, scan boundaries.
+  SplitCandidate best;
+  std::vector<std::pair<Real, int>> sorted;
+  sorted.reserve(count);
+  for (const std::size_t f : features) {
+    sorted.clear();
+    for (std::size_t i = begin; i < end; ++i) {
+      sorted.emplace_back(x(indices[i], f), y[indices[i]]);
+    }
+    std::sort(sorted.begin(), sorted.end());
+    std::size_t left_pos = 0;
+    for (std::size_t i = 1; i < count; ++i) {
+      left_pos += static_cast<std::size_t>(sorted[i - 1].second);
+      if (sorted[i].first == sorted[i - 1].first) {
+        continue;  // not a boundary
+      }
+      const std::size_t left_n = i;
+      const std::size_t right_n = count - i;
+      if (left_n < config.min_samples_leaf ||
+          right_n < config.min_samples_leaf) {
+        continue;
+      }
+      const Real impurity =
+          (static_cast<Real>(left_n) * gini(left_pos, left_n) +
+           static_cast<Real>(right_n) * gini(positives - left_pos, right_n)) /
+          static_cast<Real>(count);
+      if (impurity < best.impurity) {
+        best.valid = true;
+        best.feature = f;
+        best.threshold = 0.5 * (sorted[i - 1].first + sorted[i].first);
+        best.impurity = impurity;
+      }
+    }
+  }
+
+  if (!best.valid) {
+    return node_index;  // no informative split found
+  }
+
+  // Partition the index range by the chosen split.
+  auto middle = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t row) { return x(row, best.feature) <= best.threshold; });
+  const auto mid =
+      static_cast<std::size_t>(middle - indices.begin());
+  if (mid == begin || mid == end) {
+    return node_index;  // numeric degeneracy; keep the leaf
+  }
+
+  nodes_[node_index].is_leaf = false;
+  nodes_[node_index].feature = best.feature;
+  nodes_[node_index].threshold = best.threshold;
+  const std::size_t left_child =
+      build(x, y, indices, begin, mid, level + 1, rng, config);
+  nodes_[node_index].left = left_child;
+  const std::size_t right_child =
+      build(x, y, indices, mid, end, level + 1, rng, config);
+  nodes_[node_index].right = right_child;
+  return node_index;
+}
+
+Real DecisionTree::predict_proba(std::span<const Real> row) const {
+  expects(!nodes_.empty(), "DecisionTree::predict_proba: tree not fitted");
+  std::size_t node = 0;
+  while (!nodes_[node].is_leaf) {
+    expects(nodes_[node].feature < row.size(),
+            "DecisionTree::predict_proba: row too narrow");
+    node = row[nodes_[node].feature] <= nodes_[node].threshold
+               ? nodes_[node].left
+               : nodes_[node].right;
+  }
+  return nodes_[node].positive_fraction;
+}
+
+int DecisionTree::predict(std::span<const Real> row) const {
+  return predict_proba(row) >= 0.5 ? 1 : 0;
+}
+
+}  // namespace esl::ml

@@ -1,0 +1,66 @@
+// CART decision tree (Gini impurity) — the base learner of the random
+// forest classifier used by the real-time detector [7, 28].
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/random.hpp"
+#include "common/types.hpp"
+
+namespace esl::ml {
+
+/// Tree growth limits.
+struct TreeConfig {
+  std::size_t max_depth = 16;
+  std::size_t min_samples_split = 2;
+  std::size_t min_samples_leaf = 1;
+  /// Features examined per split; 0 means all (no subsampling).
+  std::size_t features_per_split = 0;
+};
+
+/// Binary CART classifier.
+class DecisionTree {
+ public:
+  /// Grows the tree on (x, y) using `sample_indices` (with repetitions
+  /// allowed, enabling bootstrap training). `rng` drives feature
+  /// subsampling.
+  void fit(const Matrix& x, const std::vector<int>& y,
+           const std::vector<std::size_t>& sample_indices, Rng& rng,
+           const TreeConfig& config = {});
+
+  /// Convenience fit over all rows.
+  void fit(const Matrix& x, const std::vector<int>& y, Rng& rng,
+           const TreeConfig& config = {});
+
+  /// Probability that `row` belongs to class 1 (leaf class fraction).
+  Real predict_proba(std::span<const Real> row) const;
+
+  /// Hard label with a 0.5 threshold.
+  int predict(std::span<const Real> row) const;
+
+  /// Number of nodes (0 before fit).
+  std::size_t node_count() const { return nodes_.size(); }
+  /// Maximum depth reached while growing.
+  std::size_t depth() const { return depth_; }
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    std::size_t feature = 0;
+    Real threshold = 0.0;
+    std::size_t left = 0;   // index into nodes_
+    std::size_t right = 0;  // index into nodes_
+    Real positive_fraction = 0.0;
+  };
+
+  std::size_t build(const Matrix& x, const std::vector<int>& y,
+                    std::vector<std::size_t>& indices, std::size_t begin,
+                    std::size_t end, std::size_t level, Rng& rng,
+                    const TreeConfig& config);
+
+  std::vector<Node> nodes_;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace esl::ml

@@ -1,0 +1,206 @@
+#include "ml/kmeans.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace esl::ml {
+
+Real squared_distance(std::span<const Real> a, std::span<const Real> b) {
+  expects(a.size() == b.size(), "squared_distance: width mismatch");
+  Real sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Real d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+namespace {
+
+/// k-means++ seeding: first center uniform, then proportional to D^2.
+std::vector<std::size_t> seed_centers(const Matrix& rows, std::size_t k,
+                                      Rng& rng) {
+  std::vector<std::size_t> centers;
+  centers.push_back(static_cast<std::size_t>(rng.uniform_index(rows.rows())));
+  std::vector<Real> dist2(rows.rows(), std::numeric_limits<Real>::max());
+  while (centers.size() < k) {
+    Real total = 0.0;
+    for (std::size_t r = 0; r < rows.rows(); ++r) {
+      dist2[r] = std::min(dist2[r],
+                          squared_distance(rows.row(r), rows.row(centers.back())));
+      total += dist2[r];
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with a center; pick uniformly.
+      centers.push_back(static_cast<std::size_t>(rng.uniform_index(rows.rows())));
+      continue;
+    }
+    Real target = rng.uniform() * total;
+    std::size_t chosen = rows.rows() - 1;
+    for (std::size_t r = 0; r < rows.rows(); ++r) {
+      target -= dist2[r];
+      if (target <= 0.0) {
+        chosen = r;
+        break;
+      }
+    }
+    centers.push_back(chosen);
+  }
+  return centers;
+}
+
+Clustering kmeans_single(const Matrix& rows, std::size_t k, Rng& rng,
+                         std::size_t max_iterations) {
+  Clustering result;
+  result.centers = Matrix(k, rows.cols());
+  const std::vector<std::size_t> seeds = seed_centers(rows, k, rng);
+  for (std::size_t c = 0; c < k; ++c) {
+    const auto src = rows.row(seeds[c]);
+    std::copy(src.begin(), src.end(), result.centers.row(c).begin());
+  }
+
+  result.assignment.assign(rows.rows(), 0);
+  for (std::size_t iteration = 0; iteration < max_iterations; ++iteration) {
+    result.iterations = iteration + 1;
+    // Assignment step.
+    bool changed = false;
+    for (std::size_t r = 0; r < rows.rows(); ++r) {
+      std::size_t best = 0;
+      Real best_d = std::numeric_limits<Real>::max();
+      for (std::size_t c = 0; c < k; ++c) {
+        const Real d = squared_distance(rows.row(r), result.centers.row(c));
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (result.assignment[r] != best) {
+        result.assignment[r] = best;
+        changed = true;
+      }
+    }
+    // Update step.
+    Matrix sums(k, rows.cols(), 0.0);
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t r = 0; r < rows.rows(); ++r) {
+      const std::size_t c = result.assignment[r];
+      ++counts[c];
+      const auto src = rows.row(r);
+      auto dst = sums.row(c);
+      for (std::size_t f = 0; f < rows.cols(); ++f) {
+        dst[f] += src[f];
+      }
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        continue;  // empty cluster keeps its previous center
+      }
+      auto dst = result.centers.row(c);
+      const auto src = sums.row(c);
+      for (std::size_t f = 0; f < rows.cols(); ++f) {
+        dst[f] = src[f] / static_cast<Real>(counts[c]);
+      }
+    }
+    if (!changed && iteration > 0) {
+      break;
+    }
+  }
+
+  result.inertia = 0.0;
+  for (std::size_t r = 0; r < rows.rows(); ++r) {
+    result.inertia +=
+        squared_distance(rows.row(r), result.centers.row(result.assignment[r]));
+  }
+  return result;
+}
+
+}  // namespace
+
+Clustering kmeans(const Matrix& rows, std::size_t k, Rng& rng,
+                  std::size_t max_iterations, std::size_t restarts) {
+  expects(k >= 1 && k <= rows.rows(), "kmeans: k must lie in [1, rows]");
+  expects(restarts >= 1, "kmeans: need at least one restart");
+  Clustering best;
+  bool first = true;
+  for (std::size_t attempt = 0; attempt < restarts; ++attempt) {
+    Clustering candidate = kmeans_single(rows, k, rng, max_iterations);
+    if (first || candidate.inertia < best.inertia) {
+      best = std::move(candidate);
+      first = false;
+    }
+  }
+  return best;
+}
+
+Clustering kmedoids(const Matrix& rows, std::size_t k, Rng& rng,
+                    std::size_t max_iterations) {
+  expects(k >= 1 && k <= rows.rows(), "kmedoids: k must lie in [1, rows]");
+  std::vector<std::size_t> medoids = seed_centers(rows, k, rng);
+
+  Clustering result;
+  result.assignment.assign(rows.rows(), 0);
+  for (std::size_t iteration = 0; iteration < max_iterations; ++iteration) {
+    result.iterations = iteration + 1;
+    // Assignment.
+    for (std::size_t r = 0; r < rows.rows(); ++r) {
+      std::size_t best = 0;
+      Real best_d = std::numeric_limits<Real>::max();
+      for (std::size_t c = 0; c < k; ++c) {
+        const Real d = squared_distance(rows.row(r), rows.row(medoids[c]));
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      result.assignment[r] = best;
+    }
+    // Medoid update: the member minimizing intra-cluster distance.
+    bool changed = false;
+    for (std::size_t c = 0; c < k; ++c) {
+      std::vector<std::size_t> members;
+      for (std::size_t r = 0; r < rows.rows(); ++r) {
+        if (result.assignment[r] == c) {
+          members.push_back(r);
+        }
+      }
+      if (members.empty()) {
+        continue;
+      }
+      std::size_t best_medoid = medoids[c];
+      Real best_cost = std::numeric_limits<Real>::max();
+      for (const std::size_t candidate : members) {
+        Real cost = 0.0;
+        for (const std::size_t other : members) {
+          cost += squared_distance(rows.row(candidate), rows.row(other));
+        }
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_medoid = candidate;
+        }
+      }
+      if (best_medoid != medoids[c]) {
+        medoids[c] = best_medoid;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      break;
+    }
+  }
+
+  result.centers = Matrix(k, rows.cols());
+  for (std::size_t c = 0; c < k; ++c) {
+    const auto src = rows.row(medoids[c]);
+    std::copy(src.begin(), src.end(), result.centers.row(c).begin());
+  }
+  result.inertia = 0.0;
+  for (std::size_t r = 0; r < rows.rows(); ++r) {
+    result.inertia +=
+        squared_distance(rows.row(r), result.centers.row(result.assignment[r]));
+  }
+  return result;
+}
+
+}  // namespace esl::ml

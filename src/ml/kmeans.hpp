@@ -1,0 +1,36 @@
+// k-means and k-medoids clustering.
+//
+// Smart & Chen [17] report that unsupervised scalp-EEG seizure detection
+// works best with k-means/k-medoids; we implement both as the baseline
+// the paper positions itself against (see bench/ablation_baselines).
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/random.hpp"
+#include "common/types.hpp"
+
+namespace esl::ml {
+
+/// Clustering outcome: one label per row plus representatives.
+struct Clustering {
+  std::vector<std::size_t> assignment;  // row -> cluster
+  Matrix centers;                       // k x F (centroids or medoids)
+  Real inertia = 0.0;                   // sum of squared distances to center
+  std::size_t iterations = 0;
+};
+
+/// Lloyd's k-means with k-means++-style seeding; `restarts` independent
+/// runs, best inertia wins. Deterministic for a given rng state.
+Clustering kmeans(const Matrix& rows, std::size_t k, Rng& rng,
+                  std::size_t max_iterations = 100, std::size_t restarts = 4);
+
+/// Voronoi-iteration k-medoids (PAM-lite): medoids are data rows.
+Clustering kmedoids(const Matrix& rows, std::size_t k, Rng& rng,
+                    std::size_t max_iterations = 50);
+
+/// Squared Euclidean distance between two rows.
+Real squared_distance(std::span<const Real> a, std::span<const Real> b);
+
+}  // namespace esl::ml

@@ -1,0 +1,80 @@
+#include "ml/linear_svm.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace esl::ml {
+
+LinearSvm::LinearSvm(SvmConfig config) : config_(config) {
+  expects(config_.lambda > 0.0, "LinearSvm: lambda must be positive");
+  expects(config_.epochs >= 1, "LinearSvm: need at least one epoch");
+}
+
+void LinearSvm::fit(const Dataset& data, std::uint64_t seed) {
+  data.check();
+  expects(data.size() >= 2, "LinearSvm::fit: dataset too small");
+  expects(data.positives() > 0 && data.positives() < data.size(),
+          "LinearSvm::fit: both classes required");
+
+  const std::size_t n = data.size();
+  const std::size_t d = data.feature_count();
+  weights_.assign(d, 0.0);
+  bias_ = 0.0;
+
+  Rng rng(seed);
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    order[i] = i;
+  }
+
+  std::size_t t = 0;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (const std::size_t i : order) {
+      ++t;
+      const Real eta = 1.0 / (config_.lambda * static_cast<Real>(t));
+      const auto row = data.x.row(i);
+      const Real y = data.y[i] == 1 ? 1.0 : -1.0;
+      const Real margin = y * (decision_value(row));
+
+      // Pegasos update: shrink, and step on margin violations.
+      const Real shrink = 1.0 - eta * config_.lambda;
+      for (auto& w : weights_) {
+        w *= shrink;
+      }
+      if (margin < 1.0) {
+        const Real step = eta * y;
+        for (std::size_t f = 0; f < d; ++f) {
+          weights_[f] += step * row[f];
+        }
+        bias_ += step;
+      }
+    }
+  }
+}
+
+Real LinearSvm::decision_value(std::span<const Real> row) const {
+  expects(row.size() == weights_.size() || !is_fitted(),
+          "LinearSvm: row width does not match model");
+  Real sum = bias_;
+  for (std::size_t f = 0; f < weights_.size() && f < row.size(); ++f) {
+    sum += weights_[f] * row[f];
+  }
+  return sum;
+}
+
+int LinearSvm::predict(std::span<const Real> row) const {
+  expects(is_fitted(), "LinearSvm::predict: not fitted");
+  return decision_value(row) >= config_.decision_threshold ? 1 : 0;
+}
+
+std::vector<int> LinearSvm::predict_all(const Matrix& rows) const {
+  std::vector<int> out(rows.rows());
+  for (std::size_t r = 0; r < rows.rows(); ++r) {
+    out[r] = predict(rows.row(r));
+  }
+  return out;
+}
+
+}  // namespace esl::ml

@@ -1,0 +1,50 @@
+// Linear support vector machine trained with the Pegasos SGD scheme.
+//
+// SVMs are the classic patient-specific seizure detector (Yoo et al. [14]
+// in the paper's related work); this implementation provides the
+// comparison point for the random-forest choice of [7]
+// (bench/ablation_classifier). Deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "ml/dataset.hpp"
+
+namespace esl::ml {
+
+/// Pegasos hyper-parameters.
+struct SvmConfig {
+  Real lambda = 1e-3;        // L2 regularization strength
+  std::size_t epochs = 20;   // full passes over the training set
+  Real decision_threshold = 0.0;  // margin threshold for class 1
+};
+
+/// Binary linear SVM (labels 0/1 mapped internally to -1/+1).
+class LinearSvm {
+ public:
+  explicit LinearSvm(SvmConfig config = {});
+
+  /// Trains on the dataset with Pegasos SGD; features should be scaled
+  /// (z-scored) by the caller for sensible margins.
+  void fit(const Dataset& data, std::uint64_t seed = 1);
+
+  bool is_fitted() const { return !weights_.empty(); }
+
+  /// Signed margin w.x + b.
+  Real decision_value(std::span<const Real> row) const;
+
+  /// Hard label using the configured threshold.
+  int predict(std::span<const Real> row) const;
+
+  std::vector<int> predict_all(const Matrix& rows) const;
+
+  const RealVector& weights() const { return weights_; }
+  Real bias() const { return bias_; }
+
+ private:
+  SvmConfig config_;
+  RealVector weights_;
+  Real bias_ = 0.0;
+};
+
+}  // namespace esl::ml

@@ -1,0 +1,62 @@
+#include "ml/metrics.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace esl::ml {
+
+Real ConfusionMatrix::sensitivity() const {
+  const std::size_t denom = true_positive + false_negative;
+  return denom == 0 ? 0.0
+                    : static_cast<Real>(true_positive) / static_cast<Real>(denom);
+}
+
+Real ConfusionMatrix::specificity() const {
+  const std::size_t denom = true_negative + false_positive;
+  return denom == 0 ? 0.0
+                    : static_cast<Real>(true_negative) / static_cast<Real>(denom);
+}
+
+Real ConfusionMatrix::geometric_mean() const {
+  return std::sqrt(sensitivity() * specificity());
+}
+
+Real ConfusionMatrix::accuracy() const {
+  const std::size_t t = total();
+  return t == 0 ? 0.0
+                : static_cast<Real>(true_positive + true_negative) /
+                      static_cast<Real>(t);
+}
+
+Real ConfusionMatrix::precision() const {
+  const std::size_t denom = true_positive + false_positive;
+  return denom == 0 ? 0.0
+                    : static_cast<Real>(true_positive) / static_cast<Real>(denom);
+}
+
+Real ConfusionMatrix::f1() const {
+  const Real p = precision();
+  const Real r = sensitivity();
+  return (p + r) > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+ConfusionMatrix confusion(std::span<const int> truth,
+                          std::span<const int> predicted) {
+  expects(truth.size() == predicted.size(),
+          "confusion: truth/prediction length mismatch");
+  ConfusionMatrix m;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    expects((truth[i] == 0 || truth[i] == 1) &&
+                (predicted[i] == 0 || predicted[i] == 1),
+            "confusion: labels must be 0 or 1");
+    if (truth[i] == 1) {
+      (predicted[i] == 1 ? m.true_positive : m.false_negative) += 1;
+    } else {
+      (predicted[i] == 0 ? m.true_negative : m.false_positive) += 1;
+    }
+  }
+  return m;
+}
+
+}  // namespace esl::ml

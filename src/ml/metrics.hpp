@@ -1,0 +1,41 @@
+// Classification metrics used in §VI-B: sensitivity, specificity and
+// their geometric mean.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace esl::ml {
+
+/// Binary confusion matrix (positive class = 1 = seizure).
+struct ConfusionMatrix {
+  std::size_t true_positive = 0;
+  std::size_t true_negative = 0;
+  std::size_t false_positive = 0;
+  std::size_t false_negative = 0;
+
+  std::size_t total() const {
+    return true_positive + true_negative + false_positive + false_negative;
+  }
+
+  /// TP / (TP + FN); 0 when no positives exist.
+  Real sensitivity() const;
+  /// TN / (TN + FP); 0 when no negatives exist.
+  Real specificity() const;
+  /// sqrt(sensitivity * specificity) — the paper's headline metric.
+  Real geometric_mean() const;
+  /// (TP + TN) / total.
+  Real accuracy() const;
+  /// TP / (TP + FP); 0 when nothing was predicted positive.
+  Real precision() const;
+  /// Harmonic mean of precision and sensitivity.
+  Real f1() const;
+};
+
+/// Tallies a confusion matrix from parallel label vectors.
+ConfusionMatrix confusion(std::span<const int> truth,
+                          std::span<const int> predicted);
+
+}  // namespace esl::ml

@@ -1,0 +1,66 @@
+#include "ml/random_forest.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace esl::ml {
+
+RandomForest::RandomForest(ForestConfig config) : config_(config) {
+  expects(config_.tree_count >= 1, "RandomForest: need at least one tree");
+  expects(config_.bootstrap_fraction > 0.0 && config_.bootstrap_fraction <= 1.0,
+          "RandomForest: bootstrap_fraction must lie in (0, 1]");
+  expects(config_.threshold > 0.0 && config_.threshold < 1.0,
+          "RandomForest: threshold must lie in (0, 1)");
+}
+
+void RandomForest::fit(const Dataset& data, std::uint64_t seed) {
+  data.check();
+  expects(data.size() >= 2, "RandomForest::fit: dataset too small");
+
+  TreeConfig tree_config = config_.tree;
+  if (config_.features_per_split == 0) {
+    tree_config.features_per_split = static_cast<std::size_t>(
+        std::lround(std::sqrt(static_cast<Real>(data.feature_count()))));
+  } else {
+    tree_config.features_per_split = config_.features_per_split;
+  }
+
+  const auto bootstrap_size = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config_.bootstrap_fraction *
+                                  static_cast<Real>(data.size())));
+
+  trees_.assign(config_.tree_count, DecisionTree{});
+  Rng root(seed);
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    Rng tree_rng = root.fork(t);
+    std::vector<std::size_t> bootstrap(bootstrap_size);
+    for (auto& index : bootstrap) {
+      index = static_cast<std::size_t>(tree_rng.uniform_index(data.size()));
+    }
+    trees_[t].fit(data.x, data.y, bootstrap, tree_rng, tree_config);
+  }
+}
+
+Real RandomForest::predict_proba(std::span<const Real> row) const {
+  expects(is_fitted(), "RandomForest::predict_proba: not fitted");
+  Real sum = 0.0;
+  for (const auto& tree : trees_) {
+    sum += tree.predict_proba(row);
+  }
+  return sum / static_cast<Real>(trees_.size());
+}
+
+int RandomForest::predict(std::span<const Real> row) const {
+  return predict_proba(row) >= config_.threshold ? 1 : 0;
+}
+
+std::vector<int> RandomForest::predict_all(const Matrix& rows) const {
+  std::vector<int> out(rows.rows());
+  for (std::size_t r = 0; r < rows.rows(); ++r) {
+    out[r] = predict(rows.row(r));
+  }
+  return out;
+}
+
+}  // namespace esl::ml

@@ -1,0 +1,50 @@
+// Random forest classifier [28] — the supervised real-time detector of
+// the e-Glass system [7] that our self-learning pipeline trains.
+#pragma once
+
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/decision_tree.hpp"
+
+namespace esl::ml {
+
+/// Forest hyper-parameters.
+struct ForestConfig {
+  std::size_t tree_count = 32;
+  TreeConfig tree;
+  /// Bootstrap sample size as a fraction of the training set.
+  Real bootstrap_fraction = 1.0;
+  /// Decision threshold on the averaged tree probability.
+  Real threshold = 0.5;
+  /// 0 -> use sqrt(feature_count) features per split (standard default).
+  std::size_t features_per_split = 0;
+};
+
+/// Bagged ensemble of CART trees with feature subsampling.
+class RandomForest {
+ public:
+  explicit RandomForest(ForestConfig config = {});
+
+  /// Trains on the dataset; deterministic for a given `seed`.
+  void fit(const Dataset& data, std::uint64_t seed = 1);
+
+  /// Averaged probability of class 1 across trees.
+  Real predict_proba(std::span<const Real> row) const;
+
+  /// Hard label using the configured threshold.
+  int predict(std::span<const Real> row) const;
+
+  /// Predicts every row of a matrix.
+  std::vector<int> predict_all(const Matrix& rows) const;
+
+  bool is_fitted() const { return !trees_.empty(); }
+  std::size_t tree_count() const { return trees_.size(); }
+  const ForestConfig& config() const { return config_; }
+
+ private:
+  ForestConfig config_;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace esl::ml

@@ -1,0 +1,35 @@
+#include "platform/task_model.hpp"
+
+#include "common/error.hpp"
+
+namespace esl::platform {
+
+LifetimeReport compute_lifetime(Real battery_mah,
+                                const std::vector<TaskPower>& tasks) {
+  expects(battery_mah > 0.0, "compute_lifetime: battery must be positive");
+  expects(!tasks.empty(), "compute_lifetime: no tasks");
+
+  LifetimeReport report;
+  for (const auto& task : tasks) {
+    expects(task.current_ma >= 0.0,
+            "compute_lifetime: negative current for task " + task.name);
+    expects(task.duty_cycle >= 0.0 && task.duty_cycle <= 1.0,
+            "compute_lifetime: duty cycle out of [0,1] for task " + task.name);
+    LifetimeReport::Row row;
+    row.name = task.name;
+    row.current_ma = task.current_ma;
+    row.duty_cycle = task.duty_cycle;
+    row.average_current_ma = task.average_current_ma();
+    report.rows.push_back(row);
+    report.total_average_current_ma += row.average_current_ma;
+  }
+  expects(report.total_average_current_ma > 0.0,
+          "compute_lifetime: zero total current");
+  for (auto& row : report.rows) {
+    row.energy_share = row.average_current_ma / report.total_average_current_ma;
+  }
+  report.lifetime_hours = battery_mah / report.total_average_current_ma;
+  return report;
+}
+
+}  // namespace esl::platform

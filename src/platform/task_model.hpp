@@ -1,0 +1,46 @@
+// Task-level power model of the wearable platform.
+//
+// Lifetime analysis in the paper (§VI-C, Table III) is a duty-cycle model:
+// each task draws a fixed current while active, the battery divides by the
+// sum of duty-weighted currents.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace esl::platform {
+
+/// One task with its active current draw and duty cycle.
+struct TaskPower {
+  std::string name;
+  Real current_ma = 0.0;
+  Real duty_cycle = 0.0;  // in [0, 1]
+
+  /// Duty-weighted average current contribution.
+  Real average_current_ma() const { return current_ma * duty_cycle; }
+};
+
+/// Table-III-style lifetime report.
+struct LifetimeReport {
+  struct Row {
+    std::string name;
+    Real current_ma = 0.0;
+    Real duty_cycle = 0.0;
+    Real average_current_ma = 0.0;
+    Real energy_share = 0.0;  // fraction of total average current
+  };
+  std::vector<Row> rows;
+  Real total_average_current_ma = 0.0;
+  Real lifetime_hours = 0.0;
+
+  Real lifetime_days() const { return lifetime_hours / 24.0; }
+};
+
+/// Builds the report for a battery of `battery_mah` and the given tasks.
+/// Duty cycles must lie in [0, 1]; currents must be non-negative.
+LifetimeReport compute_lifetime(Real battery_mah,
+                                const std::vector<TaskPower>& tasks);
+
+}  // namespace esl::platform

@@ -1,0 +1,102 @@
+#include "platform/wearable.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace esl::platform {
+
+Real labeling_duty(const WearableConfig& config, Real seizures_per_day) {
+  expects(seizures_per_day >= 0.0,
+          "labeling_duty: seizure rate must be non-negative");
+  const Real duty =
+      seizures_per_day * config.labeling_hours_per_seizure / 24.0;
+  expects(duty <= 1.0, "labeling_duty: seizure rate saturates the CPU");
+  return duty;
+}
+
+LifetimeReport lifetime_labeling_only(const WearableConfig& config,
+                                      Real seizures_per_day) {
+  const Real duty = labeling_duty(config, seizures_per_day);
+  return compute_lifetime(
+      config.battery_mah,
+      {
+          {"EEG Acquisition (x2)", config.acquisition_current_ma, 1.0},
+          {"EEG Labeling", config.cpu_active_current_ma, duty},
+          {"Idle", config.cpu_idle_current_ma, 1.0 - duty},
+      });
+}
+
+LifetimeReport lifetime_detection_only(const WearableConfig& config) {
+  return compute_lifetime(
+      config.battery_mah,
+      {
+          {"EEG Acquisition (x2)", config.acquisition_current_ma, 1.0},
+          {"EEG Sup. Detection", config.cpu_active_current_ma,
+           config.detection_duty},
+          {"Idle", config.cpu_idle_current_ma, 1.0 - config.detection_duty},
+      });
+}
+
+LifetimeReport lifetime_full_system(const WearableConfig& config,
+                                    Real seizures_per_day) {
+  const Real duty = labeling_duty(config, seizures_per_day);
+  const Real idle_duty = 1.0 - config.detection_duty - duty;
+  expects(idle_duty >= 0.0, "lifetime_full_system: CPU over-committed");
+  return compute_lifetime(
+      config.battery_mah,
+      {
+          {"EEG Acquisition (x2)", config.acquisition_current_ma, 1.0},
+          {"EEG Sup. Detection", config.cpu_active_current_ma,
+           config.detection_duty},
+          {"EEG Labeling", config.cpu_active_current_ma, duty},
+          {"Idle", config.cpu_idle_current_ma, idle_duty},
+      });
+}
+
+Real raw_signal_kb(const WearableConfig& config, Seconds seconds) {
+  expects(seconds >= 0.0, "raw_signal_kb: negative duration");
+  const Real bytes = seconds * config.sample_rate_hz *
+                     static_cast<Real>(config.channel_count) *
+                     (static_cast<Real>(config.adc_bits) / 8.0);
+  return bytes / 1024.0;
+}
+
+Real feature_buffer_kb(Seconds seconds, std::size_t features,
+                       std::size_t bytes_per_value) {
+  expects(seconds >= 0.0, "feature_buffer_kb: negative duration");
+  // One feature row per second (1 s hop of the 4 s / 75 % plan).
+  const Real rows = std::max(0.0, seconds - 3.0);
+  return rows * static_cast<Real>(features) *
+         static_cast<Real>(bytes_per_value) / 1024.0;
+}
+
+bool hour_buffer_fits(const WearableConfig& config, Real buffer_kb) {
+  return buffer_kb <= config.flash_kb;
+}
+
+TimingEstimate labeling_time_on_mcu(Seconds signal_seconds,
+                                    Seconds window_seconds,
+                                    std::size_t feature_count, Real mcu_hz,
+                                    Real cycles_per_point_op,
+                                    std::size_t outside_stride) {
+  expects(signal_seconds > window_seconds,
+          "labeling_time_on_mcu: signal must exceed the window");
+  expects(mcu_hz > 0.0 && cycles_per_point_op > 0.0 && outside_stride >= 1,
+          "labeling_time_on_mcu: bad platform parameters");
+  // One feature row per second of signal.
+  const Real length = signal_seconds;          // L
+  const Real window = window_seconds;          // W
+  const Real windows = length - window;        // L - W positions
+  const Real outside = windows / static_cast<Real>(outside_stride);
+
+  TimingEstimate estimate;
+  estimate.total_ops =
+      windows * window * outside * static_cast<Real>(feature_count);
+  estimate.total_cycles = estimate.total_ops * cycles_per_point_op;
+  estimate.seconds_on_mcu = estimate.total_cycles / mcu_hz;
+  estimate.seconds_per_signal_second = estimate.seconds_on_mcu / signal_seconds;
+  return estimate;
+}
+
+}  // namespace esl::platform

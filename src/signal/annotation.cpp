@@ -1,0 +1,34 @@
+#include "signal/annotation.hpp"
+
+#include <algorithm>
+
+namespace esl::signal {
+
+Seconds Interval::overlap(const Interval& other) const {
+  const Seconds lo = std::max(onset, other.onset);
+  const Seconds hi = std::min(offset, other.offset);
+  return std::max(0.0, hi - lo);
+}
+
+std::vector<Interval> seizure_intervals(const std::vector<Annotation>& all) {
+  std::vector<Interval> out;
+  for (const auto& a : all) {
+    if (a.kind == EventKind::kSeizure) {
+      out.push_back(a.interval);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Interval& a, const Interval& b) { return a.onset < b.onset; });
+  return out;
+}
+
+bool in_seizure(const std::vector<Annotation>& annotations, Seconds t) {
+  for (const auto& a : annotations) {
+    if (a.kind == EventKind::kSeizure && a.interval.contains(t)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace esl::signal

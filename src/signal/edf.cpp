@@ -1,0 +1,320 @@
+#include "signal/edf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace esl::signal {
+
+namespace {
+
+/// Writes `text` into a fixed-width ASCII field, space-padded/truncated.
+void write_field(std::ostream& out, const std::string& text,
+                 std::size_t width) {
+  std::string field = text.substr(0, width);
+  field.resize(width, ' ');
+  out.write(field.data(), static_cast<std::streamsize>(width));
+}
+
+std::string read_field(std::istream& in, std::size_t width) {
+  std::string field(width, '\0');
+  in.read(field.data(), static_cast<std::streamsize>(width));
+  if (!in.good()) {
+    throw DataError("edf: truncated header");
+  }
+  // Trim trailing spaces.
+  const auto end = field.find_last_not_of(' ');
+  return end == std::string::npos ? std::string{} : field.substr(0, end + 1);
+}
+
+Real parse_real_field(const std::string& text, const char* what) {
+  try {
+    return std::stod(text);
+  } catch (const std::exception&) {
+    throw DataError(std::string("edf: bad numeric field for ") + what + ": '" +
+                    text + "'");
+  }
+}
+
+long parse_int_field(const std::string& text, const char* what) {
+  try {
+    return std::stol(text);
+  } catch (const std::exception&) {
+    throw DataError(std::string("edf: bad integer field for ") + what + ": '" +
+                    text + "'");
+  }
+}
+
+std::string format_real(Real value) {
+  std::ostringstream stream;
+  stream << value;
+  return stream.str();
+}
+
+}  // namespace
+
+void write_edf_file(const EegRecord& record, const std::string& path,
+                    Real physical_min_uv, Real physical_max_uv,
+                    Seconds record_duration_s) {
+  expects(record.channel_count() >= 1, "write_edf_file: record has no channels");
+  expects(physical_min_uv < physical_max_uv,
+          "write_edf_file: empty physical range");
+  expects(record_duration_s > 0.0,
+          "write_edf_file: record duration must be positive");
+
+  const auto samples_per_record = static_cast<std::size_t>(
+      std::lround(record.sample_rate_hz() * record_duration_s));
+  expects(samples_per_record >= 1,
+          "write_edf_file: record duration shorter than one sample");
+  const std::size_t data_records =
+      (record.length_samples() + samples_per_record - 1) / samples_per_record;
+  const std::size_t ns = record.channel_count();
+
+  std::ofstream out(path, std::ios::binary);
+  expects(out.good(), "write_edf_file: cannot open '" + path + "'");
+
+  // --- Fixed 256-byte header ---
+  write_field(out, "0", 8);                      // version
+  write_field(out, record.id(), 80);             // patient id
+  write_field(out, "esl selflearn-seizure", 80); // recording id
+  write_field(out, "01.01.19", 8);               // start date (placeholder)
+  write_field(out, "00.00.00", 8);               // start time
+  write_field(out, std::to_string(256 + 256 * ns), 8);
+  write_field(out, "", 44);                      // reserved
+  write_field(out, std::to_string(data_records), 8);
+  write_field(out, format_real(record_duration_s), 8);
+  write_field(out, std::to_string(ns), 4);
+
+  // --- Per-signal header (each field for all signals in turn) ---
+  for (const auto& c : record.channels()) {
+    write_field(out, c.electrodes.label(), 16);
+  }
+  for (std::size_t s = 0; s < ns; ++s) {
+    write_field(out, "AgAgCl electrode", 80);
+  }
+  for (std::size_t s = 0; s < ns; ++s) {
+    write_field(out, "uV", 8);
+  }
+  for (std::size_t s = 0; s < ns; ++s) {
+    write_field(out, format_real(physical_min_uv), 8);
+  }
+  for (std::size_t s = 0; s < ns; ++s) {
+    write_field(out, format_real(physical_max_uv), 8);
+  }
+  for (std::size_t s = 0; s < ns; ++s) {
+    write_field(out, "-32768", 8);
+  }
+  for (std::size_t s = 0; s < ns; ++s) {
+    write_field(out, "32767", 8);
+  }
+  for (std::size_t s = 0; s < ns; ++s) {
+    write_field(out, "", 80);  // prefiltering
+  }
+  for (std::size_t s = 0; s < ns; ++s) {
+    write_field(out, std::to_string(samples_per_record), 8);
+  }
+  for (std::size_t s = 0; s < ns; ++s) {
+    write_field(out, "", 32);  // reserved
+  }
+
+  // --- Data records ---
+  const Real scale =
+      65535.0 / (physical_max_uv - physical_min_uv);  // digital per physical
+  std::vector<std::int16_t> buffer(samples_per_record);
+  for (std::size_t r = 0; r < data_records; ++r) {
+    for (const auto& c : record.channels()) {
+      for (std::size_t i = 0; i < samples_per_record; ++i) {
+        const std::size_t index = r * samples_per_record + i;
+        Real physical =
+            index < c.samples.size() ? c.samples[index] : 0.0;
+        physical = std::clamp(physical, physical_min_uv, physical_max_uv);
+        const Real digital =
+            (physical - physical_min_uv) * scale - 32768.0;
+        buffer[i] = static_cast<std::int16_t>(std::lround(
+            std::clamp(digital, -32768.0, 32767.0)));
+      }
+      out.write(reinterpret_cast<const char*>(buffer.data()),
+                static_cast<std::streamsize>(buffer.size() * sizeof(std::int16_t)));
+    }
+  }
+  ensures(out.good(), "write_edf_file: write failed for '" + path + "'");
+}
+
+EegRecord read_edf_file(const std::string& path, bool skip_unknown_channels) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    throw DataError("read_edf_file: cannot open '" + path + "'");
+  }
+
+  // --- Fixed header ---
+  const std::string version = read_field(in, 8);
+  if (version != "0") {
+    throw DataError("read_edf_file: unsupported EDF version '" + version + "'");
+  }
+  const std::string patient_id = read_field(in, 80);
+  read_field(in, 80);  // recording id
+  read_field(in, 8);   // start date
+  read_field(in, 8);   // start time
+  read_field(in, 8);   // header bytes
+  read_field(in, 44);  // reserved
+  const long data_records = parse_int_field(read_field(in, 8), "data records");
+  const Real record_duration =
+      parse_real_field(read_field(in, 8), "record duration");
+  const long ns = parse_int_field(read_field(in, 4), "signal count");
+  if (data_records < 0 || record_duration <= 0.0 || ns <= 0 || ns > 512) {
+    throw DataError("read_edf_file: implausible header geometry");
+  }
+
+  // --- Per-signal headers ---
+  const auto n_signals = static_cast<std::size_t>(ns);
+  std::vector<EdfSignalInfo> signals(n_signals);
+  for (auto& s : signals) {
+    s.label = read_field(in, 16);
+  }
+  for (std::size_t s = 0; s < n_signals; ++s) {
+    read_field(in, 80);  // transducer
+  }
+  for (auto& s : signals) {
+    s.physical_unit = read_field(in, 8);
+  }
+  for (auto& s : signals) {
+    s.physical_min = parse_real_field(read_field(in, 8), "physical min");
+  }
+  for (auto& s : signals) {
+    s.physical_max = parse_real_field(read_field(in, 8), "physical max");
+  }
+  for (auto& s : signals) {
+    s.digital_min =
+        static_cast<int>(parse_int_field(read_field(in, 8), "digital min"));
+  }
+  for (auto& s : signals) {
+    s.digital_max =
+        static_cast<int>(parse_int_field(read_field(in, 8), "digital max"));
+  }
+  for (std::size_t s = 0; s < n_signals; ++s) {
+    read_field(in, 80);  // prefiltering
+  }
+  for (auto& s : signals) {
+    s.samples_per_record = static_cast<std::size_t>(
+        parse_int_field(read_field(in, 8), "samples per record"));
+  }
+  for (std::size_t s = 0; s < n_signals; ++s) {
+    read_field(in, 32);  // reserved
+  }
+
+  // Which signals become channels?
+  struct Selected {
+    std::size_t index;
+    ElectrodePair pair;
+  };
+  std::vector<Selected> selected;
+  std::size_t common_rate_samples = 0;
+  for (std::size_t s = 0; s < n_signals; ++s) {
+    if (signals[s].label == "EDF Annotations") {
+      continue;
+    }
+    ElectrodePair pair;
+    try {
+      pair = parse_pair(signals[s].label);
+    } catch (const Error&) {
+      if (skip_unknown_channels) {
+        continue;
+      }
+      throw DataError("read_edf_file: unknown channel label '" +
+                      signals[s].label + "'");
+    }
+    if (signals[s].digital_max <= signals[s].digital_min ||
+        signals[s].physical_max <= signals[s].physical_min) {
+      throw DataError("read_edf_file: degenerate scaling for channel '" +
+                      signals[s].label + "'");
+    }
+    if (common_rate_samples == 0) {
+      common_rate_samples = signals[s].samples_per_record;
+    } else if (signals[s].samples_per_record != common_rate_samples) {
+      throw DataError("read_edf_file: mixed sampling rates are unsupported");
+    }
+    selected.push_back({s, pair});
+  }
+  if (selected.empty()) {
+    throw DataError("read_edf_file: no usable channels in '" + path + "'");
+  }
+
+  const Real sample_rate =
+      static_cast<Real>(common_rate_samples) / record_duration;
+  const auto total_records = static_cast<std::size_t>(data_records);
+
+  std::vector<RealVector> channels(selected.size());
+  for (auto& c : channels) {
+    c.reserve(total_records * common_rate_samples);
+  }
+
+  // --- Data records ---
+  std::vector<std::int16_t> buffer;
+  for (std::size_t r = 0; r < total_records; ++r) {
+    std::size_t next_selected = 0;
+    for (std::size_t s = 0; s < n_signals; ++s) {
+      const std::size_t count = signals[s].samples_per_record;
+      buffer.resize(count);
+      in.read(reinterpret_cast<char*>(buffer.data()),
+              static_cast<std::streamsize>(count * sizeof(std::int16_t)));
+      if (!in.good()) {
+        throw DataError("read_edf_file: truncated data record");
+      }
+      if (next_selected < selected.size() &&
+          selected[next_selected].index == s) {
+        const auto& info = signals[s];
+        const Real scale = (info.physical_max - info.physical_min) /
+                           static_cast<Real>(info.digital_max - info.digital_min);
+        for (const std::int16_t digital : buffer) {
+          channels[next_selected].push_back(
+              info.physical_min +
+              (static_cast<Real>(digital) - static_cast<Real>(info.digital_min)) *
+                  scale);
+        }
+        ++next_selected;
+      }
+    }
+  }
+
+  EegRecord record(sample_rate, patient_id);
+  for (std::size_t c = 0; c < selected.size(); ++c) {
+    record.add_channel(selected[c].pair, std::move(channels[c]));
+  }
+  return record;
+}
+
+std::vector<Annotation> read_annotation_sidecar(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    throw DataError("read_annotation_sidecar: cannot open '" + path + "'");
+  }
+  std::vector<Annotation> annotations;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    const auto comma = line.find(',');
+    if (comma == std::string::npos) {
+      throw DataError("read_annotation_sidecar: expected 'onset,offset', got '" +
+                      line + "'");
+    }
+    Annotation a;
+    a.kind = EventKind::kSeizure;
+    a.interval.onset = parse_real_field(line.substr(0, comma), "onset");
+    a.interval.offset = parse_real_field(line.substr(comma + 1), "offset");
+    if (a.interval.offset <= a.interval.onset) {
+      throw DataError("read_annotation_sidecar: malformed interval in '" +
+                      line + "'");
+    }
+    annotations.push_back(a);
+  }
+  return annotations;
+}
+
+}  // namespace esl::signal

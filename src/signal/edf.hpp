@@ -1,0 +1,53 @@
+// EDF (European Data Format) reader/writer.
+//
+// The CHB-MIT database the paper evaluates on ships as EDF files, so the
+// library can ingest the real recordings directly: read an EDF, pick the
+// F7-T3 / F8-T4 channels, attach the seizure annotations (CHB-MIT keeps
+// them in sidecar files; see read_annotation_sidecar), and every bench
+// runs on real data.
+//
+// Supported: EDF with a standard 256-byte header + 256 bytes per signal,
+// 16-bit little-endian samples, physical scaling via the
+// physical/digital min/max fields. One sampling rate per file (records
+// with mixed rates are rejected). EDF+ annotation channels ("EDF Annotations")
+// are skipped on read.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "signal/eeg_record.hpp"
+
+namespace esl::signal {
+
+/// Metadata of one EDF signal (channel) as stored in the header.
+struct EdfSignalInfo {
+  std::string label;          // e.g. "F7-T3"
+  std::string physical_unit;  // e.g. "uV"
+  Real physical_min = -3276.8;
+  Real physical_max = 3276.7;
+  int digital_min = -32768;
+  int digital_max = 32767;
+  std::size_t samples_per_record = 0;
+};
+
+/// Writes the record as EDF. Sample values are clipped to the physical
+/// range implied by `physical_min/max_uv` (default covers +-3 mV, ample
+/// for scalp EEG) and quantized to 16 bits.
+void write_edf_file(const EegRecord& record, const std::string& path,
+                    Real physical_min_uv = -3276.8,
+                    Real physical_max_uv = 3276.7,
+                    Seconds record_duration_s = 1.0);
+
+/// Reads an EDF file into an EegRecord. Channel labels must parse as
+/// 10-20 bipolar pairs ("F7-T3"); others can be skipped with
+/// `skip_unknown_channels` (default) or cause a DataError.
+EegRecord read_edf_file(const std::string& path,
+                        bool skip_unknown_channels = true);
+
+/// Parses a CHB-MIT-style annotation sidecar: one "onset_s,offset_s" pair
+/// per line ('#' comments allowed), returning seizure annotations ready
+/// to attach to a record.
+std::vector<Annotation> read_annotation_sidecar(const std::string& path);
+
+}  // namespace esl::signal

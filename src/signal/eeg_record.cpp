@@ -1,0 +1,76 @@
+#include "signal/eeg_record.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace esl::signal {
+
+EegRecord::EegRecord(Real sample_rate_hz, std::string id)
+    : id_(std::move(id)), sample_rate_hz_(sample_rate_hz) {
+  expects(sample_rate_hz > 0.0, "EegRecord: sample rate must be positive");
+}
+
+void EegRecord::add_channel(ElectrodePair electrodes, RealVector samples) {
+  expects(!samples.empty(), "EegRecord::add_channel: empty channel");
+  if (!channels_.empty()) {
+    expects(samples.size() == channels_.front().samples.size(),
+            "EegRecord::add_channel: channel length mismatch");
+  }
+  expects(!has_channel(electrodes.label()),
+          "EegRecord::add_channel: duplicate channel " + electrodes.label());
+  channels_.push_back(Channel{std::move(electrodes), std::move(samples)});
+}
+
+void EegRecord::add_annotation(Annotation annotation) {
+  expects(annotation.interval.onset >= 0.0 &&
+              annotation.interval.offset > annotation.interval.onset,
+          "EegRecord::add_annotation: malformed interval");
+  expects(annotation.interval.offset <= duration_seconds() + 1e-9,
+          "EegRecord::add_annotation: interval exceeds record duration");
+  annotations_.push_back(annotation);
+}
+
+std::size_t EegRecord::length_samples() const {
+  return channels_.empty() ? 0 : channels_.front().samples.size();
+}
+
+Seconds EegRecord::duration_seconds() const {
+  return static_cast<Seconds>(length_samples()) / sample_rate_hz_;
+}
+
+const Channel& EegRecord::channel(std::size_t index) const {
+  expects(index < channels_.size(), "EegRecord::channel: index out of range");
+  return channels_[index];
+}
+
+const Channel& EegRecord::channel_by_label(const std::string& label) const {
+  for (const auto& c : channels_) {
+    if (c.electrodes.label() == label) {
+      return c;
+    }
+  }
+  throw DataError("EegRecord: no channel labeled '" + label + "' in record '" +
+                  id_ + "'");
+}
+
+bool EegRecord::has_channel(const std::string& label) const {
+  return std::any_of(channels_.begin(), channels_.end(), [&](const Channel& c) {
+    return c.electrodes.label() == label;
+  });
+}
+
+std::vector<Interval> EegRecord::seizures() const {
+  return seizure_intervals(annotations_);
+}
+
+std::size_t EegRecord::seconds_to_sample(Seconds t) const {
+  if (t <= 0.0) {
+    return 0;
+  }
+  const auto sample = static_cast<std::size_t>(std::floor(t * sample_rate_hz_));
+  return std::min(sample, length_samples() == 0 ? 0 : length_samples() - 1);
+}
+
+}  // namespace esl::signal

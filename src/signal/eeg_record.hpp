@@ -1,0 +1,66 @@
+// Multichannel EEG record: sampled signals plus expert/simulator
+// annotations. This is the CHB-MIT-style unit of data the whole pipeline
+// operates on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "signal/annotation.hpp"
+#include "signal/montage.hpp"
+
+namespace esl::signal {
+
+/// One recorded channel (a bipolar electrode pair).
+struct Channel {
+  ElectrodePair electrodes;
+  RealVector samples;  // microvolts
+};
+
+/// A continuous multichannel recording with annotations.
+class EegRecord {
+ public:
+  /// Creates an empty record at the given sampling rate (Hz > 0).
+  explicit EegRecord(Real sample_rate_hz, std::string id = "");
+
+  /// Adds a channel; all channels must have equal length.
+  void add_channel(ElectrodePair electrodes, RealVector samples);
+
+  /// Adds an annotation; the interval must lie within the record.
+  void add_annotation(Annotation annotation);
+
+  const std::string& id() const { return id_; }
+  Real sample_rate_hz() const { return sample_rate_hz_; }
+  std::size_t channel_count() const { return channels_.size(); }
+  /// Samples per channel (0 when no channels).
+  std::size_t length_samples() const;
+  /// Record duration in seconds.
+  Seconds duration_seconds() const;
+
+  const std::vector<Channel>& channels() const { return channels_; }
+  const Channel& channel(std::size_t index) const;
+
+  /// Channel lookup by label ("F7-T3"); throws DataError when missing.
+  const Channel& channel_by_label(const std::string& label) const;
+  bool has_channel(const std::string& label) const;
+
+  const std::vector<Annotation>& annotations() const { return annotations_; }
+  /// Sorted seizure intervals (excludes artifact annotations).
+  std::vector<Interval> seizures() const;
+
+  /// Converts a sample index to seconds.
+  Seconds sample_to_seconds(std::size_t sample) const {
+    return static_cast<Seconds>(sample) / sample_rate_hz_;
+  }
+  /// Converts seconds to the nearest lower sample index (clamped).
+  std::size_t seconds_to_sample(Seconds t) const;
+
+ private:
+  std::string id_;
+  Real sample_rate_hz_;
+  std::vector<Channel> channels_;
+  std::vector<Annotation> annotations_;
+};
+
+}  // namespace esl::signal

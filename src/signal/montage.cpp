@@ -1,0 +1,41 @@
+#include "signal/montage.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace esl::signal {
+
+namespace montage {
+
+std::vector<ElectrodePair> wearable_pairs() {
+  return {kF7T3, kF8T4};
+}
+
+}  // namespace montage
+
+const std::array<std::string, 21>& ten_twenty_sites() {
+  static const std::array<std::string, 21> sites = {
+      "Fp1", "Fp2", "F7", "F3", "Fz", "F4", "F8", "T3", "C3", "Cz", "C4",
+      "T4",  "T5",  "P3", "Pz", "P4", "T6", "O1", "O2", "A1", "A2"};
+  return sites;
+}
+
+bool is_ten_twenty_site(const std::string& site) {
+  const auto& sites = ten_twenty_sites();
+  return std::find(sites.begin(), sites.end(), site) != sites.end();
+}
+
+ElectrodePair parse_pair(const std::string& label) {
+  const auto dash = label.find('-');
+  expects(dash != std::string::npos,
+          "parse_pair: expected 'SITE-SITE', got '" + label + "'");
+  ElectrodePair pair{label.substr(0, dash), label.substr(dash + 1)};
+  expects(is_ten_twenty_site(pair.anode),
+          "parse_pair: unknown 10-20 site '" + pair.anode + "'");
+  expects(is_ten_twenty_site(pair.cathode),
+          "parse_pair: unknown 10-20 site '" + pair.cathode + "'");
+  return pair;
+}
+
+}  // namespace esl::signal

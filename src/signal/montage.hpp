@@ -1,0 +1,41 @@
+// Electrode naming for the international 10-20 system and the two-channel
+// wearable montage used throughout the paper (F7T3 and F8T4 bipolar pairs,
+// as in the e-Glass platform).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace esl::signal {
+
+/// Bipolar electrode pair of the 10-20 system.
+struct ElectrodePair {
+  std::string anode;    // e.g. "F7"
+  std::string cathode;  // e.g. "T3"
+
+  /// Channel label in CHB-MIT style, e.g. "F7-T3".
+  std::string label() const { return anode + "-" + cathode; }
+
+  bool operator==(const ElectrodePair&) const = default;
+};
+
+/// The two hidden-electrode pairs used by the target wearables [7,21,22].
+namespace montage {
+inline const ElectrodePair kF7T3{"F7", "T3"};
+inline const ElectrodePair kF8T4{"F8", "T4"};
+
+/// Default wearable montage: { F7-T3, F8-T4 }.
+std::vector<ElectrodePair> wearable_pairs();
+}  // namespace montage
+
+/// All 10-20 electrode site names (for validation of user-supplied pairs).
+const std::array<std::string, 21>& ten_twenty_sites();
+
+/// True when `site` is a valid 10-20 electrode name (case-sensitive).
+bool is_ten_twenty_site(const std::string& site);
+
+/// Parses "F7-T3" into an ElectrodePair; validates both sites.
+ElectrodePair parse_pair(const std::string& label);
+
+}  // namespace esl::signal

@@ -1,0 +1,93 @@
+#include "signal/quality.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace esl::signal {
+
+bool QualityReport::usable(const QualityConfig& config) const {
+  return flatline_fraction <= config.max_flatline_fraction &&
+         clipping_fraction <= config.max_clipping_fraction &&
+         artifact_fraction <= config.max_artifact_fraction;
+}
+
+QualityReport assess_quality(std::span<const Real> samples,
+                             const QualityConfig& config) {
+  expects(!samples.empty(), "assess_quality: empty channel");
+  expects(config.flatline_run_samples >= 2,
+          "assess_quality: flatline run must be >= 2 samples");
+  expects(config.clipping_threshold_uv > config.artifact_threshold_uv,
+          "assess_quality: clipping threshold must exceed artifact threshold");
+
+  const std::size_t n = samples.size();
+  QualityReport report;
+
+  std::size_t clipped = 0;
+  std::size_t artifact = 0;
+  std::size_t flatline = 0;
+
+  // Flatline: track the current run of samples whose span stays within
+  // the epsilon band; count the whole run once it reaches the minimum.
+  std::size_t run_start = 0;
+  Real run_min = samples[0];
+  Real run_max = samples[0];
+  const auto close_run = [&](std::size_t end) {
+    const std::size_t run = end - run_start;
+    if (run >= config.flatline_run_samples) {
+      flatline += run;
+    }
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Real v = samples[i];
+    const Real magnitude = std::abs(v);
+    if (magnitude >= config.clipping_threshold_uv) {
+      ++clipped;
+    } else if (magnitude >= config.artifact_threshold_uv) {
+      ++artifact;
+    }
+
+    const Real new_min = std::min(run_min, v);
+    const Real new_max = std::max(run_max, v);
+    if (new_max - new_min <= 2.0 * config.flatline_epsilon_uv) {
+      run_min = new_min;
+      run_max = new_max;
+    } else {
+      close_run(i);
+      run_start = i;
+      run_min = v;
+      run_max = v;
+    }
+  }
+  close_run(n);
+
+  const Real total = static_cast<Real>(n);
+  report.flatline_fraction = static_cast<Real>(flatline) / total;
+  report.clipping_fraction = static_cast<Real>(clipped) / total;
+  report.artifact_fraction = static_cast<Real>(artifact) / total;
+  return report;
+}
+
+std::vector<QualityReport> assess_record_quality(const EegRecord& record,
+                                                 const QualityConfig& config) {
+  expects(record.channel_count() >= 1,
+          "assess_record_quality: record has no channels");
+  std::vector<QualityReport> reports;
+  reports.reserve(record.channel_count());
+  for (const auto& channel : record.channels()) {
+    reports.push_back(assess_quality(channel.samples, config));
+  }
+  return reports;
+}
+
+bool record_usable(const EegRecord& record, const QualityConfig& config) {
+  for (const auto& report : assess_record_quality(record, config)) {
+    if (!report.usable(config)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace esl::signal

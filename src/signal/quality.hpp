@@ -1,0 +1,57 @@
+// Signal-quality assessment for wearable EEG.
+//
+// The self-learning trigger assumes the last hour of signal is usable: a
+// detached electrode (flatline), ADC saturation (clipping) or sustained
+// motion artifact would poison both the a-posteriori label and the
+// training windows derived from it. This module screens a record before
+// it enters the pipeline — the standard pre-flight check on wearable
+// deployments.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "signal/eeg_record.hpp"
+
+namespace esl::signal {
+
+/// Screening thresholds (defaults sized for scalp EEG in microvolts).
+struct QualityConfig {
+  /// A run of at least this many samples within +-flatline_epsilon_uv of
+  /// each other counts as flatline (detached/shorted electrode).
+  std::size_t flatline_run_samples = 64;  // 250 ms at 256 Hz
+  Real flatline_epsilon_uv = 0.5;
+  /// Samples beyond this magnitude count as saturated/clipped.
+  Real clipping_threshold_uv = 3000.0;
+  /// Samples beyond this magnitude (but below clipping) count as
+  /// high-amplitude artifact (electrode motion).
+  Real artifact_threshold_uv = 300.0;
+  /// A channel is usable when every fraction stays below its cap.
+  Real max_flatline_fraction = 0.10;
+  Real max_clipping_fraction = 0.01;
+  Real max_artifact_fraction = 0.20;
+};
+
+/// Per-channel screening outcome.
+struct QualityReport {
+  Real flatline_fraction = 0.0;
+  Real clipping_fraction = 0.0;
+  Real artifact_fraction = 0.0;
+
+  /// True when all fractions are within the configured caps.
+  bool usable(const QualityConfig& config = {}) const;
+};
+
+/// Screens one channel.
+QualityReport assess_quality(std::span<const Real> samples,
+                             const QualityConfig& config = {});
+
+/// Screens every channel of a record (same order as record.channels()).
+std::vector<QualityReport> assess_record_quality(
+    const EegRecord& record, const QualityConfig& config = {});
+
+/// True when every channel of the record is usable.
+bool record_usable(const EegRecord& record, const QualityConfig& config = {});
+
+}  // namespace esl::signal

@@ -1,0 +1,114 @@
+#include "sim/artifact_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/statistics.hpp"
+#include "dsp/filter.hpp"
+
+namespace esl::sim {
+
+namespace {
+
+/// Trapezoid envelope with 15 % ramps.
+Real trapezoid(Real progress) {
+  constexpr Real ramp = 0.15;
+  if (progress < ramp) {
+    return progress / ramp;
+  }
+  if (progress > 1.0 - ramp) {
+    return (1.0 - progress) / ramp;
+  }
+  return 1.0;
+}
+
+/// Band-limited noise of the requested length, normalized to unit RMS.
+RealVector band_noise(std::size_t length, Real low_hz, Real high_hz,
+                      Real sample_rate_hz, Rng& rng) {
+  dsp::BiquadCascade filter =
+      dsp::butterworth_bandpass(2, low_hz, high_hz, sample_rate_hz);
+  RealVector noise(length);
+  for (auto& v : noise) {
+    v = filter.process(rng.normal());
+  }
+  const Real r = stats::rms(noise);
+  if (r > 0.0) {
+    for (auto& v : noise) {
+      v /= r;
+    }
+  }
+  return noise;
+}
+
+}  // namespace
+
+void add_motion_artifact(RealVector& channel, std::size_t start_sample,
+                         const MotionArtifactParams& params, Rng rng) {
+  expects(params.sample_rate_hz > 0.0, "add_motion_artifact: bad sample rate");
+  if (start_sample >= channel.size() || params.duration_s <= 0.0) {
+    return;
+  }
+  const auto total = static_cast<std::size_t>(
+      std::lround(params.duration_s * params.sample_rate_hz));
+  const std::size_t end = std::min(channel.size(), start_sample + total);
+  const RealVector noise = band_noise(end - start_sample, params.low_hz,
+                                      params.high_hz, params.sample_rate_hz, rng);
+  for (std::size_t i = start_sample; i < end; ++i) {
+    const Real progress = static_cast<Real>(i - start_sample) /
+                          std::max<Real>(1.0, static_cast<Real>(total));
+    channel[i] += params.gain_uv * trapezoid(progress) * noise[i - start_sample];
+  }
+}
+
+void add_muscle_artifact(RealVector& channel, std::size_t start_sample,
+                         const MuscleArtifactParams& params, Rng rng) {
+  expects(params.sample_rate_hz > 0.0, "add_muscle_artifact: bad sample rate");
+  if (start_sample >= channel.size() || params.duration_s <= 0.0) {
+    return;
+  }
+  const auto total = static_cast<std::size_t>(
+      std::lround(params.duration_s * params.sample_rate_hz));
+  const std::size_t end = std::min(channel.size(), start_sample + total);
+  const Real high =
+      std::min(params.high_hz, 0.45 * params.sample_rate_hz);
+  const RealVector noise = band_noise(end - start_sample, params.low_hz, high,
+                                      params.sample_rate_hz, rng);
+  for (std::size_t i = start_sample; i < end; ++i) {
+    const Real progress = static_cast<Real>(i - start_sample) /
+                          std::max<Real>(1.0, static_cast<Real>(total));
+    channel[i] += params.gain_uv * trapezoid(progress) * noise[i - start_sample];
+  }
+}
+
+void add_blink_artifact(RealVector& channel, std::size_t start_sample,
+                        const BlinkArtifactParams& params, Rng rng) {
+  expects(params.sample_rate_hz > 0.0, "add_blink_artifact: bad sample rate");
+  const auto width = static_cast<std::size_t>(
+      std::lround(params.blink_width_s * params.sample_rate_hz));
+  const auto spacing = static_cast<std::size_t>(
+      std::lround(params.blink_spacing_s * params.sample_rate_hz));
+  if (width == 0) {
+    return;
+  }
+  for (std::size_t b = 0; b < params.blink_count; ++b) {
+    const std::size_t blink_start = start_sample + b * spacing;
+    if (blink_start >= channel.size()) {
+      break;
+    }
+    const Real amplitude = params.gain_uv * rng.uniform(0.8, 1.2);
+    const std::size_t end = std::min(channel.size(), blink_start + width);
+    for (std::size_t i = blink_start; i < end; ++i) {
+      const Real x = static_cast<Real>(i - blink_start) /
+                     static_cast<Real>(width);
+      // Biphasic pulse: positive lobe then a smaller negative rebound.
+      const Real pulse =
+          std::sin(std::numbers::pi_v<Real> * x) -
+          0.35 * std::sin(2.0 * std::numbers::pi_v<Real> * x);
+      channel[i] += amplitude * pulse;
+    }
+  }
+}
+
+}  // namespace esl::sim

@@ -1,0 +1,259 @@
+#include "sim/cohort.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/error.hpp"
+#include "sim/artifact_model.hpp"
+#include "sim/eeg_synth.hpp"
+#include "sim/seizure_model.hpp"
+
+namespace esl::sim {
+
+namespace {
+
+/// Margin kept between the record edges and the seizure/artifact content.
+constexpr Seconds k_edge_margin_s = 60.0;
+
+}  // namespace
+
+CohortSimulator::CohortSimulator(std::uint64_t seed, Real sample_rate_hz)
+    : sample_rate_hz_(sample_rate_hz), cohort_(make_cohort(seed)) {
+  expects(sample_rate_hz > 0.0, "CohortSimulator: sample rate must be positive");
+  for (std::size_t p = 0; p < cohort_.size(); ++p) {
+    const PatientProfile& profile = cohort_[p];
+    Rng patient_rng = Rng(profile.seed).fork(0xEE);
+    for (std::size_t s = 0; s < profile.seizure_count; ++s) {
+      SeizureEvent event;
+      event.patient_index = p;
+      event.patient_id = profile.id;
+      event.seizure_index = s;
+      // Truncated-normal duration: at least 40% of the patient mean and at
+      // least 10 seconds, so W (the mean) stays a sensible window length.
+      const Seconds raw = patient_rng.normal(profile.mean_seizure_duration_s,
+                                             profile.seizure_duration_jitter_s);
+      event.duration_s =
+          std::max({10.0, 0.4 * profile.mean_seizure_duration_s, raw});
+      event.morphology_seed = patient_rng.next_u64();
+      if (std::find(profile.artifact_seizure_indices.begin(),
+                    profile.artifact_seizure_indices.end(),
+                    s) != profile.artifact_seizure_indices.end()) {
+        event.has_artifact = true;
+        event.artifact_lead_s = profile.artifact_lead_s;
+        event.artifact_duration_s = 0.85 * profile.mean_seizure_duration_s;
+      }
+      if (std::find(profile.postictal_artifact_seizure_indices.begin(),
+                    profile.postictal_artifact_seizure_indices.end(),
+                    s) != profile.postictal_artifact_seizure_indices.end()) {
+        event.has_postictal_artifact = true;
+        event.postictal_artifact_delay_s = profile.postictal_artifact_delay_s;
+        event.postictal_artifact_duration_s =
+            profile.postictal_artifact_duration_s;
+        event.postictal_artifact_gain_uv = profile.postictal_artifact_gain_uv;
+      }
+      events_.push_back(event);
+    }
+  }
+}
+
+std::vector<SeizureEvent> CohortSimulator::events_for_patient(
+    std::size_t patient_index) const {
+  expects(patient_index < cohort_.size(),
+          "CohortSimulator: patient index out of range");
+  std::vector<SeizureEvent> out;
+  for (const auto& e : events_) {
+    if (e.patient_index == patient_index) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+Seconds CohortSimulator::average_seizure_duration(
+    std::size_t patient_index) const {
+  const auto patient_events = events_for_patient(patient_index);
+  expects(!patient_events.empty(),
+          "CohortSimulator: patient has no seizures");
+  Seconds sum = 0.0;
+  for (const auto& e : patient_events) {
+    sum += e.duration_s;
+  }
+  return sum / static_cast<Seconds>(patient_events.size());
+}
+
+RecordSpec CohortSimulator::sample_record_spec(const SeizureEvent& event,
+                                               Rng& rng,
+                                               Seconds min_duration_s,
+                                               Seconds max_duration_s) const {
+  expects(min_duration_s <= max_duration_s,
+          "sample_record_spec: min duration exceeds max");
+  const PatientProfile& profile = cohort_[event.patient_index];
+
+  RecordSpec spec;
+  spec.duration_s = rng.uniform(min_duration_s, max_duration_s);
+
+  Seconds earliest = k_edge_margin_s;
+  if (event.has_artifact) {
+    earliest = std::max(earliest, event.artifact_lead_s + k_edge_margin_s);
+  }
+  Seconds trailing = profile.postictal_tail_s;
+  if (event.has_postictal_artifact) {
+    trailing = std::max(trailing, event.postictal_artifact_delay_s +
+                                      event.postictal_artifact_duration_s);
+  }
+  const Seconds latest =
+      spec.duration_s - event.duration_s - trailing - k_edge_margin_s;
+  expects(latest > earliest,
+          "sample_record_spec: record too short for the event layout");
+  spec.seizure_onset_s = rng.uniform(earliest, latest);
+  return spec;
+}
+
+signal::EegRecord CohortSimulator::synthesize(const SeizureEvent& event,
+                                              const RecordSpec& spec,
+                                              std::uint64_t noise_label) const {
+  const PatientProfile& profile = cohort_[event.patient_index];
+  const auto length = static_cast<std::size_t>(
+      std::lround(spec.duration_s * sample_rate_hz_));
+
+  // Streams: morphology is per-event (identical across samples); the
+  // background/noise stream is per-(event, noise_label).
+  Rng noise_root = Rng(event.morphology_seed).fork(noise_label);
+  Rng morphology_root = Rng(event.morphology_seed).fork(0x5E12);
+
+  BackgroundParams bg;
+  bg.sample_rate_hz = sample_rate_hz_;
+  bg.pink_rms_uv = profile.background_rms_uv;
+  bg.alpha_rms_uv = profile.alpha_rms_uv;
+
+  std::string record_id = "p";
+  record_id += std::to_string(profile.id);
+  record_id += "_s";
+  record_id += std::to_string(event.seizure_index + 1);
+  record_id += "_r";
+  record_id += std::to_string(noise_label);
+  signal::EegRecord record(sample_rate_hz_, record_id);
+
+  const auto onset_sample = static_cast<std::size_t>(
+      std::lround(spec.seizure_onset_s * sample_rate_hz_));
+  const auto offset_sample = onset_sample + static_cast<std::size_t>(std::lround(
+                                 event.duration_s * sample_rate_hz_));
+
+  IctalParams ictal;
+  ictal.sample_rate_hz = sample_rate_hz_;
+  ictal.duration_s = event.duration_s;
+  ictal.start_hz = profile.ictal_start_hz;
+  ictal.end_hz = profile.ictal_end_hz;
+  ictal.gain_uv = profile.ictal_gain_uv;
+  ictal.spike_sharpness = profile.spike_sharpness;
+  ictal.ramp_fraction = profile.ictal_ramp_fraction;
+
+  PostictalParams postictal;
+  postictal.sample_rate_hz = sample_rate_hz_;
+  postictal.tail_s = profile.postictal_tail_s;
+  postictal.gain_uv = profile.postictal_gain_uv;
+
+  const std::vector<signal::ElectrodePair> pairs = signal::montage::wearable_pairs();
+  const Real channel_gains[2] = {profile.left_gain, profile.right_gain};
+  // The discharge and the artifact are coherent across channels: both
+  // channels replay the same morphology stream (different gains), while
+  // the background is independent per channel.
+  const Rng ictal_rng = morphology_root.fork(1);
+  const Rng postictal_rng = morphology_root.fork(2);
+  const Rng artifact_rng = morphology_root.fork(3);
+  const Rng postictal_artifact_rng = morphology_root.fork(4);
+
+  for (std::size_t c = 0; c < pairs.size(); ++c) {
+    RealVector channel =
+        synthesize_background(bg, length, noise_root.fork(10 + c));
+    add_ictal_discharge(channel, onset_sample, ictal, channel_gains[c],
+                        ictal_rng);
+    add_postictal_slowing(channel, offset_sample, postictal, channel_gains[c],
+                          postictal_rng);
+    if (event.has_artifact) {
+      MotionArtifactParams motion;
+      motion.sample_rate_hz = sample_rate_hz_;
+      motion.duration_s = event.artifact_duration_s;
+      motion.gain_uv = profile.artifact_gain_uv;
+      const Seconds artifact_onset_s =
+          spec.seizure_onset_s - event.artifact_lead_s;
+      const auto artifact_sample = static_cast<std::size_t>(
+          std::lround(std::max(0.0, artifact_onset_s) * sample_rate_hz_));
+      // Motion artifacts couple into both electrode pairs unevenly.
+      const Real artifact_gain = (c == 0) ? 1.0 : 0.65;
+      MotionArtifactParams scaled = motion;
+      scaled.gain_uv *= artifact_gain;
+      add_motion_artifact(channel, artifact_sample, scaled, artifact_rng);
+    }
+    if (event.has_postictal_artifact) {
+      MotionArtifactParams motion;
+      motion.sample_rate_hz = sample_rate_hz_;
+      motion.duration_s = event.postictal_artifact_duration_s;
+      motion.gain_uv =
+          event.postictal_artifact_gain_uv * ((c == 0) ? 1.0 : 0.7);
+      const Seconds onset_s = spec.seizure_onset_s + event.duration_s +
+                              event.postictal_artifact_delay_s;
+      add_motion_artifact(channel,
+                          static_cast<std::size_t>(
+                              std::lround(onset_s * sample_rate_hz_)),
+                          motion, postictal_artifact_rng);
+    }
+    record.add_channel(pairs[c], std::move(channel));
+  }
+
+  signal::Annotation seizure;
+  seizure.kind = signal::EventKind::kSeizure;
+  seizure.interval = {spec.seizure_onset_s,
+                      spec.seizure_onset_s + event.duration_s};
+  record.add_annotation(seizure);
+
+  if (event.has_artifact) {
+    signal::Annotation artifact;
+    artifact.kind = signal::EventKind::kArtifact;
+    const Seconds onset = std::max(0.0, spec.seizure_onset_s - event.artifact_lead_s);
+    artifact.interval = {onset, onset + event.artifact_duration_s};
+    record.add_annotation(artifact);
+  }
+  return record;
+}
+
+signal::EegRecord CohortSimulator::synthesize_sample(
+    const SeizureEvent& event, std::uint64_t sample_label,
+    Seconds min_duration_s, Seconds max_duration_s) const {
+  Rng spec_rng = Rng(event.morphology_seed).fork(0xA11CE).fork(sample_label);
+  const RecordSpec spec =
+      sample_record_spec(event, spec_rng, min_duration_s, max_duration_s);
+  return synthesize(event, spec, sample_label);
+}
+
+signal::EegRecord CohortSimulator::synthesize_background_record(
+    std::size_t patient_index, Seconds duration_s,
+    std::uint64_t label) const {
+  expects(patient_index < cohort_.size(),
+          "CohortSimulator: patient index out of range");
+  expects(duration_s > 0.0, "CohortSimulator: duration must be positive");
+  const PatientProfile& profile = cohort_[patient_index];
+  const auto length =
+      static_cast<std::size_t>(std::lround(duration_s * sample_rate_hz_));
+
+  BackgroundParams bg;
+  bg.sample_rate_hz = sample_rate_hz_;
+  bg.pink_rms_uv = profile.background_rms_uv;
+  bg.alpha_rms_uv = profile.alpha_rms_uv;
+
+  Rng root = Rng(profile.seed).fork(0xB6).fork(label);
+  std::string record_id = "p";
+  record_id += std::to_string(profile.id);
+  record_id += "_bg";
+  record_id += std::to_string(label);
+  signal::EegRecord record(sample_rate_hz_, record_id);
+  const auto pairs = signal::montage::wearable_pairs();
+  for (std::size_t c = 0; c < pairs.size(); ++c) {
+    record.add_channel(pairs[c],
+                       synthesize_background(bg, length, root.fork(10 + c)));
+  }
+  return record;
+}
+
+}  // namespace esl::sim

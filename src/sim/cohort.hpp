@@ -1,0 +1,98 @@
+// Cohort simulator: builds CHB-MIT-style labeled records from the patient
+// profiles, the background model, the ictal model and the artifact model.
+//
+// This is the data substrate for every experiment in the paper:
+//  * §VI-A: for each of the 45 seizures, N records of random duration
+//    (30-60 min) containing that single seizure at a random position;
+//  * §VI-B: one record per seizure plus seizure-free records to build the
+//    balanced training sets for the real-time classifier.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+#include "signal/eeg_record.hpp"
+#include "sim/patient_profile.hpp"
+
+namespace esl::sim {
+
+/// One of the cohort's 45 seizures, with its fixed identity (morphology,
+/// duration, artifact confounder) shared by all samples drawn from it.
+struct SeizureEvent {
+  std::size_t patient_index = 0;  // 0-based index into the cohort
+  int patient_id = 1;             // 1-based id as printed in Tables I/II
+  std::size_t seizure_index = 0;  // 0-based index within the patient
+  Seconds duration_s = 60.0;      // true (jittered) electrographic duration
+  std::uint64_t morphology_seed = 0;
+  bool has_artifact = false;
+  Seconds artifact_lead_s = 0.0;      // artifact onset precedes seizure onset by this
+  Seconds artifact_duration_s = 0.0;
+
+  // Post-ictal motion artifact (starts shortly after the seizure offset).
+  bool has_postictal_artifact = false;
+  Seconds postictal_artifact_delay_s = 0.0;
+  Seconds postictal_artifact_duration_s = 0.0;
+  Real postictal_artifact_gain_uv = 0.0;
+};
+
+/// Placement of a seizure inside one sampled record.
+struct RecordSpec {
+  Seconds duration_s = 1800.0;
+  Seconds seizure_onset_s = 600.0;
+};
+
+/// Deterministic generator of labeled EEG records for the whole cohort.
+class CohortSimulator {
+ public:
+  /// `seed` selects the cohort instance; the default reproduces the
+  /// numbers in EXPERIMENTS.md.
+  explicit CohortSimulator(std::uint64_t seed = 20190325,
+                           Real sample_rate_hz = 256.0);
+
+  Real sample_rate_hz() const { return sample_rate_hz_; }
+  const std::vector<PatientProfile>& cohort() const { return cohort_; }
+
+  /// All seizure events (45 for the default cohort), grouped by patient in
+  /// Table II order.
+  const std::vector<SeizureEvent>& events() const { return events_; }
+  std::vector<SeizureEvent> events_for_patient(std::size_t patient_index) const;
+
+  /// The "medical expert" input of Algorithm 1: the patient's average
+  /// seizure duration (mean of the true event durations).
+  Seconds average_seizure_duration(std::size_t patient_index) const;
+
+  /// Draws the record geometry for one sample of `event`: duration uniform
+  /// in [min_duration_s, max_duration_s], onset uniform inside the feasible
+  /// placement range (leaving room for the artifact lead and the
+  /// post-ictal tail).
+  RecordSpec sample_record_spec(const SeizureEvent& event, Rng& rng,
+                                Seconds min_duration_s = 1800.0,
+                                Seconds max_duration_s = 3600.0) const;
+
+  /// Renders the record for (event, spec); `noise_label` decorrelates the
+  /// background/noise across samples of the same seizure.
+  signal::EegRecord synthesize(const SeizureEvent& event,
+                               const RecordSpec& spec,
+                               std::uint64_t noise_label) const;
+
+  /// Convenience: spec sampling + synthesis, fully determined by
+  /// (event, sample_label). Used by the §VI-A evaluation harness.
+  signal::EegRecord synthesize_sample(const SeizureEvent& event,
+                                      std::uint64_t sample_label,
+                                      Seconds min_duration_s = 1800.0,
+                                      Seconds max_duration_s = 3600.0) const;
+
+  /// Seizure-free record for the given patient (training negatives).
+  signal::EegRecord synthesize_background_record(std::size_t patient_index,
+                                                 Seconds duration_s,
+                                                 std::uint64_t label) const;
+
+ private:
+  Real sample_rate_hz_;
+  std::vector<PatientProfile> cohort_;
+  std::vector<SeizureEvent> events_;
+};
+
+}  // namespace esl::sim

@@ -1,0 +1,72 @@
+#include "sim/eeg_synth.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/statistics.hpp"
+#include "dsp/filter.hpp"
+
+namespace esl::sim {
+
+Real PinkNoise::next() {
+  const Real white = rng_.normal();
+  b0_ = 0.99886 * b0_ + white * 0.0555179;
+  b1_ = 0.99332 * b1_ + white * 0.0750759;
+  b2_ = 0.96900 * b2_ + white * 0.1538520;
+  b3_ = 0.86650 * b3_ + white * 0.3104856;
+  b4_ = 0.55000 * b4_ + white * 0.5329522;
+  b5_ = -0.7616 * b5_ - white * 0.0168980;
+  const Real pink = b0_ + b1_ + b2_ + b3_ + b4_ + b5_ + b6_ + white * 0.5362;
+  b6_ = white * 0.115926;
+  // The Kellet filter output has variance ~11; bring it near unit scale.
+  return pink * 0.3;
+}
+
+RealVector synthesize_background(const BackgroundParams& params,
+                                 std::size_t length, Rng rng) {
+  expects(params.sample_rate_hz > 0.0,
+          "synthesize_background: sample rate must be positive");
+  expects(length >= 16, "synthesize_background: length too short");
+
+  PinkNoise pink(rng.fork(1));
+  Rng alpha_rng = rng.fork(2);
+  Rng sensor_rng = rng.fork(3);
+  Rng modulation_rng = rng.fork(4);
+
+  // Alpha rhythm: white noise through an 8-12 Hz band-pass, slowly
+  // amplitude-modulated (waxing/waning spindles).
+  dsp::BiquadCascade alpha_filter = dsp::butterworth_bandpass(
+      2, params.alpha_low_hz, params.alpha_high_hz, params.sample_rate_hz);
+
+  // Slow modulation: one-pole low-pass over white noise.
+  const Real modulation_alpha =
+      1.0 / (params.modulation_period_s * params.sample_rate_hz);
+  Real modulation_state = 0.0;
+
+  RealVector out(length);
+  RealVector alpha_raw(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    alpha_raw[i] = alpha_filter.process(alpha_rng.normal());
+  }
+  // Normalize alpha to unit RMS before applying the modulated gain
+  // (the band-pass attenuates white noise by an input-dependent factor).
+  const Real alpha_rms = stats::rms(alpha_raw);
+  const Real alpha_scale = alpha_rms > 0.0 ? 1.0 / alpha_rms : 0.0;
+
+  for (std::size_t i = 0; i < length; ++i) {
+    modulation_state +=
+        modulation_alpha * (modulation_rng.normal() - modulation_state);
+    // Modulation depth in [0.4, 1.6] around 1.
+    const Real modulation =
+        1.0 + 0.6 * std::tanh(modulation_state * 40.0);
+    const Real pink_sample = pink.next() * params.pink_rms_uv;
+    const Real alpha_sample =
+        alpha_raw[i] * alpha_scale * params.alpha_rms_uv * modulation;
+    const Real sensor = sensor_rng.normal() * params.sensor_noise_rms_uv;
+    out[i] = pink_sample + alpha_sample + sensor;
+  }
+  return out;
+}
+
+}  // namespace esl::sim

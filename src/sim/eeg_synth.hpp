@@ -1,0 +1,44 @@
+// Background (interictal) EEG synthesis.
+//
+// A channel is modeled as pink (1/f) broadband activity plus an
+// amplitude-modulated alpha rhythm plus white sensor noise — the standard
+// stochastic surrogate for resting scalp EEG. Everything is driven by the
+// deterministic esl::Rng so records are bit-reproducible.
+#pragma once
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+
+namespace esl::sim {
+
+/// Parameters of the background model (amplitudes in microvolts RMS).
+struct BackgroundParams {
+  Real sample_rate_hz = 256.0;
+  Real pink_rms_uv = 30.0;
+  Real alpha_rms_uv = 12.0;
+  Real alpha_low_hz = 8.0;
+  Real alpha_high_hz = 12.0;
+  Real sensor_noise_rms_uv = 2.0;
+  /// Time constant of the slow alpha amplitude modulation.
+  Real modulation_period_s = 6.0;
+};
+
+/// Streaming pink-noise source (Paul Kellet's 7-state filter approximation
+/// of a 1/f spectrum, accurate to within ~0.05 dB over the audio band).
+class PinkNoise {
+ public:
+  explicit PinkNoise(Rng rng) : rng_(rng) {}
+
+  /// Next pink sample with approximately unit variance.
+  Real next();
+
+ private:
+  Rng rng_;
+  Real b0_ = 0, b1_ = 0, b2_ = 0, b3_ = 0, b4_ = 0, b5_ = 0, b6_ = 0;
+};
+
+/// Generates `length` samples of background EEG.
+RealVector synthesize_background(const BackgroundParams& params,
+                                 std::size_t length, Rng rng);
+
+}  // namespace esl::sim

@@ -1,0 +1,100 @@
+#include "sim/seizure_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace esl::sim {
+
+namespace {
+
+constexpr Real k_two_pi = 2.0 * std::numbers::pi_v<Real>;
+
+/// Raised-cosine envelope: 0 -> 1 over [0, ramp], 1 in the middle,
+/// 1 -> 0 over [1 - ramp, 1].
+Real envelope_at(Real progress, Real ramp_fraction) {
+  if (ramp_fraction <= 0.0) {
+    return 1.0;
+  }
+  if (progress < ramp_fraction) {
+    const Real x = progress / ramp_fraction;
+    return 0.5 - 0.5 * std::cos(std::numbers::pi_v<Real> * x);
+  }
+  if (progress > 1.0 - ramp_fraction) {
+    const Real x = (1.0 - progress) / ramp_fraction;
+    return 0.5 - 0.5 * std::cos(std::numbers::pi_v<Real> * x);
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+void add_ictal_discharge(RealVector& channel, std::size_t onset_sample,
+                         const IctalParams& params, Real channel_gain,
+                         Rng rng) {
+  expects(params.sample_rate_hz > 0.0, "add_ictal_discharge: bad sample rate");
+  expects(params.duration_s > 0.0, "add_ictal_discharge: bad duration");
+  expects(params.start_hz > 0.0 && params.end_hz > 0.0,
+          "add_ictal_discharge: frequencies must be positive");
+  if (onset_sample >= channel.size()) {
+    return;
+  }
+  const auto total = static_cast<std::size_t>(
+      std::lround(params.duration_s * params.sample_rate_hz));
+  const std::size_t end = std::min(channel.size(), onset_sample + total);
+  const Real sharp_norm = std::tanh(params.spike_sharpness);
+
+  Real phase = rng.uniform(0.0, k_two_pi);
+  // Small per-cycle frequency jitter makes the discharge quasi-periodic
+  // rather than a clean chirp (real discharges are irregularly rhythmic).
+  Real jitter = 0.0;
+  for (std::size_t i = onset_sample; i < end; ++i) {
+    const Real progress = static_cast<Real>(i - onset_sample) /
+                          std::max<Real>(1.0, static_cast<Real>(total - 1));
+    const Real base_hz =
+        params.start_hz + (params.end_hz - params.start_hz) * progress;
+    jitter += 0.002 * (rng.normal() - jitter);  // slow AR(1) wander
+    const Real hz = std::max(0.3, base_hz * (1.0 + jitter));
+    phase += k_two_pi * hz / params.sample_rate_hz;
+
+    const Real fundamental = std::sin(phase);
+    const Real harmonic = std::sin(2.0 * phase + 0.7);
+    const Real mixed =
+        (1.0 - params.harmonic_fraction) * fundamental +
+        params.harmonic_fraction * harmonic;
+    // tanh waveshaping sharpens peaks into spike-like transients.
+    const Real shaped =
+        std::tanh(params.spike_sharpness * mixed) / sharp_norm;
+    const Real envelope = envelope_at(progress, params.ramp_fraction);
+    const Real noise = rng.normal() * params.ictal_noise_uv;
+
+    channel[i] +=
+        channel_gain * (envelope * params.gain_uv * shaped + envelope * noise);
+  }
+}
+
+void add_postictal_slowing(RealVector& channel, std::size_t start_sample,
+                           const PostictalParams& params, Real channel_gain,
+                           Rng rng) {
+  expects(params.sample_rate_hz > 0.0, "add_postictal_slowing: bad sample rate");
+  if (params.tail_s <= 0.0 || start_sample >= channel.size()) {
+    return;
+  }
+  const auto total = static_cast<std::size_t>(
+      std::lround(params.tail_s * params.sample_rate_hz));
+  const std::size_t end = std::min(channel.size(), start_sample + total);
+  Real phase = rng.uniform(0.0, k_two_pi);
+  for (std::size_t i = start_sample; i < end; ++i) {
+    const Real progress = static_cast<Real>(i - start_sample) /
+                          std::max<Real>(1.0, static_cast<Real>(total));
+    // Exponential-like decay rendered as (1 - progress)^2 for a smooth end.
+    const Real decay = (1.0 - progress) * (1.0 - progress);
+    phase += k_two_pi * params.slow_hz / params.sample_rate_hz;
+    const Real slow = std::sin(phase) + 0.3 * rng.normal();
+    channel[i] += channel_gain * params.gain_uv * decay * slow;
+  }
+}
+
+}  // namespace esl::sim

@@ -1,0 +1,51 @@
+// Ictal discharge model.
+//
+// A tonic-clonic-like electrographic seizure is rendered as a rhythmic
+// discharge whose dominant frequency chirps downward (e.g. ~7 Hz at onset
+// to ~2.5 Hz before termination), with sharpened (spike-like) peaks, a
+// smooth amplitude envelope, harmonic content, and optional post-ictal
+// slowing after the offset. This reproduces the property Algorithm 1
+// relies on: ictal windows have strongly elevated theta/delta power and
+// reduced signal irregularity relative to background.
+#pragma once
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+
+namespace esl::sim {
+
+/// Parameters of one rendered discharge.
+struct IctalParams {
+  Real sample_rate_hz = 256.0;
+  Seconds duration_s = 60.0;
+  Real start_hz = 6.5;
+  Real end_hz = 2.8;
+  Real gain_uv = 90.0;          // peak envelope amplitude
+  Real spike_sharpness = 2.5;   // tanh waveshaper drive (1 = nearly sine)
+  Real harmonic_fraction = 0.35;
+  Real ramp_fraction = 0.12;    // onset/offset raised-cosine ramps
+  Real ictal_noise_uv = 6.0;    // broadband component during the discharge
+};
+
+/// Post-ictal slowing appended after the discharge.
+struct PostictalParams {
+  Real sample_rate_hz = 256.0;
+  Seconds tail_s = 30.0;
+  Real gain_uv = 25.0;
+  Real slow_hz = 1.5;  // dominant delta frequency of the slowing
+};
+
+/// Renders the discharge and ADDS it into `channel` starting at sample
+/// `onset_sample`, scaled by `channel_gain` (lateralization). Rendering
+/// clips at the channel end.
+void add_ictal_discharge(RealVector& channel, std::size_t onset_sample,
+                         const IctalParams& params, Real channel_gain,
+                         Rng rng);
+
+/// Renders post-ictal slowing and ADDS it into `channel` starting at
+/// `start_sample` (normally the seizure offset), decaying over tail_s.
+void add_postictal_slowing(RealVector& channel, std::size_t start_sample,
+                           const PostictalParams& params, Real channel_gain,
+                           Rng rng);
+
+}  // namespace esl::sim

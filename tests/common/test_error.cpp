@@ -1,0 +1,45 @@
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace esl {
+namespace {
+
+TEST(Error, HierarchyIsCatchable) {
+  // Every library error must be catchable as esl::Error and as
+  // std::runtime_error (so users need no esl-specific handlers).
+  EXPECT_THROW(throw InvalidArgument("bad arg"), Error);
+  EXPECT_THROW(throw DataError("bad data"), Error);
+  EXPECT_THROW(throw LogicError("bug"), Error);
+  EXPECT_THROW(throw Error("base"), std::runtime_error);
+}
+
+TEST(Error, MessagesPreserved) {
+  try {
+    throw InvalidArgument("window must be positive");
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "window must be positive");
+  }
+}
+
+TEST(Expects, PassesOnTrue) {
+  EXPECT_NO_THROW(expects(true, "never"));
+  EXPECT_NO_THROW(ensures(true, "never"));
+}
+
+TEST(Expects, ThrowsTypedExceptions) {
+  EXPECT_THROW(expects(false, "precondition"), InvalidArgument);
+  EXPECT_THROW(ensures(false, "invariant"), LogicError);
+}
+
+TEST(Expects, MessageReachesHandler) {
+  try {
+    expects(false, "stride must be >= 1");
+    FAIL() << "expects did not throw";
+  } catch (const InvalidArgument& e) {
+    EXPECT_STREQ(e.what(), "stride must be >= 1");
+  }
+}
+
+}  // namespace
+}  // namespace esl

@@ -1,0 +1,143 @@
+#include "common/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace esl {
+namespace {
+
+Matrix make_counting(std::size_t rows, std::size_t cols) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m(r, c) = static_cast<Real>(r * cols + c);
+    }
+  }
+  return m;
+}
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(Matrix, ConstructorFills) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+    }
+  }
+}
+
+TEST(Matrix, ElementAccessRoundTrips) {
+  Matrix m(2, 2);
+  m(0, 1) = 42.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 42.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 42.0);
+}
+
+TEST(Matrix, AtThrowsOutOfRange) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), InvalidArgument);
+  EXPECT_THROW(m.at(0, 2), InvalidArgument);
+}
+
+TEST(Matrix, RowViewReflectsStorage) {
+  Matrix m = make_counting(3, 4);
+  const auto row1 = m.row(1);
+  ASSERT_EQ(row1.size(), 4u);
+  EXPECT_DOUBLE_EQ(row1[0], 4.0);
+  EXPECT_DOUBLE_EQ(row1[3], 7.0);
+}
+
+TEST(Matrix, MutableRowWrites) {
+  Matrix m(2, 2, 0.0);
+  auto row = m.row(1);
+  row[0] = 9.0;
+  EXPECT_DOUBLE_EQ(m(1, 0), 9.0);
+}
+
+TEST(Matrix, RowThrowsOutOfRange) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.row(2), InvalidArgument);
+}
+
+TEST(Matrix, ColumnCopies) {
+  Matrix m = make_counting(3, 2);
+  const RealVector col = m.column(1);
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_DOUBLE_EQ(col[0], 1.0);
+  EXPECT_DOUBLE_EQ(col[2], 5.0);
+}
+
+TEST(Matrix, AppendRowGrowsAndSetsWidth) {
+  Matrix m;
+  const RealVector row = {1.0, 2.0, 3.0};
+  m.append_row(row);
+  EXPECT_EQ(m.rows(), 1u);
+  EXPECT_EQ(m.cols(), 3u);
+  m.append_row(row);
+  EXPECT_EQ(m.rows(), 2u);
+}
+
+TEST(Matrix, AppendRowRejectsWidthMismatch) {
+  Matrix m;
+  const RealVector row3 = {1.0, 2.0, 3.0};
+  const RealVector row2 = {1.0, 2.0};
+  m.append_row(row3);
+  EXPECT_THROW(m.append_row(row2), InvalidArgument);
+}
+
+TEST(Matrix, FromRowsBuildsMatrix) {
+  const std::vector<RealVector> rows = {{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix m = Matrix::from_rows(rows);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, SelectColumnsKeepsOrder) {
+  Matrix m = make_counting(2, 4);
+  const Matrix sel = m.select_columns({3, 0});
+  EXPECT_EQ(sel.cols(), 2u);
+  EXPECT_DOUBLE_EQ(sel(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(sel(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(sel(1, 0), 7.0);
+}
+
+TEST(Matrix, SelectColumnsRejectsBadIndex) {
+  Matrix m = make_counting(2, 2);
+  EXPECT_THROW(m.select_columns({2}), InvalidArgument);
+}
+
+TEST(Matrix, SelectRowsKeepsOrderAndDuplicates) {
+  Matrix m = make_counting(3, 2);
+  const Matrix sel = m.select_rows({2, 0, 2});
+  EXPECT_EQ(sel.rows(), 3u);
+  EXPECT_DOUBLE_EQ(sel(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(sel(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(sel(2, 0), 4.0);
+}
+
+TEST(Matrix, SelectRowsRejectsBadIndex) {
+  Matrix m = make_counting(2, 2);
+  EXPECT_THROW(m.select_rows({5}), InvalidArgument);
+}
+
+TEST(Matrix, EqualityComparesContents) {
+  Matrix a = make_counting(2, 2);
+  Matrix b = make_counting(2, 2);
+  EXPECT_EQ(a, b);
+  b(1, 1) += 1.0;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace esl

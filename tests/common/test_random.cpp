@@ -1,0 +1,206 @@
+#include "common/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/statistics.hpp"
+
+namespace esl {
+namespace {
+
+TEST(SplitMix64, ProducesKnownNonTrivialSequence) {
+  std::uint64_t state = 0;
+  const std::uint64_t a = splitmix64_next(state);
+  const std::uint64_t b = splitmix64_next(state);
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(a, b);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) {
+      ++equal;
+    }
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, AdjacentSeedsGiveUncorrelatedUniforms) {
+  Rng a(100);
+  Rng b(101);
+  Real covariance = 0.0;
+  const int n = 4096;
+  for (int i = 0; i < n; ++i) {
+    covariance += (a.uniform() - 0.5) * (b.uniform() - 0.5);
+  }
+  covariance /= n;
+  EXPECT_LT(std::abs(covariance), 0.01);
+}
+
+TEST(Rng, UniformStaysInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const Real u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const Real u = rng.uniform(-3.0, 5.5);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.5);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  RealVector samples(20000);
+  for (auto& s : samples) {
+    s = rng.uniform();
+  }
+  EXPECT_NEAR(stats::mean(samples), 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.uniform_index(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_index(0), InvalidArgument);
+}
+
+TEST(Rng, NormalMomentsMatchStandardNormal) {
+  Rng rng(17);
+  RealVector samples(50000);
+  for (auto& s : samples) {
+    s = rng.normal();
+  }
+  EXPECT_NEAR(stats::mean(samples), 0.0, 0.02);
+  EXPECT_NEAR(stats::stddev(samples), 1.0, 0.02);
+  EXPECT_NEAR(stats::skewness(samples), 0.0, 0.05);
+  EXPECT_NEAR(stats::kurtosis_excess(samples), 0.0, 0.1);
+}
+
+TEST(Rng, ScaledNormalMatchesParameters) {
+  Rng rng(19);
+  RealVector samples(20000);
+  for (auto& s : samples) {
+    s = rng.normal(5.0, 2.0);
+  }
+  EXPECT_NEAR(stats::mean(samples), 5.0, 0.06);
+  EXPECT_NEAR(stats::stddev(samples), 2.0, 0.06);
+}
+
+TEST(Rng, NormalRejectsNegativeStddev) {
+  Rng rng(1);
+  EXPECT_THROW(rng.normal(0.0, -1.0), InvalidArgument);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng(23);
+  RealVector samples(30000);
+  for (auto& s : samples) {
+    s = rng.exponential(2.0);
+  }
+  EXPECT_NEAR(stats::mean(samples), 0.5, 0.02);
+  EXPECT_GT(stats::min(samples), 0.0);
+}
+
+TEST(Rng, BernoulliFrequencyTracksP) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<Real>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliRejectsOutOfRangeP) {
+  Rng rng(1);
+  EXPECT_THROW(rng.bernoulli(-0.1), InvalidArgument);
+  EXPECT_THROW(rng.bernoulli(1.1), InvalidArgument);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent(31);
+  Rng a = parent.fork(0);
+  Rng b = parent.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) {
+      ++equal;
+    }
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng p1(31);
+  Rng p2(31);
+  Rng a = p1.fork(5);
+  Rng b = p2.fork(5);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(37);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> shuffled = values;
+  rng.shuffle(shuffled);
+  EXPECT_TRUE(std::is_permutation(values.begin(), values.end(),
+                                  shuffled.begin()));
+}
+
+TEST(Rng, ShuffleHandlesDegenerateSizes) {
+  Rng rng(37);
+  std::vector<int> empty;
+  rng.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {42};
+  rng.shuffle(one);
+  EXPECT_EQ(one[0], 42);
+}
+
+TEST(Rng, ShuffleActuallyReorders) {
+  Rng rng(41);
+  std::vector<int> values(100);
+  for (int i = 0; i < 100; ++i) {
+    values[static_cast<std::size_t>(i)] = i;
+  }
+  std::vector<int> shuffled = values;
+  rng.shuffle(shuffled);
+  EXPECT_NE(values, shuffled);
+}
+
+}  // namespace
+}  // namespace esl

@@ -1,0 +1,255 @@
+#include "core/aposteriori.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "features/normalize.hpp"
+
+namespace esl::core {
+namespace {
+
+Matrix random_features(std::size_t length, std::size_t features,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(length, features);
+  for (std::size_t r = 0; r < length; ++r) {
+    for (std::size_t f = 0; f < features; ++f) {
+      m(r, f) = rng.normal();
+    }
+  }
+  return m;
+}
+
+/// Background noise with a mean-shifted block of `width` rows at `start`:
+/// the planted anomaly Algorithm 1 must find.
+Matrix planted_anomaly(std::size_t length, std::size_t features,
+                       std::size_t start, std::size_t width, Real shift,
+                       std::uint64_t seed) {
+  Matrix m = random_features(length, features, seed);
+  for (std::size_t r = start; r < start + width; ++r) {
+    for (std::size_t f = 0; f < features; ++f) {
+      m(r, f) += shift;
+    }
+  }
+  return m;
+}
+
+Real max_relative_error(const RealVector& a, const RealVector& b) {
+  EXPECT_EQ(a.size(), b.size());
+  // Errors are judged relative to the curve's overall scale: the engines
+  // sum the same terms in different orders, so positions whose exact value
+  // is ~0 (e.g. W = L-1, no outside points) keep only cancellation noise.
+  Real scale = 1e-30;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    scale = std::max({scale, std::abs(a[i]), std::abs(b[i])});
+  }
+  Real worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Real denom = std::max({std::abs(a[i]), std::abs(b[i]), 1e-9 * scale});
+    worst = std::max(worst, std::abs(a[i] - b[i]) / denom);
+  }
+  return worst;
+}
+
+// --- Exact equivalence of the two engines -------------------------------
+
+class EngineEquivalenceTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(EngineEquivalenceTest, OptimizedMatchesNaive) {
+  const auto [length, window, features, stride] = GetParam();
+  const Matrix x = features::zscore_normalized(
+      random_features(length, features, 1000 + length + window));
+  const RealVector naive =
+      distance_curve(x, window, stride, DistanceEngine::kNaive);
+  const RealVector optimized =
+      distance_curve(x, window, stride, DistanceEngine::kOptimized);
+  if (window + 1 == length) {
+    // Degenerate geometry: the exclusion zone [i, i+W] covers the whole
+    // signal, so the exact distance is identically zero; both engines may
+    // keep only rounding residue.
+    for (std::size_t i = 0; i < naive.size(); ++i) {
+      EXPECT_NEAR(naive[i], 0.0, 1e-8);
+      EXPECT_NEAR(optimized[i], 0.0, 1e-8);
+    }
+    return;
+  }
+  EXPECT_LT(max_relative_error(naive, optimized), 1e-9)
+      << "L=" << length << " W=" << window << " F=" << features
+      << " stride=" << stride;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EngineEquivalenceTest,
+    ::testing::Values(
+        // L, W, F, stride — spanning degenerate to paper-like shapes.
+        std::make_tuple(10, 1, 1, 4), std::make_tuple(10, 3, 2, 4),
+        std::make_tuple(16, 4, 1, 1), std::make_tuple(33, 7, 3, 4),
+        std::make_tuple(50, 10, 10, 4), std::make_tuple(64, 13, 2, 3),
+        std::make_tuple(100, 30, 5, 4), std::make_tuple(128, 5, 4, 2),
+        std::make_tuple(200, 60, 10, 4), std::make_tuple(257, 64, 3, 5),
+        std::make_tuple(300, 299, 2, 4), std::make_tuple(47, 46, 1, 4)));
+
+TEST(EngineEquivalence, ArgmaxAgreesOnRandomInputs) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const Matrix x = features::zscore_normalized(random_features(120, 4, seed));
+    const APosterioriDetector naive(
+        {.outside_stride = 4, .engine = DistanceEngine::kNaive});
+    const APosterioriDetector fast(
+        {.outside_stride = 4, .engine = DistanceEngine::kOptimized});
+    EXPECT_EQ(naive.detect(x, 20).seizure_index,
+              fast.detect(x, 20).seizure_index)
+        << "seed " << seed;
+  }
+}
+
+// --- Detection behaviour -------------------------------------------------
+
+class PlantedAnomalyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PlantedAnomalyTest, ArgmaxLandsOnAnomaly) {
+  const std::size_t start = GetParam();
+  const std::size_t window = 25;
+  const Matrix x = planted_anomaly(400, 6, start, window, 4.0, 77 + start);
+  const APosterioriDetector detector;
+  const APosterioriResult result = detector.detect(x, window);
+  // Allow a couple of points of slack: boundary windows partially
+  // covering the block score almost as high.
+  EXPECT_NEAR(static_cast<double>(result.seizure_index),
+              static_cast<double>(start), 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Positions, PlantedAnomalyTest,
+                         ::testing::Values(0, 40, 150, 310, 374));
+
+TEST(APosteriori, WindowShorterThanAnomalyStillOverlaps) {
+  const Matrix x = planted_anomaly(300, 5, 100, 40, 4.0, 5);
+  const APosterioriDetector detector;
+  const APosterioriResult result = detector.detect(x, 20);
+  EXPECT_GE(result.seizure_index + 20, 100u);   // overlaps the block
+  EXPECT_LE(result.seizure_index, 140u);
+}
+
+TEST(APosteriori, StrongerAnomalyWinsOverWeaker) {
+  Matrix x = planted_anomaly(400, 4, 50, 30, 2.0, 9);
+  for (std::size_t r = 300; r < 330; ++r) {
+    for (std::size_t f = 0; f < 4; ++f) {
+      x(r, f) += 6.0;  // second, stronger block
+    }
+  }
+  const APosterioriDetector detector;
+  EXPECT_NEAR(static_cast<double>(detector.detect(x, 30).seizure_index), 300.0,
+              3.0);
+}
+
+TEST(APosteriori, DistanceCurveLengthIsLMinusW) {
+  const Matrix x = random_features(100, 3, 11);
+  const APosterioriDetector detector;
+  const APosterioriResult result = detector.detect(x, 30);
+  EXPECT_EQ(result.distance.size(), 70u);
+  EXPECT_EQ(result.window_points, 30u);
+  EXPECT_DOUBLE_EQ(result.peak_distance,
+                   result.distance[result.seizure_index]);
+}
+
+TEST(APosteriori, PeakDistanceIsCurveMaximum) {
+  const Matrix x = planted_anomaly(200, 4, 80, 25, 3.0, 13);
+  const APosterioriDetector detector;
+  const APosterioriResult result = detector.detect(x, 25);
+  for (const Real d : result.distance) {
+    EXPECT_LE(d, result.peak_distance + 1e-12);
+  }
+}
+
+TEST(APosteriori, NormalizationMakesScaleIrrelevant) {
+  // Multiplying a feature column by 1000 must not change the argmax when
+  // normalize = true (Algorithm 1 line 1).
+  Matrix x = planted_anomaly(300, 4, 120, 30, 3.0, 17);
+  Matrix scaled = x;
+  for (std::size_t r = 0; r < scaled.rows(); ++r) {
+    scaled(r, 2) *= 1000.0;
+  }
+  const APosterioriDetector detector;
+  EXPECT_EQ(detector.detect(x, 30).seizure_index,
+            detector.detect(scaled, 30).seizure_index);
+}
+
+TEST(APosteriori, PreNormalizedInputSupported) {
+  const Matrix x = features::zscore_normalized(
+      planted_anomaly(200, 4, 60, 25, 3.0, 19));
+  APosterioriConfig config;
+  config.normalize = false;
+  const APosterioriDetector detector(config);
+  EXPECT_NEAR(static_cast<double>(detector.detect(x, 25).seizure_index), 60.0,
+              3.0);
+}
+
+TEST(APosteriori, StrideOneUsesAllOutsidePoints) {
+  const Matrix x = planted_anomaly(150, 3, 60, 20, 3.0, 23);
+  APosterioriConfig config;
+  config.outside_stride = 1;
+  const APosterioriDetector detector(config);
+  EXPECT_NEAR(static_cast<double>(detector.detect(x, 20).seizure_index), 60.0,
+              3.0);
+}
+
+TEST(APosteriori, ValidatesArguments) {
+  const Matrix x = random_features(50, 3, 29);
+  const APosterioriDetector detector;
+  EXPECT_THROW(detector.detect(x, 0), InvalidArgument);
+  EXPECT_THROW(detector.detect(x, 50), InvalidArgument);
+  EXPECT_THROW(detector.detect(x, 51), InvalidArgument);
+  EXPECT_THROW(distance_curve(x, 10, 0, DistanceEngine::kNaive),
+               InvalidArgument);
+  const Matrix empty;
+  EXPECT_THROW(detector.detect(empty, 1), InvalidArgument);
+}
+
+TEST(APosteriori, LabelMapsFeatureIndexToSeconds) {
+  // Build a WindowedFeatures with 1 s hop and a planted block at 100 s.
+  features::WindowedFeatures windowed;
+  windowed.features = planted_anomaly(600, 4, 100, 40, 4.0, 31);
+  windowed.hop_seconds = 1.0;
+  windowed.window_seconds = 4.0;
+  for (std::size_t i = 0; i < 600; ++i) {
+    windowed.window_start_s.push_back(static_cast<Seconds>(i));
+  }
+  const APosterioriDetector detector;
+  const signal::Interval label = detector.label(windowed, 40.0);
+  EXPECT_NEAR(label.onset, 100.0, 3.0);
+  EXPECT_NEAR(label.duration(), 40.0, 1e-9);
+}
+
+TEST(APosteriori, LabelRejectsBadGeometry) {
+  features::WindowedFeatures windowed;
+  windowed.features = random_features(50, 3, 37);
+  windowed.hop_seconds = 1.0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    windowed.window_start_s.push_back(static_cast<Seconds>(i));
+  }
+  const APosterioriDetector detector;
+  EXPECT_THROW(detector.label(windowed, 0.0), InvalidArgument);
+  EXPECT_THROW(detector.label(windowed, 100.0), InvalidArgument);
+}
+
+TEST(APosteriori, DiagnosticsOutputPopulated) {
+  features::WindowedFeatures windowed;
+  windowed.features = planted_anomaly(300, 4, 50, 30, 4.0, 41);
+  windowed.hop_seconds = 1.0;
+  for (std::size_t i = 0; i < 300; ++i) {
+    windowed.window_start_s.push_back(static_cast<Seconds>(i));
+  }
+  const APosterioriDetector detector;
+  APosterioriResult diagnostics;
+  detector.label(windowed, 30.0, &diagnostics);
+  EXPECT_EQ(diagnostics.distance.size(), 270u);
+  EXPECT_NEAR(static_cast<double>(diagnostics.seizure_index), 50.0, 3.0);
+}
+
+}  // namespace
+}  // namespace esl::core

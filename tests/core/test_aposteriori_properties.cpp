@@ -1,0 +1,137 @@
+// Property-based tests of Algorithm 1's invariances — behaviours that
+// must hold for ANY input, beyond the example-based tests in
+// test_aposteriori.cpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.hpp"
+#include "core/aposteriori.hpp"
+#include "features/normalize.hpp"
+
+namespace esl::core {
+namespace {
+
+Matrix random_features(std::size_t length, std::size_t features,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(length, features);
+  for (std::size_t r = 0; r < length; ++r) {
+    for (std::size_t f = 0; f < features; ++f) {
+      m(r, f) = rng.normal();
+    }
+  }
+  return m;
+}
+
+Matrix with_block(Matrix m, std::size_t start, std::size_t width, Real shift) {
+  for (std::size_t r = start; r < start + width; ++r) {
+    for (std::size_t f = 0; f < m.cols(); ++f) {
+      m(r, f) += shift;
+    }
+  }
+  return m;
+}
+
+class PropertySeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PropertySeedTest, CurveIsNonNegative) {
+  const Matrix x =
+      features::zscore_normalized(random_features(120, 5, GetParam()));
+  for (const Real d : distance_curve(x, 15, 4, DistanceEngine::kOptimized)) {
+    EXPECT_GE(d, 0.0);
+  }
+}
+
+TEST_P(PropertySeedTest, FeatureColumnPermutationInvariance) {
+  // The distance sums |.| across features and takes the Euclidean norm:
+  // any feature reordering must leave the curve untouched.
+  const Matrix x =
+      features::zscore_normalized(random_features(100, 6, GetParam()));
+  std::vector<std::size_t> order = {5, 3, 0, 4, 1, 2};
+  const Matrix permuted = x.select_columns(order);
+  const RealVector a = distance_curve(x, 20, 4, DistanceEngine::kOptimized);
+  const RealVector b =
+      distance_curve(permuted, 20, 4, DistanceEngine::kOptimized);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-10);
+  }
+}
+
+TEST_P(PropertySeedTest, StrongerAnomalyRaisesPeakDistance) {
+  const Matrix base = random_features(200, 4, GetParam());
+  const APosterioriDetector detector;
+  Real previous_peak = 0.0;
+  for (const Real shift : {1.0, 2.0, 4.0, 8.0}) {
+    const Matrix x = with_block(base, 80, 25, shift);
+    const APosterioriResult result = detector.detect(x, 25);
+    EXPECT_GT(result.peak_distance, previous_peak)
+        << "shift " << shift;
+    previous_peak = result.peak_distance;
+  }
+}
+
+TEST_P(PropertySeedTest, ConstantSignalHasFlatCurve) {
+  Matrix x(80, 3, 0.0);
+  // Normalization maps a constant column to all-zeros -> zero distances.
+  const APosterioriDetector detector;
+  const APosterioriResult result = detector.detect(x, 10);
+  for (const Real d : result.distance) {
+    EXPECT_NEAR(d, 0.0, 1e-12);
+  }
+  (void)GetParam();
+}
+
+TEST_P(PropertySeedTest, GlobalAffineTransformInvariance) {
+  // y = a*x + b per feature is removed by the z-score normalization, so
+  // the full detect() pipeline must be invariant.
+  const Matrix x = with_block(random_features(150, 4, GetParam()), 60, 20, 3.0);
+  Matrix transformed = x;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t f = 0; f < x.cols(); ++f) {
+      transformed(r, f) =
+          x(r, f) * (3.0 + static_cast<Real>(f)) - 40.0 * static_cast<Real>(f);
+    }
+  }
+  const APosterioriDetector detector;
+  EXPECT_EQ(detector.detect(x, 20).seizure_index,
+            detector.detect(transformed, 20).seizure_index);
+}
+
+TEST_P(PropertySeedTest, PeakAtAnomalyForAllWindowLengths) {
+  const std::size_t start = 70;
+  const std::size_t width = 30;
+  const Matrix x =
+      with_block(random_features(250, 5, GetParam()), start, width, 4.0);
+  const APosterioriDetector detector;
+  for (const std::size_t window : {10u, 20u, 30u, 45u}) {
+    const std::size_t y = detector.detect(x, window).seizure_index;
+    // The detected window must overlap the planted block.
+    EXPECT_LT(y, start + width) << "window " << window;
+    EXPECT_GT(y + window, start) << "window " << window;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySeedTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+TEST(AposterioriProperty, CurveContinuityNoIsolatedSpikes) {
+  // Adjacent windows share W-1 points, so the distance curve must be
+  // smooth: neighboring values cannot differ by more than the influence
+  // of the swapped point (bounded by the curve scale).
+  const Matrix x = features::zscore_normalized(
+      with_block(random_features(300, 5, 99), 120, 30, 3.0));
+  const RealVector curve = distance_curve(x, 30, 4, DistanceEngine::kOptimized);
+  Real scale = 0.0;
+  for (const Real d : curve) {
+    scale = std::max(scale, d);
+  }
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LT(std::abs(curve[i] - curve[i - 1]), 0.25 * scale)
+        << "discontinuity at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace esl::core

@@ -1,0 +1,106 @@
+#include "core/deviation_metric.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace esl::core {
+namespace {
+
+using signal::Interval;
+
+TEST(Deviation, PerfectAgreementIsZero) {
+  const Interval truth{100.0, 160.0};
+  EXPECT_DOUBLE_EQ(deviation_seconds(truth, truth), 0.0);
+}
+
+TEST(Deviation, Eq1IsMeanOfBoundaryErrors) {
+  const Interval truth{100.0, 160.0};
+  const Interval detected{110.0, 150.0};  // |10| + |10| over 2
+  EXPECT_DOUBLE_EQ(deviation_seconds(truth, detected), 10.0);
+}
+
+TEST(Deviation, AsymmetricBoundaryErrors) {
+  const Interval truth{100.0, 160.0};
+  const Interval detected{104.0, 172.0};  // (4 + 12) / 2
+  EXPECT_DOUBLE_EQ(deviation_seconds(truth, detected), 8.0);
+}
+
+TEST(Deviation, PureShiftGivesShiftMagnitude) {
+  const Interval truth{100.0, 160.0};
+  const Interval detected{130.0, 190.0};
+  EXPECT_DOUBLE_EQ(deviation_seconds(truth, detected), 30.0);
+}
+
+TEST(Deviation, SymmetricInArguments) {
+  const Interval a{100.0, 160.0};
+  const Interval b{90.0, 170.0};
+  EXPECT_DOUBLE_EQ(deviation_seconds(a, b), deviation_seconds(b, a));
+}
+
+TEST(Normalizer, Eq2DefinitionOfN) {
+  // N = max(L - mid, mid) with mid = (start + end) / 2.
+  const Interval truth{100.0, 160.0};  // mid = 130
+  EXPECT_DOUBLE_EQ(deviation_normalizer(truth, 1800.0), 1670.0);
+  // Seizure near the end: mid dominates.
+  const Interval late{1700.0, 1760.0};  // mid = 1730
+  EXPECT_DOUBLE_EQ(deviation_normalizer(late, 1800.0), 1730.0);
+}
+
+TEST(NormalizedDeviation, PerfectIsOne) {
+  const Interval truth{100.0, 160.0};
+  EXPECT_DOUBLE_EQ(deviation_normalized(truth, truth, 1800.0), 1.0);
+}
+
+TEST(NormalizedDeviation, KnownValue) {
+  const Interval truth{100.0, 160.0};  // mid 130, N = 1670
+  const Interval detected{110.0, 150.0};
+  // 1 - (10 + 10) / (2 * 1670).
+  EXPECT_NEAR(deviation_normalized(truth, detected, 1800.0),
+              1.0 - 20.0 / 3340.0, 1e-12);
+}
+
+TEST(NormalizedDeviation, WorstCaseApproachesZero) {
+  // Detection at the far edge of the record from the seizure.
+  const Interval truth{0.0, 60.0};  // mid 30, N = 1770 for L = 1800
+  const Interval detected{1740.0, 1800.0};
+  const Real value = deviation_normalized(truth, detected, 1800.0);
+  EXPECT_GE(value, 0.0);
+  EXPECT_LT(value, 0.05);
+}
+
+TEST(NormalizedDeviation, LongerRecordDilutesSameError) {
+  const Interval truth{500.0, 560.0};
+  const Interval detected{520.0, 580.0};
+  const Real short_record = deviation_normalized(truth, detected, 1800.0);
+  const Real long_record = deviation_normalized(truth, detected, 3600.0);
+  EXPECT_GT(long_record, short_record);
+}
+
+TEST(NormalizedDeviation, PaperHeadlineRelationship) {
+  // The paper equates delta = 10.1 s with delta_norm ~ 0.9935 ("less than
+  // 1% of the signal length"): for a 30-60 min record the normalized
+  // metric of a 10.1 s deviation is in that range.
+  const Interval truth{900.0, 960.0};
+  const Interval detected{910.1, 970.1};
+  const Real norm_30min = deviation_normalized(truth, detected, 1800.0);
+  EXPECT_GT(norm_30min, 0.985);
+  EXPECT_LT(norm_30min, 0.999);
+}
+
+TEST(NormalizedDeviation, ClampsPathologicalInputs) {
+  const Interval truth{10.0, 20.0};
+  const Interval far_outside{-5000.0, 9000.0};
+  const Real value = deviation_normalized(truth, far_outside, 100.0);
+  EXPECT_GE(value, 0.0);
+  EXPECT_LE(value, 1.0);
+}
+
+TEST(NormalizedDeviation, RejectsNonPositiveLength) {
+  const Interval truth{10.0, 20.0};
+  EXPECT_THROW(deviation_normalized(truth, truth, 0.0), InvalidArgument);
+  EXPECT_THROW(deviation_normalizer(truth, -5.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace esl::core

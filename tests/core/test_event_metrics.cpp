@@ -1,0 +1,145 @@
+#include "core/event_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace esl::core {
+namespace {
+
+/// Windows every second, 4 s long (paper geometry).
+std::vector<Seconds> window_times(std::size_t count) {
+  std::vector<Seconds> times(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    times[i] = static_cast<Seconds>(i);
+  }
+  return times;
+}
+
+TEST(EventMetrics, DetectsEventCoveredByAlarmRun) {
+  // Seizure at [50, 80); positives from window 52 to 70.
+  std::vector<int> predictions(200, 0);
+  for (std::size_t i = 52; i <= 70; ++i) {
+    predictions[i] = 1;
+  }
+  const EventEvaluation result = evaluate_events(
+      predictions, window_times(200), {{50.0, 80.0}}, 200.0);
+  ASSERT_EQ(result.total_events(), 1u);
+  EXPECT_EQ(result.detected_events(), 1u);
+  EXPECT_DOUBLE_EQ(result.event_sensitivity(), 1.0);
+  EXPECT_EQ(result.false_alarms, 0u);
+  // Alarm fires at the end of the 3rd consecutive window: 54 + 4 = 58;
+  // latency = 58 - 50 = 8 s.
+  EXPECT_DOUBLE_EQ(result.events[0].latency_s, 8.0);
+  EXPECT_DOUBLE_EQ(result.mean_latency_s(), 8.0);
+}
+
+TEST(EventMetrics, MissedEventCountsAgainstSensitivity) {
+  const std::vector<int> predictions(100, 0);
+  const EventEvaluation result = evaluate_events(
+      predictions, window_times(100), {{30.0, 50.0}}, 100.0);
+  EXPECT_EQ(result.detected_events(), 0u);
+  EXPECT_DOUBLE_EQ(result.event_sensitivity(), 0.0);
+  EXPECT_DOUBLE_EQ(result.mean_latency_s(), 0.0);
+}
+
+TEST(EventMetrics, ShortBlipsDoNotAlarm) {
+  // Two isolated positive windows: below min_consecutive = 3.
+  std::vector<int> predictions(100, 0);
+  predictions[20] = 1;
+  predictions[40] = 1;
+  const EventEvaluation result = evaluate_events(
+      predictions, window_times(100), {{18.0, 30.0}}, 100.0);
+  EXPECT_EQ(result.detected_events(), 0u);
+  EXPECT_EQ(result.false_alarms, 0u);
+}
+
+TEST(EventMetrics, AlarmOutsideAnyEventIsFalseAlarm) {
+  std::vector<int> predictions(200, 0);
+  for (std::size_t i = 10; i < 15; ++i) {
+    predictions[i] = 1;  // run far from the seizure
+  }
+  const EventEvaluation result = evaluate_events(
+      predictions, window_times(200), {{150.0, 170.0}}, 200.0);
+  EXPECT_EQ(result.false_alarms, 1u);
+  EXPECT_EQ(result.detected_events(), 0u);
+  EXPECT_NEAR(result.false_alarm_rate_per_hour(), 18.0, 1e-9);  // 1 per 200 s
+}
+
+TEST(EventMetrics, PostictalGraceAbsorbsLateAlarms) {
+  // Alarm starting 30 s after offset: inside the default 60 s grace.
+  std::vector<int> predictions(300, 0);
+  for (std::size_t i = 130; i < 140; ++i) {
+    predictions[i] = 1;
+  }
+  const EventEvaluation in_grace = evaluate_events(
+      predictions, window_times(300), {{80.0, 100.0}}, 300.0);
+  EXPECT_EQ(in_grace.false_alarms, 0u);
+  EXPECT_EQ(in_grace.detected_events(), 1u);  // counted as (late) detection
+
+  EventEvaluationConfig strict;
+  strict.postictal_grace_s = 5.0;
+  const EventEvaluation out_of_grace = evaluate_events(
+      predictions, window_times(300), {{80.0, 100.0}}, 300.0, strict);
+  EXPECT_EQ(out_of_grace.false_alarms, 1u);
+  EXPECT_EQ(out_of_grace.detected_events(), 0u);
+}
+
+TEST(EventMetrics, OneLongRunIsOneAlarm) {
+  std::vector<int> predictions(100, 1);  // positive everywhere
+  const EventEvaluation result = evaluate_events(
+      predictions, window_times(100), {}, 100.0);
+  EXPECT_EQ(result.false_alarms, 1u);  // a single (very long) false alarm
+}
+
+TEST(EventMetrics, TwoEventsOneAlarmEach) {
+  std::vector<int> predictions(400, 0);
+  for (std::size_t i = 52; i < 60; ++i) {
+    predictions[i] = 1;
+  }
+  for (std::size_t i = 252; i < 260; ++i) {
+    predictions[i] = 1;
+  }
+  const EventEvaluation result = evaluate_events(
+      predictions, window_times(400), {{50.0, 70.0}, {250.0, 270.0}}, 400.0);
+  EXPECT_EQ(result.detected_events(), 2u);
+  EXPECT_EQ(result.false_alarms, 0u);
+  EXPECT_DOUBLE_EQ(result.event_sensitivity(), 1.0);
+}
+
+TEST(EventMetrics, NoEventsMeansVacuousSensitivity) {
+  const std::vector<int> predictions(50, 0);
+  const EventEvaluation result =
+      evaluate_events(predictions, window_times(50), {}, 50.0);
+  EXPECT_DOUBLE_EQ(result.event_sensitivity(), 1.0);
+}
+
+TEST(EventMetrics, HigherMinConsecutiveSuppressesAlarm) {
+  std::vector<int> predictions(100, 0);
+  for (std::size_t i = 30; i < 34; ++i) {
+    predictions[i] = 1;  // run of 4
+  }
+  EventEvaluationConfig config;
+  config.min_consecutive = 5;
+  const EventEvaluation result = evaluate_events(
+      predictions, window_times(100), {{28.0, 40.0}}, 100.0, config);
+  EXPECT_EQ(result.detected_events(), 0u);
+}
+
+TEST(EventMetrics, Validation) {
+  const std::vector<int> predictions(10, 0);
+  EXPECT_THROW(
+      evaluate_events(predictions, window_times(9), {}, 10.0),
+      InvalidArgument);
+  EXPECT_THROW(
+      evaluate_events(predictions, window_times(10), {}, 0.0),
+      InvalidArgument);
+  EventEvaluationConfig config;
+  config.min_consecutive = 0;
+  EXPECT_THROW(
+      evaluate_events(predictions, window_times(10), {}, 10.0, config),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace esl::core

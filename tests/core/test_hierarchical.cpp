@@ -1,0 +1,153 @@
+#include "core/hierarchical.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "ml/metrics.hpp"
+#include "sim/cohort.hpp"
+
+namespace esl::core {
+namespace {
+
+class HierarchicalTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    simulator_ = new sim::CohortSimulator();
+    const auto events = simulator_->events_for_patient(4);
+    train_record_ = new signal::EegRecord(
+        simulator_->synthesize_sample(events[0], 0, 500.0, 600.0));
+    test_record_ = new signal::EegRecord(
+        simulator_->synthesize_sample(events[1], 1, 500.0, 600.0));
+    train_ = new ml::Dataset(
+        build_window_dataset(*train_record_, train_record_->seizures()));
+  }
+  static void TearDownTestSuite() {
+    delete train_;
+    delete test_record_;
+    delete train_record_;
+    delete simulator_;
+    train_ = nullptr;
+    test_record_ = nullptr;
+    train_record_ = nullptr;
+    simulator_ = nullptr;
+  }
+
+  static sim::CohortSimulator* simulator_;
+  static signal::EegRecord* train_record_;
+  static signal::EegRecord* test_record_;
+  static ml::Dataset* train_;
+};
+
+sim::CohortSimulator* HierarchicalTest::simulator_ = nullptr;
+signal::EegRecord* HierarchicalTest::train_record_ = nullptr;
+signal::EegRecord* HierarchicalTest::test_record_ = nullptr;
+ml::Dataset* HierarchicalTest::train_ = nullptr;
+
+TEST_F(HierarchicalTest, Stage1ScreensOutMostBackground) {
+  HierarchicalDetector detector;
+  detector.fit(*train_, 7);
+  ASSERT_TRUE(detector.is_fitted());
+  const HierarchicalPrediction prediction = detector.predict(*test_record_);
+  EXPECT_EQ(prediction.labels.size(), prediction.total_windows);
+  // Most of the record is background -> the forest should run rarely.
+  EXPECT_LT(prediction.stage2_fraction(), 0.5);
+  EXPECT_GT(prediction.stage2_windows, 0u);
+}
+
+TEST_F(HierarchicalTest, DetectionQualityComparableToFlatForest) {
+  HierarchicalDetector hierarchical;
+  hierarchical.fit(*train_, 7);
+  RealtimeDetector flat;
+  flat.fit(*train_, 7);
+
+  const auto truth = test_record_->seizures();
+  const features::EglassFeatureExtractor extractor(2);
+  const features::WindowedFeatures windowed =
+      features::extract_windowed_features(*test_record_, extractor);
+  std::vector<int> labels(windowed.count());
+  for (std::size_t w = 0; w < windowed.count(); ++w) {
+    const signal::Interval window{windowed.window_start_s[w],
+                                  windowed.window_start_s[w] + 4.0};
+    labels[w] = window.overlap(truth.front()) >= 2.0 ? 1 : 0;
+  }
+
+  const HierarchicalPrediction two_stage = hierarchical.predict(*test_record_);
+  const std::vector<int> one_stage = flat.predict_windows(*test_record_);
+  const Real gmean_two = ml::confusion(labels, two_stage.labels).geometric_mean();
+  const Real gmean_one = ml::confusion(labels, one_stage).geometric_mean();
+  // Screening may cost a little sensitivity but not collapse.
+  EXPECT_GT(gmean_two, gmean_one - 0.15);
+  EXPECT_GT(gmean_two, 0.5);
+}
+
+TEST_F(HierarchicalTest, LowerTargetSensitivityScreensMore) {
+  HierarchicalConfig strict;
+  strict.stage1_target_sensitivity = 0.999;
+  HierarchicalConfig loose;
+  loose.stage1_target_sensitivity = 0.80;
+  HierarchicalDetector a(strict);
+  HierarchicalDetector b(loose);
+  a.fit(*train_, 7);
+  b.fit(*train_, 7);
+  // A looser stage-1 recall target allows a higher threshold -> fewer
+  // windows reach the forest.
+  EXPECT_GE(b.stage1_threshold(), a.stage1_threshold());
+  const auto pred_a = a.predict(*test_record_);
+  const auto pred_b = b.predict(*test_record_);
+  EXPECT_LE(pred_b.stage2_windows, pred_a.stage2_windows);
+}
+
+TEST_F(HierarchicalTest, ThresholdIsQuantileOfPositives) {
+  HierarchicalConfig config;
+  config.stage1_target_sensitivity = 1.0;  // keep every positive window
+  HierarchicalDetector detector(config);
+  detector.fit(*train_, 7);
+  // Threshold = min positive screening value -> every training positive
+  // passes stage 1.
+  std::size_t passed = 0;
+  std::size_t positives = 0;
+  for (std::size_t i = 0; i < train_->size(); ++i) {
+    if (train_->y[i] == 1) {
+      ++positives;
+      if (train_->x(i, config.screening_feature) >= detector.stage1_threshold()) {
+        ++passed;
+      }
+    }
+  }
+  EXPECT_EQ(passed, positives);
+}
+
+TEST(HierarchicalValidation, FitRejectsBadInput) {
+  HierarchicalDetector detector;
+  ml::Dataset no_positives;
+  const RealVector row(108, 0.0);
+  no_positives.push_back(row, 0);
+  no_positives.push_back(row, 0);
+  EXPECT_THROW(detector.fit(no_positives), InvalidArgument);
+
+  HierarchicalConfig config;
+  config.screening_feature = 500;  // beyond the e-Glass width
+  HierarchicalDetector bad_feature(config);
+  ml::Dataset small;
+  small.push_back(row, 1);
+  small.push_back(row, 1);
+  EXPECT_THROW(bad_feature.fit(small), InvalidArgument);
+}
+
+TEST(HierarchicalValidation, PredictBeforeFitThrows) {
+  const HierarchicalDetector detector;
+  const sim::CohortSimulator simulator;
+  const auto record = simulator.synthesize_background_record(0, 30.0, 1);
+  EXPECT_THROW(detector.predict(record), InvalidArgument);
+}
+
+TEST(HierarchicalValidation, ConfigValidation) {
+  HierarchicalConfig config;
+  config.stage1_target_sensitivity = 0.0;
+  EXPECT_THROW(HierarchicalDetector{config}, InvalidArgument);
+  config.stage1_target_sensitivity = 1.5;
+  EXPECT_THROW(HierarchicalDetector{config}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace esl::core

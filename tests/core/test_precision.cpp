@@ -1,0 +1,112 @@
+#include "core/precision.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "core/aposteriori.hpp"
+#include "features/normalize.hpp"
+
+namespace esl::core {
+namespace {
+
+Matrix planted(std::size_t length, std::size_t features, std::size_t start,
+               std::size_t width, Real shift, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(length, features);
+  for (std::size_t r = 0; r < length; ++r) {
+    for (std::size_t f = 0; f < features; ++f) {
+      m(r, f) = rng.normal();
+    }
+  }
+  for (std::size_t r = start; r < start + width; ++r) {
+    for (std::size_t f = 0; f < features; ++f) {
+      m(r, f) += shift;
+    }
+  }
+  return features::zscore_normalized(m);
+}
+
+TEST(Precision, Float64ProfileMatchesNaiveEngine) {
+  const Matrix x = planted(150, 4, 60, 20, 3.0, 1);
+  const RealVector reference =
+      distance_curve(x, 20, 4, DistanceEngine::kNaive);
+  const RealVector profile =
+      distance_curve_profile(x, 20, 4, NumericProfile::kFloat64);
+  ASSERT_EQ(reference.size(), profile.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_DOUBLE_EQ(reference[i], profile[i]);
+  }
+}
+
+TEST(Precision, Float32StaysWithinSinglePrecisionError) {
+  const Matrix x = planted(200, 6, 80, 25, 3.0, 2);
+  const RealVector f64 =
+      distance_curve_profile(x, 25, 4, NumericProfile::kFloat64);
+  const RealVector f32 =
+      distance_curve_profile(x, 25, 4, NumericProfile::kFloat32);
+  for (std::size_t i = 0; i < f64.size(); ++i) {
+    EXPECT_NEAR(f32[i], f64[i], 1e-4 * std::max(1.0, f64[i]));
+  }
+}
+
+TEST(Precision, FixedPointStaysWithinQuantizationError) {
+  const Matrix x = planted(200, 6, 80, 25, 3.0, 3);
+  const RealVector f64 =
+      distance_curve_profile(x, 25, 4, NumericProfile::kFloat64);
+  const RealVector q88 =
+      distance_curve_profile(x, 25, 4, NumericProfile::kFixedQ8_8);
+  // Q8.8 quantizes inputs to 1/256; per-feature error accumulates but the
+  // averaged distance stays within a couple of quantization steps.
+  for (std::size_t i = 0; i < f64.size(); ++i) {
+    EXPECT_NEAR(q88[i], f64[i], 0.02 * std::max(1.0, f64[i]));
+  }
+}
+
+class ProfileArgmaxTest : public ::testing::TestWithParam<NumericProfile> {};
+
+TEST_P(ProfileArgmaxTest, AllProfilesAgreeOnThePlantedAnomaly) {
+  for (std::uint64_t seed = 10; seed < 16; ++seed) {
+    const Matrix x = planted(180, 5, 70, 22, 3.5, seed);
+    const RealVector curve = distance_curve_profile(x, 22, 4, GetParam());
+    EXPECT_NEAR(static_cast<double>(distance_argmax(curve)), 70.0, 3.0)
+        << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, ProfileArgmaxTest,
+                         ::testing::Values(NumericProfile::kFloat64,
+                                           NumericProfile::kFloat32,
+                                           NumericProfile::kFixedQ8_8));
+
+TEST(Precision, FixedPointClampsExtremeValues) {
+  // Z-scores beyond +-128 (possible for extreme artifacts) must clamp,
+  // not wrap.
+  Matrix x(50, 2, 0.0);
+  x(25, 0) = 500.0;
+  x(25, 1) = -500.0;
+  const RealVector curve =
+      distance_curve_profile(x, 5, 4, NumericProfile::kFixedQ8_8);
+  EXPECT_TRUE(std::isfinite(curve[distance_argmax(curve)]));
+  // The spike region still wins.
+  EXPECT_NEAR(static_cast<double>(distance_argmax(curve)), 23.0, 4.0);
+}
+
+TEST(Precision, ArgmaxValidation) {
+  EXPECT_THROW(distance_argmax(RealVector{}), InvalidArgument);
+}
+
+TEST(Precision, ProfileValidation) {
+  const Matrix x = planted(50, 2, 20, 10, 2.0, 4);
+  EXPECT_THROW(distance_curve_profile(x, 0, 4, NumericProfile::kFloat32),
+               InvalidArgument);
+  EXPECT_THROW(distance_curve_profile(x, 50, 4, NumericProfile::kFloat32),
+               InvalidArgument);
+  EXPECT_THROW(distance_curve_profile(x, 10, 0, NumericProfile::kFloat32),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace esl::core

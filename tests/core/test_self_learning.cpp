@@ -1,0 +1,93 @@
+#include "core/self_learning.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/deviation_metric.hpp"
+#include "sim/cohort.hpp"
+
+namespace esl::core {
+namespace {
+
+/// Short records keep these end-to-end tests quick; patient 5 has strong
+/// clean discharges so the behaviour is stable.
+class SelfLearningTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    simulator_ = new sim::CohortSimulator();
+  }
+  static void TearDownTestSuite() {
+    delete simulator_;
+    simulator_ = nullptr;
+  }
+
+  static SelfLearningConfig config_for_patient(std::size_t patient) {
+    SelfLearningConfig config;
+    config.average_seizure_duration_s =
+        simulator_->average_seizure_duration(patient);
+    return config;
+  }
+
+  static sim::CohortSimulator* simulator_;
+};
+
+sim::CohortSimulator* SelfLearningTest::simulator_ = nullptr;
+
+TEST_F(SelfLearningTest, TriggerLabelsCloseToGroundTruth) {
+  SelfLearningPipeline pipeline(config_for_patient(4));
+  const auto events = simulator_->events_for_patient(4);
+  const auto record = simulator_->synthesize_sample(events[0], 0, 500.0, 600.0);
+  const signal::Interval label = pipeline.on_patient_trigger(record);
+  const Seconds delta =
+      deviation_seconds(record.seizures().front(), label);
+  EXPECT_LT(delta, 30.0);
+  EXPECT_EQ(pipeline.labeled_seizures(), 1u);
+  EXPECT_TRUE(pipeline.detector_ready());
+}
+
+TEST_F(SelfLearningTest, DetectorImprovesAfterLearning) {
+  SelfLearningPipeline pipeline(config_for_patient(4));
+  const auto events = simulator_->events_for_patient(4);
+
+  // First seizure: the untrained detector cannot alarm; the patient
+  // triggers and the pipeline learns.
+  const auto first = simulator_->synthesize_sample(events[0], 0, 500.0, 600.0);
+  const MonitoringOutcome outcome1 = pipeline.monitor(first);
+  EXPECT_FALSE(outcome1.alarm_raised);
+  EXPECT_TRUE(outcome1.patient_triggered);
+
+  // Later seizure from the same patient: the personalized detector should
+  // now raise the alarm in real time.
+  const auto second = simulator_->synthesize_sample(events[1], 1, 500.0, 600.0);
+  const MonitoringOutcome outcome2 = pipeline.monitor(second);
+  EXPECT_TRUE(outcome2.alarm_raised);
+  EXPECT_FALSE(outcome2.patient_triggered);
+}
+
+TEST_F(SelfLearningTest, BackgroundRecordsEnrichNegatives) {
+  SelfLearningConfig config = config_for_patient(4);
+  config.retrain_on_label = false;
+  SelfLearningPipeline pipeline(config);
+  pipeline.add_background_record(
+      simulator_->synthesize_background_record(4, 120.0, 9));
+  const auto events = simulator_->events_for_patient(4);
+  pipeline.on_patient_trigger(
+      simulator_->synthesize_sample(events[0], 0, 500.0, 600.0));
+  EXPECT_FALSE(pipeline.detector_ready());  // retrain_on_label = false
+  pipeline.retrain();
+  EXPECT_TRUE(pipeline.detector_ready());
+}
+
+TEST_F(SelfLearningTest, RetrainWithoutDataThrows) {
+  SelfLearningPipeline pipeline(config_for_patient(4));
+  EXPECT_THROW(pipeline.retrain(), InvalidArgument);
+}
+
+TEST_F(SelfLearningTest, ConfigValidation) {
+  SelfLearningConfig config;
+  config.average_seizure_duration_s = 0.0;
+  EXPECT_THROW(SelfLearningPipeline{config}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace esl::core

@@ -1,0 +1,113 @@
+#include "dsp/stft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "sim/cohort.hpp"
+
+namespace esl::dsp {
+namespace {
+
+constexpr Real k_pi = std::numbers::pi_v<Real>;
+
+RealVector tone(Real hz, std::size_t n, Real fs = 256.0) {
+  RealVector x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(2.0 * k_pi * hz * static_cast<Real>(i) / fs);
+  }
+  return x;
+}
+
+TEST(Stft, FrameAndBinGeometry) {
+  const Stft s = stft(tone(10.0, 2048), 256.0, 512, 256);
+  EXPECT_EQ(s.frames(), 7u);  // (2048-512)/256 + 1
+  EXPECT_EQ(s.bins(), 257u);
+  EXPECT_DOUBLE_EQ(s.frequency.front(), 0.0);
+  EXPECT_DOUBLE_EQ(s.frequency.back(), 128.0);
+  EXPECT_DOUBLE_EQ(s.frame_time[0], 0.0);
+  EXPECT_DOUBLE_EQ(s.frame_time[1], 1.0);
+}
+
+TEST(Stft, StationaryTonePeaksAtToneInEveryFrame) {
+  const Stft s = stft(tone(20.0, 4096), 256.0, 512, 256);
+  for (std::size_t f = 0; f < s.frames(); ++f) {
+    EXPECT_NEAR(frame_peak_frequency(s, f), 20.0, 0.6) << "frame " << f;
+  }
+}
+
+TEST(Stft, LocalizesTransientInTime) {
+  // Silence, then a 30 Hz burst in the second half.
+  RealVector x(4096, 0.0);
+  const RealVector burst = tone(30.0, 2048);
+  for (std::size_t i = 0; i < 2048; ++i) {
+    x[2048 + i] = burst[i];
+  }
+  const Stft s = stft(x, 256.0, 512, 512);
+  // First frames: negligible energy; later frames: strong 30 Hz peak.
+  Real early = 0.0;
+  Real late = 0.0;
+  for (std::size_t k = 0; k < s.bins(); ++k) {
+    early += s.magnitude(0, k);
+    late += s.magnitude(s.frames() - 1, k);
+  }
+  EXPECT_GT(late, 100.0 * (early + 1e-12));
+  EXPECT_NEAR(frame_peak_frequency(s, s.frames() - 1), 30.0, 0.6);
+}
+
+TEST(Stft, TracksTheSyntheticIctalChirp) {
+  // End-to-end check that the simulator's discharge chirps downward.
+  const sim::CohortSimulator simulator;
+  const sim::SeizureEvent event = simulator.events_for_patient(4).front();
+  const auto record = simulator.synthesize_sample(event, 0, 500.0, 600.0);
+  const auto seizure = record.seizures().front();
+  const auto& samples = record.channel(0).samples;
+
+  const std::size_t onset = record.seconds_to_sample(seizure.onset);
+  const std::size_t length = record.seconds_to_sample(seizure.offset) - onset;
+  const Stft s = stft(std::span<const Real>(samples).subspan(onset, length),
+                      256.0, 1024, 512);
+  const Real early_hz = frame_peak_frequency(s, 1, 1.0);
+  const Real late_hz = frame_peak_frequency(s, s.frames() - 2, 1.0);
+  EXPECT_GT(early_hz, late_hz);  // downward chirp
+  EXPECT_GT(early_hz, 4.0);
+  EXPECT_LT(late_hz, 5.0);
+}
+
+TEST(SpectrogramDb, PeakIsZeroDbRestBelow) {
+  const Stft s = stft(tone(15.0, 2048), 256.0, 512, 256);
+  const Matrix db = spectrogram_db(s, -80.0);
+  Real max_db = -1e9;
+  for (const Real v : db.data()) {
+    EXPECT_LE(v, 0.0 + 1e-12);
+    EXPECT_GE(v, -80.0);
+    max_db = std::max(max_db, v);
+  }
+  EXPECT_NEAR(max_db, 0.0, 1e-9);
+}
+
+TEST(SpectrogramDb, SilentSignalIsAllFloor) {
+  const RealVector silence(1024, 0.0);
+  const Stft s = stft(silence, 256.0, 256, 128);
+  const Matrix db = spectrogram_db(s, -60.0);
+  for (const Real v : db.data()) {
+    EXPECT_DOUBLE_EQ(v, -60.0);
+  }
+}
+
+TEST(Stft, Validation) {
+  const RealVector x = tone(10.0, 1024);
+  EXPECT_THROW(stft(x, 0.0, 256, 128), InvalidArgument);
+  EXPECT_THROW(stft(x, 256.0, 1, 128), InvalidArgument);
+  EXPECT_THROW(stft(x, 256.0, 256, 0), InvalidArgument);
+  const RealVector tiny(10, 0.0);
+  EXPECT_THROW(stft(tiny, 256.0, 256, 128), InvalidArgument);
+  const Stft s = stft(x, 256.0, 256, 128);
+  EXPECT_THROW(frame_peak_frequency(s, s.frames()), InvalidArgument);
+  EXPECT_THROW(spectrogram_db(s, 10.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace esl::dsp

@@ -1,0 +1,309 @@
+#include "dsp/wavelet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+
+namespace esl::dsp {
+namespace {
+
+RealVector random_signal(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  RealVector v(n);
+  for (auto& x : v) {
+    x = rng.normal();
+  }
+  return v;
+}
+
+Real max_abs_error(const RealVector& a, const RealVector& b) {
+  EXPECT_EQ(a.size(), b.size());
+  Real m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+// --- Filter-bank identities -------------------------------------------
+
+class WaveletFilterTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WaveletFilterTest, LowpassSumsToSqrt2) {
+  const Wavelet w = Wavelet::daubechies(GetParam());
+  Real sum = 0.0;
+  for (const Real h : w.lowpass()) {
+    sum += h;
+  }
+  EXPECT_NEAR(sum, std::sqrt(2.0), 1e-12);
+}
+
+TEST_P(WaveletFilterTest, LowpassOrthonormalToEvenShifts) {
+  const Wavelet w = Wavelet::daubechies(GetParam());
+  const auto& h = w.lowpass();
+  const std::size_t n = h.size();
+  for (std::size_t shift = 0; shift < n; shift += 2) {
+    Real dot = 0.0;
+    for (std::size_t k = 0; k + shift < n; ++k) {
+      dot += h[k] * h[k + shift];
+    }
+    EXPECT_NEAR(dot, shift == 0 ? 1.0 : 0.0, 1e-12) << "shift " << shift;
+  }
+}
+
+TEST_P(WaveletFilterTest, HighpassSumsToZero) {
+  const Wavelet w = Wavelet::daubechies(GetParam());
+  Real sum = 0.0;
+  for (const Real g : w.highpass()) {
+    sum += g;
+  }
+  EXPECT_NEAR(sum, 0.0, 1e-12);
+}
+
+TEST_P(WaveletFilterTest, LowAndHighpassAreOrthogonal) {
+  const Wavelet w = Wavelet::daubechies(GetParam());
+  const auto& h = w.lowpass();
+  const auto& g = w.highpass();
+  Real dot = 0.0;
+  for (std::size_t k = 0; k < h.size(); ++k) {
+    dot += h[k] * g[k];
+  }
+  EXPECT_NEAR(dot, 0.0, 1e-12);
+}
+
+TEST_P(WaveletFilterTest, FilterLengthIsTwiceVanishingMoments) {
+  const int vm = GetParam();
+  const Wavelet w = Wavelet::daubechies(vm);
+  EXPECT_EQ(w.length(), static_cast<std::size_t>(2 * vm));
+}
+
+INSTANTIATE_TEST_SUITE_P(Daubechies, WaveletFilterTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(Wavelet, VanishingMomentsKillPolynomials) {
+  // dbN highpass annihilates polynomials of degree < N.
+  const Wavelet db4 = Wavelet::daubechies(4);
+  const auto& g = db4.highpass();
+  for (int degree = 0; degree < 4; ++degree) {
+    Real dot = 0.0;
+    for (std::size_t k = 0; k < g.size(); ++k) {
+      dot += g[k] * std::pow(static_cast<Real>(k), degree);
+    }
+    EXPECT_NEAR(dot, 0.0, 1e-9) << "degree " << degree;
+  }
+}
+
+TEST(Wavelet, RejectsUnsupportedOrder) {
+  EXPECT_THROW(Wavelet::daubechies(0), InvalidArgument);
+  EXPECT_THROW(Wavelet::daubechies(11), InvalidArgument);
+}
+
+TEST(Wavelet, HaarIsDb1) {
+  const Wavelet haar = Wavelet::haar();
+  EXPECT_EQ(haar.length(), 2u);
+  EXPECT_NEAR(haar.lowpass()[0], 1.0 / std::sqrt(2.0), 1e-15);
+}
+
+// --- Single-level transform -------------------------------------------
+
+TEST(Dwt, HaarKnownValues) {
+  const RealVector x = {1.0, 3.0, 2.0, 6.0};
+  const DwtLevel level = dwt_single(x, Wavelet::haar(), ExtensionMode::kPeriodic);
+  const Real s = std::sqrt(2.0);
+  ASSERT_EQ(level.approx.size(), 2u);
+  EXPECT_NEAR(level.approx[0], 4.0 / s, 1e-12);
+  EXPECT_NEAR(level.approx[1], 8.0 / s, 1e-12);
+  EXPECT_NEAR(level.detail[0], -2.0 / s, 1e-12);
+  EXPECT_NEAR(level.detail[1], -4.0 / s, 1e-12);
+}
+
+TEST(Dwt, PeriodicPreservesEnergy) {
+  const RealVector x = random_signal(256, 42);
+  const DwtLevel level =
+      dwt_single(x, Wavelet::daubechies(4), ExtensionMode::kPeriodic);
+  Real in = 0.0;
+  for (const Real v : x) {
+    in += v * v;
+  }
+  Real out = 0.0;
+  for (const Real v : level.approx) {
+    out += v * v;
+  }
+  for (const Real v : level.detail) {
+    out += v * v;
+  }
+  EXPECT_NEAR(out, in, 1e-9 * in);
+}
+
+TEST(Dwt, ConstantSignalHasZeroDetail) {
+  const RealVector x(64, 3.0);
+  for (int vm : {1, 2, 3, 4}) {
+    const DwtLevel level =
+        dwt_single(x, Wavelet::daubechies(vm), ExtensionMode::kPeriodic);
+    for (const Real d : level.detail) {
+      EXPECT_NEAR(d, 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Dwt, SymmetricModeCoefficientLength) {
+  // pywt: len = floor((n + filter - 1) / 2).
+  const RealVector x = random_signal(100, 7);
+  const DwtLevel db4 =
+      dwt_single(x, Wavelet::daubechies(4), ExtensionMode::kSymmetric);
+  EXPECT_EQ(db4.approx.size(), (100 + 8 - 1) / 2);
+  const DwtLevel haar =
+      dwt_single(x, Wavelet::haar(), ExtensionMode::kSymmetric);
+  EXPECT_EQ(haar.approx.size(), (100 + 2 - 1) / 2);
+}
+
+TEST(Dwt, OddLengthPeriodicPads) {
+  const RealVector x = random_signal(33, 8);
+  const DwtLevel level = dwt_single(x, Wavelet::haar(), ExtensionMode::kPeriodic);
+  EXPECT_EQ(level.approx.size(), 17u);
+}
+
+// --- Perfect reconstruction -------------------------------------------
+
+class ReconstructionTest
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t, ExtensionMode>> {};
+
+TEST_P(ReconstructionTest, SingleLevelRoundTrip) {
+  const auto [vm, n, mode] = GetParam();
+  const Wavelet w = Wavelet::daubechies(vm);
+  if (mode == ExtensionMode::kSymmetric && 2 * ((n + w.length() - 1) / 2) < w.length()) {
+    GTEST_SKIP() << "signal too short for symmetric reconstruction";
+  }
+  const RealVector x = random_signal(n, 100 + n);
+  const DwtLevel level = dwt_single(x, w, mode);
+  const RealVector back = idwt_single(level.approx, level.detail, w, mode, n);
+  EXPECT_LT(max_abs_error(back, x), 1e-10) << "vm=" << vm << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ReconstructionTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(std::size_t{16}, std::size_t{37},
+                                         std::size_t{64}, std::size_t{100},
+                                         std::size_t{256}),
+                       ::testing::Values(ExtensionMode::kPeriodic,
+                                         ExtensionMode::kSymmetric)));
+
+class MultiLevelTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MultiLevelTest, WavedecWaverecRoundTripPeriodic) {
+  const std::size_t levels = GetParam();
+  const RealVector x = random_signal(512, 55);
+  const Wavelet db4 = Wavelet::daubechies(4);
+  const WaveletDecomposition dec =
+      wavedec(x, db4, levels, ExtensionMode::kPeriodic);
+  const RealVector back = waverec(dec, db4, ExtensionMode::kPeriodic);
+  EXPECT_LT(max_abs_error(back, x), 1e-9);
+}
+
+TEST_P(MultiLevelTest, WavedecWaverecRoundTripSymmetric) {
+  const std::size_t levels = GetParam();
+  const RealVector x = random_signal(512, 56);
+  const Wavelet db2 = Wavelet::daubechies(2);
+  const WaveletDecomposition dec =
+      wavedec(x, db2, levels, ExtensionMode::kSymmetric);
+  const RealVector back = waverec(dec, db2, ExtensionMode::kSymmetric);
+  EXPECT_LT(max_abs_error(back, x), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, MultiLevelTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7));
+
+TEST(Wavedec, PaperConfigurationShape) {
+  // 4 s window at 256 Hz -> 1024 samples, db4, 7 levels, periodic mode.
+  const RealVector x = random_signal(1024, 77);
+  const WaveletDecomposition dec =
+      wavedec(x, Wavelet::daubechies(4), 7, ExtensionMode::kPeriodic);
+  EXPECT_EQ(dec.levels(), 7u);
+  EXPECT_EQ(dec.detail_at_level(1).size(), 512u);
+  EXPECT_EQ(dec.detail_at_level(6).size(), 16u);
+  EXPECT_EQ(dec.detail_at_level(7).size(), 8u);
+  EXPECT_EQ(dec.approx.size(), 8u);
+}
+
+TEST(Wavedec, DetailLevelAccessorValidatesRange) {
+  const RealVector x = random_signal(64, 3);
+  const WaveletDecomposition dec = wavedec(x, Wavelet::haar(), 3);
+  EXPECT_THROW(dec.detail_at_level(0), InvalidArgument);
+  EXPECT_THROW(dec.detail_at_level(4), InvalidArgument);
+}
+
+TEST(Wavedec, MaxLevelsMatchesPywtRule) {
+  const Wavelet db4 = Wavelet::daubechies(4);
+  // floor(log2(1024 / 7)) = 7.
+  EXPECT_EQ(max_decomposition_levels(1024, db4), 7u);
+  EXPECT_EQ(max_decomposition_levels(256, db4), 5u);
+  const Wavelet haar = Wavelet::haar();
+  EXPECT_EQ(max_decomposition_levels(256, haar), 8u);
+}
+
+TEST(Wavedec, SeparatesFrequencyBands) {
+  // A slow sine should put most energy into deep levels / approximation;
+  // a fast sine into the shallow detail levels.
+  constexpr Real pi = std::numbers::pi_v<Real>;
+  RealVector slow(1024);
+  RealVector fast(1024);
+  for (std::size_t i = 0; i < 1024; ++i) {
+    slow[i] = std::sin(2.0 * pi * 2.0 * static_cast<Real>(i) / 256.0);
+    fast[i] = std::sin(2.0 * pi * 100.0 * static_cast<Real>(i) / 256.0);
+  }
+  const Wavelet db4 = Wavelet::daubechies(4);
+  const RealVector slow_energy =
+      wavelet_energy_distribution(wavedec(slow, db4, 7));
+  const RealVector fast_energy =
+      wavelet_energy_distribution(wavedec(fast, db4, 7));
+  // fast (100 Hz at fs=256) -> level 1 detail (64-128 Hz).
+  EXPECT_GT(fast_energy[0], 0.8);
+  // slow (2 Hz) -> levels 6/7/approx (0-4 Hz region).
+  EXPECT_GT(slow_energy[5] + slow_energy[6] + slow_energy[7], 0.8);
+}
+
+TEST(WaveletEnergy, DistributionSumsToOne) {
+  const RealVector x = random_signal(512, 91);
+  const RealVector energy =
+      wavelet_energy_distribution(wavedec(x, Wavelet::daubechies(4), 5));
+  ASSERT_EQ(energy.size(), 6u);
+  Real sum = 0.0;
+  for (const Real e : energy) {
+    EXPECT_GE(e, 0.0);
+    sum += e;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Dwt, LinearityOfAnalysis) {
+  const RealVector a = random_signal(128, 1);
+  const RealVector b = random_signal(128, 2);
+  RealVector combo(128);
+  for (std::size_t i = 0; i < 128; ++i) {
+    combo[i] = 2.0 * a[i] - 0.5 * b[i];
+  }
+  const Wavelet db3 = Wavelet::daubechies(3);
+  const DwtLevel da = dwt_single(a, db3, ExtensionMode::kPeriodic);
+  const DwtLevel db = dwt_single(b, db3, ExtensionMode::kPeriodic);
+  const DwtLevel dc = dwt_single(combo, db3, ExtensionMode::kPeriodic);
+  for (std::size_t i = 0; i < dc.detail.size(); ++i) {
+    EXPECT_NEAR(dc.detail[i], 2.0 * da.detail[i] - 0.5 * db.detail[i], 1e-10);
+  }
+}
+
+TEST(Idwt, RejectsMismatchedCoefficients) {
+  const RealVector a(8, 1.0);
+  const RealVector d(7, 0.0);
+  EXPECT_THROW(
+      idwt_single(a, d, Wavelet::haar(), ExtensionMode::kPeriodic, 16),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace esl::dsp

@@ -1,0 +1,90 @@
+#include "dsp/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace esl::dsp {
+namespace {
+
+TEST(Window, RectangularIsAllOnes) {
+  const RealVector w = make_window(WindowKind::kRectangular, 8);
+  for (const Real v : w) {
+    EXPECT_DOUBLE_EQ(v, 1.0);
+  }
+}
+
+TEST(Window, HannSymmetricEndsAtZero) {
+  const RealVector w = make_window(WindowKind::kHann, 9, /*periodic=*/false);
+  EXPECT_NEAR(w.front(), 0.0, 1e-12);
+  EXPECT_NEAR(w.back(), 0.0, 1e-12);
+  EXPECT_NEAR(w[4], 1.0, 1e-12);  // center of symmetric window
+}
+
+TEST(Window, HannPeriodicOmitsFinalZero) {
+  const RealVector w = make_window(WindowKind::kHann, 8, /*periodic=*/true);
+  EXPECT_NEAR(w.front(), 0.0, 1e-12);
+  EXPECT_GT(w.back(), 0.0);
+}
+
+TEST(Window, SymmetricWindowsAreSymmetric) {
+  for (const auto kind :
+       {WindowKind::kHann, WindowKind::kHamming, WindowKind::kBlackman}) {
+    const RealVector w = make_window(kind, 33, /*periodic=*/false);
+    for (std::size_t i = 0; i < w.size() / 2; ++i) {
+      EXPECT_NEAR(w[i], w[w.size() - 1 - i], 1e-12);
+    }
+  }
+}
+
+TEST(Window, HammingEdgeValue) {
+  const RealVector w = make_window(WindowKind::kHamming, 11, false);
+  EXPECT_NEAR(w.front(), 0.08, 1e-12);
+}
+
+TEST(Window, ValuesBoundedByOne) {
+  for (const auto kind :
+       {WindowKind::kHann, WindowKind::kHamming, WindowKind::kBlackman}) {
+    for (const Real v : make_window(kind, 64)) {
+      EXPECT_GE(v, -1e-12);
+      EXPECT_LE(v, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(Window, SingleSampleIsOne) {
+  for (const auto kind : {WindowKind::kRectangular, WindowKind::kHann}) {
+    const RealVector w = make_window(kind, 1);
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_DOUBLE_EQ(w[0], 1.0);
+  }
+}
+
+TEST(Window, PowerOfRectangularIsN) {
+  const RealVector w = make_window(WindowKind::kRectangular, 16);
+  EXPECT_DOUBLE_EQ(window_power(w), 16.0);
+}
+
+TEST(Window, HannPowerIsThreeEighthsN) {
+  // Periodic Hann: sum of squares = 3N/8.
+  const RealVector w = make_window(WindowKind::kHann, 256, true);
+  EXPECT_NEAR(window_power(w), 3.0 * 256.0 / 8.0, 1e-9);
+}
+
+TEST(Window, ParseNames) {
+  EXPECT_EQ(parse_window("hann"), WindowKind::kHann);
+  EXPECT_EQ(parse_window("hamming"), WindowKind::kHamming);
+  EXPECT_EQ(parse_window("blackman"), WindowKind::kBlackman);
+  EXPECT_EQ(parse_window("rectangular"), WindowKind::kRectangular);
+  EXPECT_EQ(parse_window("boxcar"), WindowKind::kRectangular);
+  EXPECT_THROW(parse_window("kaiser"), InvalidArgument);
+}
+
+TEST(Window, RejectsZeroLength) {
+  EXPECT_THROW(make_window(WindowKind::kHann, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace esl::dsp

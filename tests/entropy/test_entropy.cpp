@@ -1,0 +1,159 @@
+#include "entropy/entropy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "entropy/histogram.hpp"
+
+namespace esl::entropy {
+namespace {
+
+TEST(Histogram, CountsAndRange) {
+  const RealVector x = {0.0, 0.5, 1.0, 1.5, 2.0};
+  const Histogram h(x, 4);
+  EXPECT_EQ(h.bins(), 4u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_low(), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(), 2.0);
+  std::size_t total = 0;
+  for (const std::size_t c : h.counts()) {
+    total += c;
+  }
+  EXPECT_EQ(total, 5u);
+}
+
+TEST(Histogram, MaxValueLandsInLastBin) {
+  const RealVector x = {0.0, 1.0};
+  const Histogram h(x, 2);
+  EXPECT_EQ(h.counts()[0], 1u);
+  EXPECT_EQ(h.counts()[1], 1u);
+}
+
+TEST(Histogram, ConstantSignalSingleBin) {
+  const RealVector x(10, 3.0);
+  const Histogram h(x, 8);
+  EXPECT_EQ(h.counts()[0], 10u);
+  for (std::size_t b = 1; b < 8; ++b) {
+    EXPECT_EQ(h.counts()[b], 0u);
+  }
+}
+
+TEST(Histogram, ProbabilitiesSumToOne) {
+  Rng rng(1);
+  RealVector x(1000);
+  for (auto& v : x) {
+    v = rng.normal();
+  }
+  const Histogram h(x, 16);
+  Real sum = 0.0;
+  for (const Real p : h.probabilities()) {
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Histogram, RejectsBadInputs) {
+  const RealVector x = {1.0};
+  EXPECT_THROW(Histogram(x, 0), InvalidArgument);
+  EXPECT_THROW(Histogram(RealVector{}, 4), InvalidArgument);
+}
+
+TEST(Shannon, UniformIsLogN) {
+  const RealVector p = {0.25, 0.25, 0.25, 0.25};
+  EXPECT_NEAR(shannon(p), std::log(4.0), 1e-12);
+}
+
+TEST(Shannon, DegenerateIsZero) {
+  const RealVector p = {1.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(shannon(p), 0.0);
+}
+
+TEST(Shannon, KnownBinaryEntropy) {
+  const RealVector p = {0.5, 0.5};
+  EXPECT_NEAR(shannon(p), std::log(2.0), 1e-12);
+}
+
+TEST(Shannon, RejectsNonDistribution) {
+  const RealVector not_normalized = {0.5, 0.2};
+  EXPECT_THROW(shannon(not_normalized), InvalidArgument);
+  const RealVector negative = {1.2, -0.2};
+  EXPECT_THROW(shannon(negative), InvalidArgument);
+}
+
+TEST(Renyi, UniformIsLogNForAllOrders) {
+  const RealVector p = {0.25, 0.25, 0.25, 0.25};
+  for (const Real alpha : {0.5, 2.0, 3.0, 10.0}) {
+    EXPECT_NEAR(renyi(p, alpha), std::log(4.0), 1e-12) << "alpha " << alpha;
+  }
+}
+
+TEST(Renyi, ConvergesToShannonAsAlphaApproachesOne) {
+  const RealVector p = {0.7, 0.2, 0.1};
+  const Real target = shannon(p);
+  EXPECT_NEAR(renyi(p, 1.0001), target, 1e-3);
+  EXPECT_NEAR(renyi(p, 0.9999), target, 1e-3);
+}
+
+TEST(Renyi, DecreasingInAlpha) {
+  const RealVector p = {0.6, 0.3, 0.1};
+  EXPECT_GE(renyi(p, 0.5), renyi(p, 2.0));
+  EXPECT_GE(renyi(p, 2.0), renyi(p, 5.0));
+}
+
+TEST(Renyi, CollisionEntropyKnownValue) {
+  // alpha=2: -log(sum p^2).
+  const RealVector p = {0.5, 0.5};
+  EXPECT_NEAR(renyi(p, 2.0), -std::log(0.5), 1e-12);
+}
+
+TEST(Renyi, RejectsBadAlpha) {
+  const RealVector p = {0.5, 0.5};
+  EXPECT_THROW(renyi(p, 1.0), InvalidArgument);
+  EXPECT_THROW(renyi(p, 0.0), InvalidArgument);
+  EXPECT_THROW(renyi(p, -2.0), InvalidArgument);
+}
+
+TEST(Tsallis, UniformKnownValue) {
+  // q=2: 1 - sum p^2 = 1 - 1/n.
+  const RealVector p = {0.25, 0.25, 0.25, 0.25};
+  EXPECT_NEAR(tsallis(p, 2.0), 0.75, 1e-12);
+}
+
+TEST(Tsallis, DegenerateIsZero) {
+  const RealVector p = {1.0, 0.0};
+  EXPECT_NEAR(tsallis(p, 2.0), 0.0, 1e-12);
+}
+
+TEST(SignalEntropy, NoiseAboveSine) {
+  Rng rng(2);
+  RealVector noise(1024);
+  for (auto& v : noise) {
+    v = rng.normal();
+  }
+  RealVector spiky(1024, 0.0);
+  spiky[0] = 1.0;  // almost-constant signal: tight distribution
+  EXPECT_GT(renyi_of_signal(noise, 2.0), renyi_of_signal(spiky, 2.0));
+  EXPECT_GT(shannon_of_signal(noise), shannon_of_signal(spiky));
+}
+
+TEST(SignalEntropy, ConstantSignalIsZero) {
+  const RealVector c(64, 5.0);
+  EXPECT_DOUBLE_EQ(renyi_of_signal(c, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(shannon_of_signal(c), 0.0);
+}
+
+TEST(SignalEntropy, BoundedByLogBins) {
+  Rng rng(3);
+  RealVector x(4096);
+  for (auto& v : x) {
+    v = rng.uniform();
+  }
+  EXPECT_LE(shannon_of_signal(x, 16), std::log(16.0) + 1e-9);
+  EXPECT_NEAR(shannon_of_signal(x, 16), std::log(16.0), 0.02);
+}
+
+}  // namespace
+}  // namespace esl::entropy

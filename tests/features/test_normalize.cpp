@@ -1,0 +1,95 @@
+#include "features/normalize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "common/statistics.hpp"
+
+namespace esl::features {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m(r, c) = rng.normal(static_cast<Real>(c) * 10.0,
+                           1.0 + static_cast<Real>(c));
+    }
+  }
+  return m;
+}
+
+TEST(Normalize, FitRecoversColumnMoments) {
+  const Matrix m = random_matrix(5000, 3, 1);
+  const ColumnStats stats = fit_column_stats(m);
+  ASSERT_EQ(stats.size(), 3u);
+  for (std::size_t c = 0; c < 3; ++c) {
+    // 5000 samples with sd up to 3: allow ~5 standard errors of slack.
+    EXPECT_NEAR(stats.mean[c], static_cast<Real>(c) * 10.0, 0.25);
+    EXPECT_NEAR(stats.stddev[c], 1.0 + static_cast<Real>(c), 0.15);
+  }
+}
+
+TEST(Normalize, ZscoredColumnsHaveZeroMeanUnitStd) {
+  const Matrix z = zscore_normalized(random_matrix(2000, 4, 2));
+  for (std::size_t c = 0; c < z.cols(); ++c) {
+    const RealVector col = z.column(c);
+    EXPECT_NEAR(stats::mean(col), 0.0, 1e-9);
+    EXPECT_NEAR(stats::stddev(col), 1.0, 1e-9);
+  }
+}
+
+TEST(Normalize, ConstantColumnBecomesZero) {
+  Matrix m(100, 2, 0.0);
+  for (std::size_t r = 0; r < 100; ++r) {
+    m(r, 0) = 7.0;  // constant
+    m(r, 1) = static_cast<Real>(r);
+  }
+  const Matrix z = zscore_normalized(m);
+  for (std::size_t r = 0; r < 100; ++r) {
+    EXPECT_DOUBLE_EQ(z(r, 0), 0.0);
+  }
+  EXPECT_GT(std::abs(z(99, 1)), 1.0);
+}
+
+TEST(Normalize, ApplyUsesProvidedStats) {
+  // Train/test split semantics: test data scaled by training stats.
+  Matrix train(4, 1);
+  train(0, 0) = 0.0;
+  train(1, 0) = 2.0;
+  train(2, 0) = 4.0;
+  train(3, 0) = 6.0;  // mean 3, population std sqrt(5)
+  const ColumnStats stats = fit_column_stats(train);
+  Matrix test(1, 1);
+  test(0, 0) = 8.0;
+  apply_zscore(test, stats);
+  EXPECT_NEAR(test(0, 0), (8.0 - 3.0) / std::sqrt(5.0), 1e-12);
+}
+
+TEST(Normalize, ApplyRejectsWidthMismatch) {
+  const ColumnStats stats = fit_column_stats(random_matrix(10, 3, 3));
+  Matrix wrong(5, 2, 0.0);
+  EXPECT_THROW(apply_zscore(wrong, stats), InvalidArgument);
+}
+
+TEST(Normalize, FitRejectsEmptyMatrix) {
+  const Matrix empty;
+  EXPECT_THROW(fit_column_stats(empty), InvalidArgument);
+}
+
+TEST(Normalize, IdempotentOnNormalizedData) {
+  const Matrix z = zscore_normalized(random_matrix(500, 2, 4));
+  const Matrix z2 = zscore_normalized(z);
+  for (std::size_t r = 0; r < z.rows(); r += 29) {
+    for (std::size_t c = 0; c < z.cols(); ++c) {
+      EXPECT_NEAR(z2(r, c), z(r, c), 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace esl::features

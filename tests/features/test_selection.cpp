@@ -1,0 +1,99 @@
+#include "features/selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace esl::features {
+namespace {
+
+/// Score = sum of per-feature worths of the kept subset; higher is better,
+/// so backward elimination should drop the lowest-worth features first.
+SubsetScore additive_score(const RealVector& worth) {
+  return [worth](const std::vector<std::size_t>& subset) {
+    Real total = 0.0;
+    for (const std::size_t f : subset) {
+      total += worth[f];
+    }
+    return total;
+  };
+}
+
+TEST(BackwardElimination, KeepsHighestWorthFeatures) {
+  const RealVector worth = {0.1, 0.9, 0.5, 0.7, 0.05};
+  const EliminationResult result =
+      backward_elimination(5, additive_score(worth), 2);
+  const std::set<std::size_t> selected(result.selected.begin(),
+                                       result.selected.end());
+  EXPECT_EQ(selected, (std::set<std::size_t>{1, 3}));
+}
+
+TEST(BackwardElimination, RemovalOrderIsWorthOrder) {
+  const RealVector worth = {0.3, 0.8, 0.1, 0.6};
+  const EliminationResult result =
+      backward_elimination(4, additive_score(worth), 1);
+  ASSERT_EQ(result.steps.size(), 3u);
+  EXPECT_EQ(result.steps[0].removed_feature, 2u);  // worth 0.1 goes first
+  EXPECT_EQ(result.steps[1].removed_feature, 0u);  // then 0.3
+  EXPECT_EQ(result.steps[2].removed_feature, 3u);  // then 0.6
+  EXPECT_EQ(result.selected, (std::vector<std::size_t>{1}));
+}
+
+TEST(BackwardElimination, RankingIsCompleteAndOrdered) {
+  const RealVector worth = {0.3, 0.8, 0.1, 0.6};
+  const EliminationResult result =
+      backward_elimination(4, additive_score(worth), 1);
+  ASSERT_EQ(result.ranking.size(), 4u);
+  // Most relevant first: 1, then reverse removal order 3, 0, 2.
+  EXPECT_EQ(result.ranking, (std::vector<std::size_t>{1, 3, 0, 2}));
+}
+
+TEST(BackwardElimination, KeepAllIsNoOp) {
+  const RealVector worth = {0.1, 0.2};
+  const EliminationResult result =
+      backward_elimination(2, additive_score(worth), 2);
+  EXPECT_TRUE(result.steps.empty());
+  EXPECT_EQ(result.selected.size(), 2u);
+}
+
+TEST(BackwardElimination, StepsRecordScores) {
+  const RealVector worth = {1.0, 2.0, 3.0};
+  const EliminationResult result =
+      backward_elimination(3, additive_score(worth), 1);
+  ASSERT_EQ(result.steps.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.steps[0].score_after_removal, 5.0);  // drop 1.0
+  EXPECT_DOUBLE_EQ(result.steps[1].score_after_removal, 3.0);  // drop 2.0
+  EXPECT_EQ(result.steps[0].remaining.size(), 2u);
+}
+
+TEST(BackwardElimination, PaperScale54To10) {
+  // The paper's use case: rank a 54-feature set and keep the 10 best.
+  RealVector worth(54);
+  for (std::size_t f = 0; f < worth.size(); ++f) {
+    worth[f] = static_cast<Real>((f * 7919) % 54);
+  }
+  const EliminationResult result =
+      backward_elimination(54, additive_score(worth), 10);
+  EXPECT_EQ(result.selected.size(), 10u);
+  // The kept set must be exactly the 10 highest-worth features.
+  RealVector sorted_worth = worth;
+  std::sort(sorted_worth.rbegin(), sorted_worth.rend());
+  const Real threshold = sorted_worth[9];
+  for (const std::size_t f : result.selected) {
+    EXPECT_GE(worth[f], threshold);
+  }
+}
+
+TEST(BackwardElimination, RejectsBadArguments) {
+  const SubsetScore score = [](const std::vector<std::size_t>&) { return 0.0; };
+  EXPECT_THROW(backward_elimination(0, score, 1), InvalidArgument);
+  EXPECT_THROW(backward_elimination(3, score, 0), InvalidArgument);
+  EXPECT_THROW(backward_elimination(3, score, 4), InvalidArgument);
+  EXPECT_THROW(backward_elimination(3, SubsetScore{}, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace esl::features

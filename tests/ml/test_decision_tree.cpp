@@ -1,0 +1,159 @@
+#include "ml/decision_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "ml/dataset.hpp"
+
+namespace esl::ml {
+namespace {
+
+/// Two Gaussian blobs separated along feature 0.
+Dataset blobs(std::size_t per_class, std::uint64_t seed, Real separation = 4.0) {
+  Rng rng(seed);
+  Dataset data;
+  for (std::size_t i = 0; i < per_class; ++i) {
+    const RealVector pos = {rng.normal(separation, 1.0), rng.normal()};
+    data.push_back(pos, 1);
+    const RealVector neg = {rng.normal(0.0, 1.0), rng.normal()};
+    data.push_back(neg, 0);
+  }
+  return data;
+}
+
+TEST(DecisionTree, LearnsAxisAlignedSplit) {
+  const Dataset data = blobs(200, 1);
+  DecisionTree tree;
+  Rng rng(2);
+  tree.fit(data.x, data.y, rng);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    correct += tree.predict(data.x.row(i)) == data.y[i] ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<Real>(correct) / static_cast<Real>(data.size()), 0.95);
+}
+
+TEST(DecisionTree, PureDataIsSingleLeaf) {
+  Dataset data;
+  for (int i = 0; i < 10; ++i) {
+    const RealVector row = {static_cast<Real>(i)};
+    data.push_back(row, 1);
+  }
+  DecisionTree tree;
+  Rng rng(3);
+  tree.fit(data.x, data.y, rng);
+  EXPECT_EQ(tree.node_count(), 1u);
+  const RealVector probe = {100.0};
+  EXPECT_DOUBLE_EQ(tree.predict_proba(probe), 1.0);
+}
+
+TEST(DecisionTree, XorNeedsDepthTwo) {
+  Dataset data;
+  Rng noise(4);
+  for (int i = 0; i < 200; ++i) {
+    const Real a = noise.bernoulli(0.5) ? 1.0 : 0.0;
+    const Real b = noise.bernoulli(0.5) ? 1.0 : 0.0;
+    const RealVector row = {a + noise.normal(0.0, 0.05),
+                            b + noise.normal(0.0, 0.05)};
+    data.push_back(row, (a != b) ? 1 : 0);
+  }
+  DecisionTree tree;
+  Rng rng(5);
+  tree.fit(data.x, data.y, rng);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    correct += tree.predict(data.x.row(i)) == data.y[i] ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<Real>(correct) / static_cast<Real>(data.size()), 0.95);
+  EXPECT_GE(tree.depth(), 2u);
+}
+
+TEST(DecisionTree, MaxDepthOneIsAStump) {
+  const Dataset data = blobs(100, 6);
+  TreeConfig config;
+  config.max_depth = 2;  // root + leaves
+  DecisionTree tree;
+  Rng rng(7);
+  tree.fit(data.x, data.y, rng, config);
+  EXPECT_LE(tree.depth(), 1u);
+  EXPECT_LE(tree.node_count(), 3u);
+}
+
+TEST(DecisionTree, MinSamplesLeafRespected) {
+  const Dataset data = blobs(50, 8, 0.5);  // heavily overlapping
+  TreeConfig config;
+  config.min_samples_leaf = 20;
+  DecisionTree tree;
+  Rng rng(9);
+  tree.fit(data.x, data.y, rng, config);
+  // With 100 samples and >= 20 per leaf there can be at most 5 leaves.
+  EXPECT_LE(tree.node_count(), 9u);
+}
+
+TEST(DecisionTree, BootstrapIndicesTrainSubset) {
+  const Dataset data = blobs(100, 10);
+  std::vector<std::size_t> first_half(data.size() / 2);
+  for (std::size_t i = 0; i < first_half.size(); ++i) {
+    first_half[i] = i;
+  }
+  DecisionTree tree;
+  Rng rng(11);
+  tree.fit(data.x, data.y, first_half, rng);
+  EXPECT_GT(tree.node_count(), 0u);
+}
+
+TEST(DecisionTree, DeterministicForSameSeed) {
+  const Dataset data = blobs(100, 12);
+  DecisionTree a;
+  DecisionTree b;
+  TreeConfig config;
+  config.features_per_split = 1;  // force random feature subsampling
+  Rng rng_a(13);
+  Rng rng_b(13);
+  a.fit(data.x, data.y, rng_a, config);
+  b.fit(data.x, data.y, rng_b, config);
+  Rng probe(14);
+  for (int i = 0; i < 50; ++i) {
+    const RealVector row = {probe.normal(2.0, 2.0), probe.normal()};
+    EXPECT_DOUBLE_EQ(a.predict_proba(row), b.predict_proba(row));
+  }
+}
+
+TEST(DecisionTree, ProbabilityIsLeafFraction) {
+  // One informative split, impure leaves.
+  Dataset data;
+  for (int i = 0; i < 10; ++i) {
+    const RealVector left = {0.0};
+    data.push_back(left, i < 8 ? 0 : 1);  // left: 20% positive
+    const RealVector right = {1.0};
+    data.push_back(right, i < 8 ? 1 : 0);  // right: 80% positive
+  }
+  TreeConfig config;
+  config.max_depth = 2;
+  DecisionTree tree;
+  Rng rng(15);
+  tree.fit(data.x, data.y, rng, config);
+  const RealVector left_probe = {0.0};
+  const RealVector right_probe = {1.0};
+  EXPECT_NEAR(tree.predict_proba(left_probe), 0.2, 1e-12);
+  EXPECT_NEAR(tree.predict_proba(right_probe), 0.8, 1e-12);
+}
+
+TEST(DecisionTree, PredictBeforeFitThrows) {
+  const DecisionTree tree;
+  const RealVector row = {0.0};
+  EXPECT_THROW(tree.predict(row), InvalidArgument);
+}
+
+TEST(DecisionTree, FitRejectsBadInput) {
+  const Dataset data = blobs(10, 16);
+  DecisionTree tree;
+  Rng rng(17);
+  std::vector<int> short_labels(data.size() - 1, 0);
+  EXPECT_THROW(tree.fit(data.x, short_labels, rng), InvalidArgument);
+  const std::vector<std::size_t> bad_index = {data.size() + 5};
+  EXPECT_THROW(tree.fit(data.x, data.y, bad_index, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace esl::ml

@@ -1,0 +1,165 @@
+#include "ml/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+
+namespace esl::ml {
+namespace {
+
+/// Two well-separated 2D blobs; first half label 0, second half label 1.
+Matrix two_blobs(std::size_t per_cluster, std::uint64_t seed,
+                 Real separation = 10.0) {
+  Rng rng(seed);
+  Matrix m(2 * per_cluster, 2);
+  for (std::size_t i = 0; i < per_cluster; ++i) {
+    m(i, 0) = rng.normal(0.0, 1.0);
+    m(i, 1) = rng.normal(0.0, 1.0);
+    m(per_cluster + i, 0) = rng.normal(separation, 1.0);
+    m(per_cluster + i, 1) = rng.normal(separation, 1.0);
+  }
+  return m;
+}
+
+/// Fraction of pairs from the same blob assigned to the same cluster.
+Real clustering_purity(const Clustering& result, std::size_t per_cluster) {
+  std::size_t agree = 0;
+  const std::size_t n = result.assignment.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t truth_i = i / per_cluster;
+    std::size_t votes = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (result.assignment[j] == result.assignment[i] &&
+          j / per_cluster == truth_i) {
+        ++votes;
+      }
+    }
+    agree += votes;
+  }
+  return static_cast<Real>(agree) / static_cast<Real>(n * per_cluster);
+}
+
+TEST(KMeans, SeparatedBlobsPerfectlyClustered) {
+  const Matrix data = two_blobs(100, 1);
+  Rng rng(2);
+  const Clustering result = kmeans(data, 2, rng);
+  EXPECT_GT(clustering_purity(result, 100), 0.99);
+}
+
+TEST(KMeans, CentersNearBlobMeans) {
+  const Matrix data = two_blobs(200, 3);
+  Rng rng(4);
+  const Clustering result = kmeans(data, 2, rng);
+  // One center near (0,0), the other near (10,10), in some order.
+  const Real d00 = std::hypot(result.centers(0, 0), result.centers(0, 1));
+  const Real d10 = std::hypot(result.centers(1, 0), result.centers(1, 1));
+  const Real near_origin = std::min(d00, d10);
+  const Real near_far = std::max(d00, d10);
+  EXPECT_LT(near_origin, 1.0);
+  EXPECT_NEAR(near_far, std::hypot(10.0, 10.0), 1.0);
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  const Matrix data = two_blobs(100, 5);
+  Rng rng1(6);
+  Rng rng2(6);
+  const Clustering k1 = kmeans(data, 1, rng1);
+  const Clustering k2 = kmeans(data, 2, rng2);
+  EXPECT_LT(k2.inertia, 0.5 * k1.inertia);
+}
+
+TEST(KMeans, SingleClusterCenterIsMean) {
+  const Matrix data = two_blobs(50, 7);
+  Rng rng(8);
+  const Clustering result = kmeans(data, 1, rng);
+  Real mean0 = 0.0;
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    mean0 += data(r, 0);
+  }
+  mean0 /= static_cast<Real>(data.rows());
+  EXPECT_NEAR(result.centers(0, 0), mean0, 1e-9);
+}
+
+TEST(KMeans, DeterministicForSameRngState) {
+  const Matrix data = two_blobs(80, 9);
+  Rng a(10);
+  Rng b(10);
+  const Clustering ca = kmeans(data, 2, a);
+  const Clustering cb = kmeans(data, 2, b);
+  EXPECT_EQ(ca.assignment, cb.assignment);
+  EXPECT_DOUBLE_EQ(ca.inertia, cb.inertia);
+}
+
+TEST(KMeans, RejectsBadK) {
+  const Matrix data = two_blobs(5, 11);
+  Rng rng(12);
+  EXPECT_THROW(kmeans(data, 0, rng), InvalidArgument);
+  EXPECT_THROW(kmeans(data, 11, rng), InvalidArgument);
+  EXPECT_THROW(kmeans(data, 2, rng, 10, 0), InvalidArgument);
+}
+
+TEST(KMedoids, SeparatedBlobsPerfectlyClustered) {
+  const Matrix data = two_blobs(60, 13);
+  Rng rng(14);
+  const Clustering result = kmedoids(data, 2, rng);
+  EXPECT_GT(clustering_purity(result, 60), 0.99);
+}
+
+TEST(KMedoids, MedoidsAreDataRows) {
+  const Matrix data = two_blobs(60, 15);
+  Rng rng(16);
+  const Clustering result = kmedoids(data, 2, rng);
+  for (std::size_t c = 0; c < 2; ++c) {
+    bool found = false;
+    for (std::size_t r = 0; r < data.rows(); ++r) {
+      if (data(r, 0) == result.centers(c, 0) &&
+          data(r, 1) == result.centers(c, 1)) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "medoid " << c << " is not a data row";
+  }
+}
+
+TEST(KMedoids, OutlierCannotDragAMedoidToNowhere) {
+  // Unlike a centroid, a medoid is always a data row, so an extreme
+  // outlier either sits alone in its own singleton cluster or leaves the
+  // medoids inside the main blobs — it can never pull a representative to
+  // an intermediate empty region the way it shifts a k-means centroid.
+  Matrix data = two_blobs(40, 17);
+  data(0, 0) = 1000.0;
+  data(0, 1) = 1000.0;
+  Rng rng(18);
+  const Clustering result = kmedoids(data, 2, rng);
+  for (std::size_t c = 0; c < 2; ++c) {
+    const bool in_blobs = result.centers(c, 0) < 100.0;
+    std::size_t members = 0;
+    for (const std::size_t assignment : result.assignment) {
+      members += assignment == c ? 1 : 0;
+    }
+    EXPECT_TRUE(in_blobs || members == 1)
+        << "medoid " << c << " dragged to an intermediate position";
+  }
+}
+
+TEST(KMedoids, RejectsBadK) {
+  const Matrix data = two_blobs(5, 19);
+  Rng rng(20);
+  EXPECT_THROW(kmedoids(data, 0, rng), InvalidArgument);
+  EXPECT_THROW(kmedoids(data, 11, rng), InvalidArgument);
+}
+
+TEST(SquaredDistance, KnownValueAndMismatch) {
+  const RealVector a = {0.0, 3.0};
+  const RealVector b = {4.0, 0.0};
+  EXPECT_DOUBLE_EQ(squared_distance(a, b), 25.0);
+  const RealVector c = {1.0};
+  EXPECT_THROW(squared_distance(a, c), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace esl::ml

@@ -1,0 +1,129 @@
+#include "ml/linear_svm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "ml/metrics.hpp"
+
+namespace esl::ml {
+namespace {
+
+Dataset blobs(std::size_t per_class, std::uint64_t seed, Real separation = 3.0) {
+  Rng rng(seed);
+  Dataset data;
+  for (std::size_t i = 0; i < per_class; ++i) {
+    for (const int label : {1, 0}) {
+      const Real center = label == 1 ? separation : -separation;
+      const RealVector row = {rng.normal(center, 1.0),
+                              rng.normal(-center, 1.0), rng.normal()};
+      data.push_back(row, label);
+    }
+  }
+  return data;
+}
+
+TEST(LinearSvm, SeparableDataNearPerfect) {
+  const Dataset train = blobs(300, 1);
+  const Dataset test = blobs(100, 2);
+  // Pegasos is stochastic; a longer schedule with weaker regularization
+  // gets close to the Bayes boundary on these well-separated blobs.
+  SvmConfig config;
+  config.epochs = 50;
+  config.lambda = 1e-4;
+  LinearSvm svm(config);
+  svm.fit(train, 7);
+  const ConfusionMatrix m = confusion(test.y, svm.predict_all(test.x));
+  EXPECT_GT(m.geometric_mean(), 0.95);
+}
+
+TEST(LinearSvm, WeightsAlignWithDiscriminativeAxes) {
+  const Dataset train = blobs(400, 3);
+  LinearSvm svm;
+  svm.fit(train, 7);
+  // Feature 0 correlates +, feature 1 correlates -, feature 2 is noise.
+  EXPECT_GT(svm.weights()[0], 0.0);
+  EXPECT_LT(svm.weights()[1], 0.0);
+  EXPECT_LT(std::abs(svm.weights()[2]),
+            0.3 * std::abs(svm.weights()[0]));
+}
+
+TEST(LinearSvm, DeterministicForSameSeed) {
+  const Dataset train = blobs(100, 5);
+  LinearSvm a;
+  LinearSvm b;
+  a.fit(train, 42);
+  b.fit(train, 42);
+  ASSERT_EQ(a.weights().size(), b.weights().size());
+  for (std::size_t f = 0; f < a.weights().size(); ++f) {
+    EXPECT_DOUBLE_EQ(a.weights()[f], b.weights()[f]);
+  }
+  EXPECT_DOUBLE_EQ(a.bias(), b.bias());
+}
+
+TEST(LinearSvm, MarginMagnitudeOrdersConfidence) {
+  const Dataset train = blobs(300, 6);
+  LinearSvm svm;
+  svm.fit(train, 7);
+  const RealVector deep_positive = {6.0, -6.0, 0.0};
+  const RealVector boundary = {0.0, 0.0, 0.0};
+  EXPECT_GT(svm.decision_value(deep_positive),
+            svm.decision_value(boundary) + 1.0);
+}
+
+TEST(LinearSvm, ThresholdShiftsOperatingPoint) {
+  const Dataset train = blobs(200, 8, 1.0);
+  const Dataset test = blobs(200, 9, 1.0);
+  SvmConfig sensitive;
+  sensitive.decision_threshold = -1.0;
+  SvmConfig specific;
+  specific.decision_threshold = 1.0;
+  LinearSvm low(sensitive);
+  LinearSvm high(specific);
+  low.fit(train, 3);
+  high.fit(train, 3);
+  const ConfusionMatrix m_low = confusion(test.y, low.predict_all(test.x));
+  const ConfusionMatrix m_high = confusion(test.y, high.predict_all(test.x));
+  EXPECT_GE(m_low.sensitivity(), m_high.sensitivity());
+  EXPECT_LE(m_low.specificity(), m_high.specificity());
+}
+
+TEST(LinearSvm, StrongerRegularizationShrinksWeights) {
+  const Dataset train = blobs(200, 10);
+  SvmConfig weak;
+  weak.lambda = 1e-4;
+  SvmConfig strong;
+  strong.lambda = 1.0;
+  LinearSvm a(weak);
+  LinearSvm b(strong);
+  a.fit(train, 1);
+  b.fit(train, 1);
+  Real norm_a = 0.0;
+  Real norm_b = 0.0;
+  for (std::size_t f = 0; f < a.weights().size(); ++f) {
+    norm_a += a.weights()[f] * a.weights()[f];
+    norm_b += b.weights()[f] * b.weights()[f];
+  }
+  EXPECT_GT(norm_a, norm_b);
+}
+
+TEST(LinearSvm, Validation) {
+  SvmConfig bad;
+  bad.lambda = 0.0;
+  EXPECT_THROW(LinearSvm{bad}, InvalidArgument);
+  bad = SvmConfig{};
+  bad.epochs = 0;
+  EXPECT_THROW(LinearSvm{bad}, InvalidArgument);
+
+  LinearSvm svm;
+  const RealVector row = {0.0};
+  EXPECT_THROW(svm.predict(row), InvalidArgument);
+
+  Dataset one_class;
+  const RealVector r2 = {1.0, 2.0};
+  one_class.push_back(r2, 1);
+  one_class.push_back(r2, 1);
+  EXPECT_THROW(svm.fit(one_class), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace esl::ml

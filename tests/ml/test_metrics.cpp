@@ -1,0 +1,84 @@
+#include "ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace esl::ml {
+namespace {
+
+ConfusionMatrix known_matrix() {
+  // TP=8, FN=2, TN=85, FP=5.
+  ConfusionMatrix m;
+  m.true_positive = 8;
+  m.false_negative = 2;
+  m.true_negative = 85;
+  m.false_positive = 5;
+  return m;
+}
+
+TEST(Metrics, SensitivitySpecificity) {
+  const ConfusionMatrix m = known_matrix();
+  EXPECT_DOUBLE_EQ(m.sensitivity(), 0.8);
+  EXPECT_NEAR(m.specificity(), 85.0 / 90.0, 1e-12);
+}
+
+TEST(Metrics, GeometricMeanDefinition) {
+  const ConfusionMatrix m = known_matrix();
+  EXPECT_NEAR(m.geometric_mean(),
+              std::sqrt(m.sensitivity() * m.specificity()), 1e-12);
+}
+
+TEST(Metrics, AccuracyPrecisionF1) {
+  const ConfusionMatrix m = known_matrix();
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.93);
+  EXPECT_NEAR(m.precision(), 8.0 / 13.0, 1e-12);
+  const Real p = m.precision();
+  const Real r = m.sensitivity();
+  EXPECT_NEAR(m.f1(), 2.0 * p * r / (p + r), 1e-12);
+}
+
+TEST(Metrics, EmptyClassesGiveZeroNotNan) {
+  ConfusionMatrix no_positives;
+  no_positives.true_negative = 10;
+  EXPECT_DOUBLE_EQ(no_positives.sensitivity(), 0.0);
+  EXPECT_DOUBLE_EQ(no_positives.specificity(), 1.0);
+  EXPECT_DOUBLE_EQ(no_positives.geometric_mean(), 0.0);
+  EXPECT_DOUBLE_EQ(no_positives.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(no_positives.f1(), 0.0);
+
+  const ConfusionMatrix empty;
+  EXPECT_DOUBLE_EQ(empty.accuracy(), 0.0);
+}
+
+TEST(Metrics, ConfusionTally) {
+  const std::vector<int> truth = {1, 1, 1, 0, 0, 0, 0, 1};
+  const std::vector<int> pred = {1, 0, 1, 0, 1, 0, 0, 1};
+  const ConfusionMatrix m = confusion(truth, pred);
+  EXPECT_EQ(m.true_positive, 3u);
+  EXPECT_EQ(m.false_negative, 1u);
+  EXPECT_EQ(m.false_positive, 1u);
+  EXPECT_EQ(m.true_negative, 3u);
+  EXPECT_EQ(m.total(), 8u);
+}
+
+TEST(Metrics, PerfectClassifier) {
+  const std::vector<int> y = {1, 0, 1, 0};
+  const ConfusionMatrix m = confusion(y, y);
+  EXPECT_DOUBLE_EQ(m.sensitivity(), 1.0);
+  EXPECT_DOUBLE_EQ(m.specificity(), 1.0);
+  EXPECT_DOUBLE_EQ(m.geometric_mean(), 1.0);
+}
+
+TEST(Metrics, ConfusionRejectsBadInput) {
+  const std::vector<int> truth = {1, 0};
+  const std::vector<int> short_pred = {1};
+  EXPECT_THROW(confusion(truth, short_pred), InvalidArgument);
+  const std::vector<int> bad_label = {1, 2};
+  EXPECT_THROW(confusion(truth, bad_label), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace esl::ml

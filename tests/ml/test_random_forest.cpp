@@ -1,0 +1,142 @@
+#include "ml/random_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "ml/metrics.hpp"
+
+namespace esl::ml {
+namespace {
+
+Dataset blobs(std::size_t per_class, std::uint64_t seed, Real separation = 3.0,
+              std::size_t extra_noise_features = 6) {
+  Rng rng(seed);
+  Dataset data;
+  for (std::size_t i = 0; i < per_class; ++i) {
+    for (const int label : {1, 0}) {
+      RealVector row;
+      row.push_back(rng.normal(label == 1 ? separation : 0.0, 1.0));
+      row.push_back(rng.normal(label == 1 ? -separation : 0.0, 1.0));
+      for (std::size_t f = 0; f < extra_noise_features; ++f) {
+        row.push_back(rng.normal());
+      }
+      data.push_back(row, label);
+    }
+  }
+  return data;
+}
+
+TEST(RandomForest, SeparableDataNearPerfect) {
+  const Dataset train = blobs(300, 1);
+  const Dataset test = blobs(100, 2);
+  RandomForest forest;
+  forest.fit(train, 7);
+  const std::vector<int> predicted = forest.predict_all(test.x);
+  const ConfusionMatrix m = confusion(test.y, predicted);
+  EXPECT_GT(m.geometric_mean(), 0.97);
+}
+
+TEST(RandomForest, BeatsOrMatchesSingleStumpOnNoisyData) {
+  const Dataset train = blobs(200, 3, 1.2);
+  const Dataset test = blobs(200, 4, 1.2);
+  ForestConfig weak;
+  weak.tree_count = 1;
+  weak.tree.max_depth = 2;
+  RandomForest stump(weak);
+  stump.fit(train, 5);
+  RandomForest forest;  // default 32 trees
+  forest.fit(train, 5);
+  const Real stump_acc =
+      confusion(test.y, stump.predict_all(test.x)).accuracy();
+  const Real forest_acc =
+      confusion(test.y, forest.predict_all(test.x)).accuracy();
+  EXPECT_GE(forest_acc, stump_acc - 0.02);
+  EXPECT_GT(forest_acc, 0.75);
+}
+
+TEST(RandomForest, DeterministicForSameSeed) {
+  const Dataset train = blobs(100, 5);
+  RandomForest a;
+  RandomForest b;
+  a.fit(train, 99);
+  b.fit(train, 99);
+  const Dataset probe = blobs(20, 6);
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.predict_proba(probe.x.row(i)),
+                     b.predict_proba(probe.x.row(i)));
+  }
+}
+
+TEST(RandomForest, DifferentSeedsDifferentForests) {
+  const Dataset train = blobs(100, 7, 1.0);
+  RandomForest a;
+  RandomForest b;
+  a.fit(train, 1);
+  b.fit(train, 2);
+  const Dataset probe = blobs(50, 8, 1.0);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    if (a.predict_proba(probe.x.row(i)) != b.predict_proba(probe.x.row(i))) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(RandomForest, ProbabilitiesAreAverages) {
+  const Dataset train = blobs(100, 9);
+  RandomForest forest;
+  forest.fit(train, 11);
+  for (std::size_t i = 0; i < 10; ++i) {
+    const Real p = forest.predict_proba(train.x.row(i));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(RandomForest, ThresholdShiftsOperatingPoint) {
+  const Dataset train = blobs(200, 10, 1.0);
+  const Dataset test = blobs(200, 11, 1.0);
+  ForestConfig sensitive;
+  sensitive.threshold = 0.2;
+  ForestConfig specific;
+  specific.threshold = 0.8;
+  RandomForest low(sensitive);
+  RandomForest high(specific);
+  low.fit(train, 3);
+  high.fit(train, 3);
+  const ConfusionMatrix m_low = confusion(test.y, low.predict_all(test.x));
+  const ConfusionMatrix m_high = confusion(test.y, high.predict_all(test.x));
+  EXPECT_GE(m_low.sensitivity(), m_high.sensitivity());
+  EXPECT_LE(m_low.specificity(), m_high.specificity());
+}
+
+TEST(RandomForest, ConfigValidation) {
+  ForestConfig bad;
+  bad.tree_count = 0;
+  EXPECT_THROW(RandomForest{bad}, InvalidArgument);
+  bad = ForestConfig{};
+  bad.bootstrap_fraction = 0.0;
+  EXPECT_THROW(RandomForest{bad}, InvalidArgument);
+  bad = ForestConfig{};
+  bad.threshold = 1.0;
+  EXPECT_THROW(RandomForest{bad}, InvalidArgument);
+}
+
+TEST(RandomForest, PredictBeforeFitThrows) {
+  const RandomForest forest;
+  const RealVector row = {0.0};
+  EXPECT_THROW(forest.predict(row), InvalidArgument);
+}
+
+TEST(RandomForest, TreeCountHonored) {
+  ForestConfig config;
+  config.tree_count = 5;
+  RandomForest forest(config);
+  forest.fit(blobs(50, 12), 1);
+  EXPECT_EQ(forest.tree_count(), 5u);
+}
+
+}  // namespace
+}  // namespace esl::ml

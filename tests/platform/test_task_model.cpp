@@ -1,0 +1,52 @@
+#include "platform/task_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace esl::platform {
+namespace {
+
+TEST(TaskPower, AverageCurrentIsDutyWeighted) {
+  const TaskPower task{"cpu", 10.0, 0.25};
+  EXPECT_DOUBLE_EQ(task.average_current_ma(), 2.5);
+}
+
+TEST(Lifetime, SingleTaskArithmetic) {
+  const LifetimeReport report =
+      compute_lifetime(570.0, {{"only", 5.7, 1.0}});
+  EXPECT_DOUBLE_EQ(report.total_average_current_ma, 5.7);
+  EXPECT_DOUBLE_EQ(report.lifetime_hours, 100.0);
+  EXPECT_NEAR(report.lifetime_days(), 100.0 / 24.0, 1e-12);
+}
+
+TEST(Lifetime, RowsCarryEnergyShares) {
+  const LifetimeReport report = compute_lifetime(
+      100.0, {{"a", 4.0, 1.0}, {"b", 12.0, 0.5}});  // avg 4 + 6 = 10 mA
+  ASSERT_EQ(report.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(report.rows[0].average_current_ma, 4.0);
+  EXPECT_DOUBLE_EQ(report.rows[0].energy_share, 0.4);
+  EXPECT_DOUBLE_EQ(report.rows[1].energy_share, 0.6);
+  EXPECT_DOUBLE_EQ(report.lifetime_hours, 10.0);
+}
+
+TEST(Lifetime, SharesSumToOne) {
+  const LifetimeReport report = compute_lifetime(
+      570.0, {{"a", 0.87, 1.0}, {"b", 10.5, 0.75}, {"c", 0.018, 0.25}});
+  Real sum = 0.0;
+  for (const auto& row : report.rows) {
+    sum += row.energy_share;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Lifetime, ValidatesInputs) {
+  EXPECT_THROW(compute_lifetime(0.0, {{"a", 1.0, 1.0}}), InvalidArgument);
+  EXPECT_THROW(compute_lifetime(100.0, {}), InvalidArgument);
+  EXPECT_THROW(compute_lifetime(100.0, {{"a", -1.0, 1.0}}), InvalidArgument);
+  EXPECT_THROW(compute_lifetime(100.0, {{"a", 1.0, 1.5}}), InvalidArgument);
+  EXPECT_THROW(compute_lifetime(100.0, {{"a", 1.0, 0.0}}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace esl::platform

@@ -1,0 +1,135 @@
+#include "platform/wearable.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace esl::platform {
+namespace {
+
+// These tests pin the model to the paper's published numbers (§VI-C,
+// Table III). They are exact reproductions: the lifetime analysis is pure
+// arithmetic over the measured currents, so we assert tight tolerances.
+
+TEST(Wearable, LabelingDutyMatchesPaper) {
+  const WearableConfig config;
+  // One seizure/day -> 1h of processing -> 4.17 %.
+  EXPECT_NEAR(labeling_duty(config, 1.0), 0.0417, 0.0001);
+  // One seizure/month -> 0.14 %.
+  EXPECT_NEAR(labeling_duty(config, 1.0 / 30.0), 0.0014, 0.0001);
+}
+
+TEST(Wearable, TableIIIWorstCaseLifetimeIs259Days) {
+  const LifetimeReport report = lifetime_full_system(WearableConfig{}, 1.0);
+  EXPECT_NEAR(report.lifetime_days(), 2.59, 0.005);
+  ASSERT_EQ(report.rows.size(), 4u);
+  // Table III rows: current (mA), duty, average current (mA).
+  EXPECT_DOUBLE_EQ(report.rows[0].current_ma, 0.870);   // acquisition
+  EXPECT_DOUBLE_EQ(report.rows[0].duty_cycle, 1.0);
+  EXPECT_DOUBLE_EQ(report.rows[1].current_ma, 10.5);    // detection
+  EXPECT_DOUBLE_EQ(report.rows[1].duty_cycle, 0.75);
+  EXPECT_NEAR(report.rows[1].average_current_ma, 7.875, 1e-9);
+  EXPECT_NEAR(report.rows[2].duty_cycle, 1.0 / 24.0, 1e-12);  // labeling
+  EXPECT_NEAR(report.rows[2].average_current_ma, 0.4375, 1e-9);
+  EXPECT_NEAR(report.rows[3].duty_cycle, 0.2083, 0.0001);     // idle
+}
+
+TEST(Wearable, TableIIIEnergySharesMatchFig5) {
+  const LifetimeReport report = lifetime_full_system(WearableConfig{}, 1.0);
+  // Fig. 5 / Table III energy column: 9.47 / 85.72 / 4.77 / 0.04 %.
+  EXPECT_NEAR(report.rows[0].energy_share, 0.0947, 0.0005);
+  EXPECT_NEAR(report.rows[1].energy_share, 0.8572, 0.0005);
+  EXPECT_NEAR(report.rows[2].energy_share, 0.0477, 0.0005);
+  EXPECT_NEAR(report.rows[3].energy_share, 0.0004, 0.0002);
+}
+
+TEST(Wearable, DetectionOnlyLifetimeIs6515Hours) {
+  const LifetimeReport report = lifetime_detection_only(WearableConfig{});
+  EXPECT_NEAR(report.lifetime_hours, 65.15, 0.05);
+  EXPECT_NEAR(report.lifetime_days(), 2.71, 0.005);
+}
+
+TEST(Wearable, LabelingOnlyLifetimeRange) {
+  // §VI-C: 631.46 h at one seizure/month ... 430.16 h at one per day.
+  const WearableConfig config;
+  const LifetimeReport monthly = lifetime_labeling_only(config, 1.0 / 30.0);
+  const LifetimeReport daily = lifetime_labeling_only(config, 1.0);
+  EXPECT_NEAR(monthly.lifetime_hours, 631.46, 1.0);
+  EXPECT_NEAR(daily.lifetime_hours, 430.16, 1.0);
+  EXPECT_NEAR(monthly.lifetime_hours / 24.0, 26.31, 0.05);
+  EXPECT_NEAR(daily.lifetime_hours / 24.0, 17.92, 0.05);
+}
+
+TEST(Wearable, CombinedLifetimeRangeMatchesConclusion) {
+  // §VII: "between 2.71 and 2.59 days on a single battery charge".
+  const WearableConfig config;
+  const Real best = lifetime_full_system(config, 1.0 / 30.0).lifetime_days();
+  const Real worst = lifetime_full_system(config, 1.0).lifetime_days();
+  EXPECT_NEAR(best, 2.71, 0.01);
+  EXPECT_NEAR(worst, 2.59, 0.01);
+  EXPECT_GT(best, worst);
+}
+
+TEST(Wearable, MoreSeizuresShorterLifetime) {
+  const WearableConfig config;
+  Real previous = 1e9;
+  for (const Real rate : {0.1, 0.5, 1.0, 2.0, 4.0}) {
+    const Real days = lifetime_full_system(config, rate).lifetime_days();
+    EXPECT_LT(days, previous);
+    previous = days;
+  }
+}
+
+TEST(Wearable, OverCommittedCpuRejected) {
+  const WearableConfig config;
+  // 7 seizures/day -> labeling duty 29 % + detection 75 % > 100 %.
+  EXPECT_THROW(lifetime_full_system(config, 7.0), InvalidArgument);
+  EXPECT_THROW(labeling_duty(config, 25.0), InvalidArgument);
+}
+
+TEST(Wearable, RawSignalMemoryExceedsRam) {
+  // 1 h at 256 Hz x 2 ch x 16 bit = 3.5 MB >> 48 KB RAM: the paper's
+  // point that the hour buffer must live in Flash/external storage.
+  const WearableConfig config;
+  const Real hour_kb = raw_signal_kb(config, 3600.0);
+  EXPECT_NEAR(hour_kb, 3600.0, 10.0);  // 3.52 MB in KB
+  EXPECT_GT(hour_kb, config.ram_kb);
+}
+
+TEST(Wearable, PaperHourBufferFitsFlash) {
+  const WearableConfig config;
+  EXPECT_TRUE(hour_buffer_fits(config, k_paper_hour_buffer_kb));
+  EXPECT_FALSE(hour_buffer_fits(config, 500.0));
+}
+
+TEST(Wearable, FeatureBufferIsSmall) {
+  // 10 features/s for an hour at 8 B each ~ 280 KB; at 4 B ~ 140 KB.
+  const Real kb8 = feature_buffer_kb(3600.0, 10, 8);
+  const Real kb4 = feature_buffer_kb(3600.0, 10, 4);
+  EXPECT_NEAR(kb8, 281.0, 1.0);
+  EXPECT_NEAR(kb4, 140.5, 1.0);
+  EXPECT_LT(kb4, k_paper_hour_buffer_kb);
+}
+
+TEST(Wearable, TimingModelReproducesRealTimeClaim) {
+  // §IV: "one second of signal is processed in one second" on the
+  // 32 MHz Cortex-M3 (no FPU -> ~60 cycles per software-float op).
+  const TimingEstimate estimate = labeling_time_on_mcu(3600.0, 60.0, 10);
+  EXPECT_NEAR(estimate.seconds_per_signal_second, 1.0, 0.35);
+}
+
+TEST(Wearable, TimingScalesQuadraticallyWithLength) {
+  const TimingEstimate t1 = labeling_time_on_mcu(1800.0, 60.0, 10);
+  const TimingEstimate t2 = labeling_time_on_mcu(3600.0, 60.0, 10);
+  const Real ratio = t2.total_ops / t1.total_ops;
+  EXPECT_GT(ratio, 3.5);  // ~O(L^2)
+  EXPECT_LT(ratio, 4.6);
+}
+
+TEST(Wearable, TimingValidation) {
+  EXPECT_THROW(labeling_time_on_mcu(50.0, 60.0, 10), InvalidArgument);
+  EXPECT_THROW(labeling_time_on_mcu(3600.0, 60.0, 10, 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace esl::platform

@@ -1,0 +1,75 @@
+// Parameterized sweeps over the platform model: the lifetime at any
+// seizure rate must match the closed-form duty-cycle arithmetic, and the
+// model's partial derivatives must have the physically-required signs.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "platform/wearable.hpp"
+
+namespace esl::platform {
+namespace {
+
+class SeizureRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SeizureRateSweep, MatchesClosedFormArithmetic) {
+  const Real rate = GetParam();
+  const WearableConfig config;
+  const LifetimeReport report = lifetime_full_system(config, rate);
+
+  // Closed form: I = I_acq + I_cpu (d_det + d_lab) + I_idle (1 - d_det - d_lab).
+  const Real lab_duty = rate * config.labeling_hours_per_seizure / 24.0;
+  const Real expected_current =
+      config.acquisition_current_ma +
+      config.cpu_active_current_ma * (config.detection_duty + lab_duty) +
+      config.cpu_idle_current_ma * (1.0 - config.detection_duty - lab_duty);
+  EXPECT_NEAR(report.total_average_current_ma, expected_current, 1e-12);
+  EXPECT_NEAR(report.lifetime_hours, config.battery_mah / expected_current,
+              1e-9);
+}
+
+TEST_P(SeizureRateSweep, LabelingOnlyBeatsFullSystem) {
+  const Real rate = GetParam();
+  const WearableConfig config;
+  EXPECT_GT(lifetime_labeling_only(config, rate).lifetime_hours,
+            lifetime_full_system(config, rate).lifetime_hours);
+}
+
+TEST_P(SeizureRateSweep, BatteryScalesLinearly) {
+  const Real rate = GetParam();
+  WearableConfig config;
+  const Real base = lifetime_full_system(config, rate).lifetime_hours;
+  config.battery_mah *= 2.0;
+  EXPECT_NEAR(lifetime_full_system(config, rate).lifetime_hours, 2.0 * base,
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, SeizureRateSweep,
+                         ::testing::Values(1.0 / 30.0, 0.1, 0.25, 0.5, 1.0,
+                                           2.0, 3.0));
+
+TEST(WearableSweep, LowerDetectionDutyExtendsLifetime) {
+  WearableConfig config;
+  Real previous = 0.0;
+  for (const Real duty : {0.75, 0.5, 0.25, 0.1, 0.05}) {
+    config.detection_duty = duty;
+    const Real days = lifetime_full_system(config, 1.0).lifetime_days();
+    EXPECT_GT(days, previous);
+    previous = days;
+  }
+}
+
+TEST(WearableSweep, AcquisitionBoundsTheBestCase) {
+  // With the CPU nearly idle, the lifetime approaches the
+  // acquisition-only bound battery / (I_acq + I_idle) ~ 26.7 days.
+  WearableConfig config;
+  config.detection_duty = 0.0;
+  const Real days = lifetime_full_system(config, 0.0).lifetime_days();
+  const Real bound = config.battery_mah /
+                     (config.acquisition_current_ma +
+                      config.cpu_idle_current_ma) / 24.0;
+  EXPECT_NEAR(days, bound, 1e-9);
+  EXPECT_NEAR(days, 26.7, 0.2);
+}
+
+}  // namespace
+}  // namespace esl::platform

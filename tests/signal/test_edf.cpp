@@ -1,0 +1,175 @@
+#include "signal/edf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "common/statistics.hpp"
+
+namespace esl::signal {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_(::testing::TempDir() + name) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+EegRecord make_record(std::size_t seconds = 4) {
+  EegRecord record(256.0, "chb01");
+  Rng rng(1);
+  RealVector left(seconds * 256);
+  RealVector right(seconds * 256);
+  for (std::size_t i = 0; i < left.size(); ++i) {
+    left[i] = rng.normal(0.0, 40.0);
+    right[i] = rng.normal(0.0, 40.0);
+  }
+  record.add_channel(montage::kF7T3, std::move(left));
+  record.add_channel(montage::kF8T4, std::move(right));
+  return record;
+}
+
+TEST(Edf, RoundTripPreservesGeometry) {
+  const TempFile file("roundtrip.edf");
+  const EegRecord original = make_record(5);
+  write_edf_file(original, file.path());
+  const EegRecord restored = read_edf_file(file.path());
+
+  EXPECT_EQ(restored.id(), "chb01");
+  EXPECT_DOUBLE_EQ(restored.sample_rate_hz(), 256.0);
+  ASSERT_EQ(restored.channel_count(), 2u);
+  EXPECT_EQ(restored.channel(0).electrodes.label(), "F7-T3");
+  EXPECT_EQ(restored.channel(1).electrodes.label(), "F8-T4");
+  EXPECT_EQ(restored.length_samples(), original.length_samples());
+}
+
+TEST(Edf, RoundTripAccurateToQuantizationStep) {
+  const TempFile file("quant.edf");
+  const EegRecord original = make_record(3);
+  write_edf_file(original, file.path());
+  const EegRecord restored = read_edf_file(file.path());
+  // 16-bit over ~6.5 mV -> 0.1 uV steps.
+  const Real step = (3276.7 - (-3276.8)) / 65535.0;
+  for (std::size_t c = 0; c < 2; ++c) {
+    for (std::size_t i = 0; i < restored.length_samples(); i += 53) {
+      EXPECT_NEAR(restored.channel(c).samples[i],
+                  original.channel(c).samples[i], step);
+    }
+  }
+}
+
+TEST(Edf, SignalStatisticsSurviveRoundTrip) {
+  const TempFile file("stats.edf");
+  const EegRecord original = make_record(8);
+  write_edf_file(original, file.path());
+  const EegRecord restored = read_edf_file(file.path());
+  EXPECT_NEAR(stats::rms(restored.channel(0).samples),
+              stats::rms(original.channel(0).samples), 0.1);
+}
+
+TEST(Edf, ClipsOutOfRangeSamples) {
+  const TempFile file("clip.edf");
+  EegRecord record(256.0, "clip");
+  RealVector extreme(512, 0.0);
+  extreme[0] = 1.0e6;   // way beyond the physical range
+  extreme[1] = -1.0e6;
+  record.add_channel(montage::kF7T3, std::move(extreme));
+  write_edf_file(record, file.path());
+  const EegRecord restored = read_edf_file(file.path());
+  EXPECT_NEAR(restored.channel(0).samples[0], 3276.7, 0.2);
+  EXPECT_NEAR(restored.channel(0).samples[1], -3276.8, 0.2);
+}
+
+TEST(Edf, PadsFinalPartialRecord) {
+  // 2.5 s at 256 Hz with 1 s data records -> 3 records, last half-padded.
+  const TempFile file("pad.edf");
+  EegRecord record(256.0, "pad");
+  record.add_channel(montage::kF7T3, RealVector(640, 10.0));
+  write_edf_file(record, file.path());
+  const EegRecord restored = read_edf_file(file.path());
+  EXPECT_EQ(restored.length_samples(), 768u);  // 3 full records
+  EXPECT_NEAR(restored.channel(0).samples[639], 10.0, 0.2);
+  EXPECT_NEAR(restored.channel(0).samples[700], 0.0, 0.2);  // padding
+}
+
+TEST(Edf, SkipsUnknownChannelsByDefault) {
+  // Hand-build an EDF whose second channel has a non-10-20 label.
+  const TempFile file("unknown.edf");
+  EegRecord record(256.0, "x");
+  record.add_channel(montage::kF7T3, RealVector(256, 1.0));
+  record.add_channel(montage::kF8T4, RealVector(256, 2.0));
+  write_edf_file(record, file.path());
+  // Corrupt the second label in place ("F8-T4" starts at byte 256 + 16).
+  {
+    std::fstream f(file.path(),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(256 + 16);
+    f.write("ECG     ", 8);
+  }
+  const EegRecord restored = read_edf_file(file.path());
+  EXPECT_EQ(restored.channel_count(), 1u);
+  EXPECT_THROW(read_edf_file(file.path(), /*skip_unknown_channels=*/false),
+               DataError);
+}
+
+TEST(Edf, RejectsGarbageFiles) {
+  const TempFile file("garbage.edf");
+  {
+    std::ofstream f(file.path(), std::ios::binary);
+    f << "this is not an edf file";
+  }
+  EXPECT_THROW(read_edf_file(file.path()), DataError);
+  EXPECT_THROW(read_edf_file("/nonexistent/file.edf"), DataError);
+}
+
+TEST(Edf, WriteValidation) {
+  EegRecord empty(256.0, "empty");
+  EXPECT_THROW(write_edf_file(empty, "/tmp/x.edf"), InvalidArgument);
+  const EegRecord ok = make_record(1);
+  EXPECT_THROW(write_edf_file(ok, "/tmp/x.edf", 10.0, 10.0), InvalidArgument);
+  EXPECT_THROW(write_edf_file(ok, "/tmp/x.edf", -100.0, 100.0, 0.0),
+               InvalidArgument);
+}
+
+TEST(AnnotationSidecar, ParsesOnsetOffsetPairs) {
+  const TempFile file("seizures.csv");
+  {
+    std::ofstream f(file.path());
+    f << "# chb01_03: one seizure\n";
+    f << "2996,3036\n";
+    f << "120.5,180.25\n";
+  }
+  const auto annotations = read_annotation_sidecar(file.path());
+  ASSERT_EQ(annotations.size(), 2u);
+  EXPECT_DOUBLE_EQ(annotations[0].interval.onset, 2996.0);
+  EXPECT_DOUBLE_EQ(annotations[0].interval.offset, 3036.0);
+  EXPECT_EQ(annotations[0].kind, EventKind::kSeizure);
+  EXPECT_DOUBLE_EQ(annotations[1].interval.offset, 180.25);
+}
+
+TEST(AnnotationSidecar, RejectsMalformedLines) {
+  const TempFile file("bad.csv");
+  {
+    std::ofstream f(file.path());
+    f << "30 40\n";
+  }
+  EXPECT_THROW(read_annotation_sidecar(file.path()), DataError);
+
+  const TempFile reversed("reversed.csv");
+  {
+    std::ofstream f(reversed.path());
+    f << "100,50\n";
+  }
+  EXPECT_THROW(read_annotation_sidecar(reversed.path()), DataError);
+}
+
+}  // namespace
+}  // namespace esl::signal

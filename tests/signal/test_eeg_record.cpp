@@ -1,0 +1,106 @@
+#include "signal/eeg_record.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace esl::signal {
+namespace {
+
+EegRecord make_record(std::size_t samples = 512, Real fs = 256.0) {
+  EegRecord record(fs, "test");
+  RealVector left(samples, 1.0);
+  RealVector right(samples, -1.0);
+  record.add_channel(montage::kF7T3, std::move(left));
+  record.add_channel(montage::kF8T4, std::move(right));
+  return record;
+}
+
+TEST(EegRecord, BasicGeometry) {
+  const EegRecord record = make_record(512, 256.0);
+  EXPECT_EQ(record.channel_count(), 2u);
+  EXPECT_EQ(record.length_samples(), 512u);
+  EXPECT_DOUBLE_EQ(record.duration_seconds(), 2.0);
+  EXPECT_EQ(record.id(), "test");
+}
+
+TEST(EegRecord, RejectsNonPositiveSampleRate) {
+  EXPECT_THROW(EegRecord(0.0), InvalidArgument);
+  EXPECT_THROW(EegRecord(-1.0), InvalidArgument);
+}
+
+TEST(EegRecord, RejectsChannelLengthMismatch) {
+  EegRecord record(256.0);
+  record.add_channel(montage::kF7T3, RealVector(100, 0.0));
+  EXPECT_THROW(record.add_channel(montage::kF8T4, RealVector(99, 0.0)),
+               InvalidArgument);
+}
+
+TEST(EegRecord, RejectsDuplicateChannel) {
+  EegRecord record(256.0);
+  record.add_channel(montage::kF7T3, RealVector(10, 0.0));
+  EXPECT_THROW(record.add_channel(montage::kF7T3, RealVector(10, 0.0)),
+               InvalidArgument);
+}
+
+TEST(EegRecord, RejectsEmptyChannel) {
+  EegRecord record(256.0);
+  EXPECT_THROW(record.add_channel(montage::kF7T3, RealVector{}),
+               InvalidArgument);
+}
+
+TEST(EegRecord, ChannelLookupByLabel) {
+  const EegRecord record = make_record();
+  EXPECT_DOUBLE_EQ(record.channel_by_label("F7-T3").samples[0], 1.0);
+  EXPECT_DOUBLE_EQ(record.channel_by_label("F8-T4").samples[0], -1.0);
+  EXPECT_TRUE(record.has_channel("F7-T3"));
+  EXPECT_FALSE(record.has_channel("Fp1-F7"));
+  EXPECT_THROW(record.channel_by_label("Fp1-F7"), DataError);
+}
+
+TEST(EegRecord, ChannelIndexAccess) {
+  const EegRecord record = make_record();
+  EXPECT_EQ(record.channel(0).electrodes.label(), "F7-T3");
+  EXPECT_THROW(record.channel(2), InvalidArgument);
+}
+
+TEST(EegRecord, AnnotationWithinDurationAccepted) {
+  EegRecord record = make_record(512, 256.0);  // 2 s
+  record.add_annotation({{0.5, 1.5}, EventKind::kSeizure});
+  EXPECT_EQ(record.annotations().size(), 1u);
+  EXPECT_EQ(record.seizures().size(), 1u);
+}
+
+TEST(EegRecord, AnnotationBeyondDurationRejected) {
+  EegRecord record = make_record(512, 256.0);
+  EXPECT_THROW(record.add_annotation({{1.0, 3.0}, EventKind::kSeizure}),
+               InvalidArgument);
+}
+
+TEST(EegRecord, MalformedAnnotationRejected) {
+  EegRecord record = make_record();
+  EXPECT_THROW(record.add_annotation({{1.5, 1.0}, EventKind::kSeizure}),
+               InvalidArgument);
+  EXPECT_THROW(record.add_annotation({{-0.5, 1.0}, EventKind::kSeizure}),
+               InvalidArgument);
+}
+
+TEST(EegRecord, SeizuresExcludeArtifacts) {
+  EegRecord record = make_record(512, 256.0);
+  record.add_annotation({{0.2, 0.4}, EventKind::kArtifact});
+  record.add_annotation({{1.0, 1.5}, EventKind::kSeizure});
+  const auto seizures = record.seizures();
+  ASSERT_EQ(seizures.size(), 1u);
+  EXPECT_DOUBLE_EQ(seizures[0].onset, 1.0);
+}
+
+TEST(EegRecord, TimeConversions) {
+  const EegRecord record = make_record(512, 256.0);
+  EXPECT_DOUBLE_EQ(record.sample_to_seconds(256), 1.0);
+  EXPECT_EQ(record.seconds_to_sample(1.0), 256u);
+  EXPECT_EQ(record.seconds_to_sample(-5.0), 0u);
+  EXPECT_EQ(record.seconds_to_sample(100.0), 511u);  // clamped
+}
+
+}  // namespace
+}  // namespace esl::signal

@@ -1,0 +1,49 @@
+#include "signal/montage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace esl::signal {
+namespace {
+
+TEST(Montage, WearablePairsAreF7T3AndF8T4) {
+  const auto pairs = montage::wearable_pairs();
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0].label(), "F7-T3");
+  EXPECT_EQ(pairs[1].label(), "F8-T4");
+}
+
+TEST(Montage, TenTwentyContainsStandardSites) {
+  EXPECT_TRUE(is_ten_twenty_site("F7"));
+  EXPECT_TRUE(is_ten_twenty_site("T3"));
+  EXPECT_TRUE(is_ten_twenty_site("Cz"));
+  EXPECT_TRUE(is_ten_twenty_site("O2"));
+  EXPECT_FALSE(is_ten_twenty_site("X9"));
+  EXPECT_FALSE(is_ten_twenty_site("f7"));  // case-sensitive
+}
+
+TEST(Montage, SiteListHas21Entries) {
+  EXPECT_EQ(ten_twenty_sites().size(), 21u);
+}
+
+TEST(Montage, ParsePairRoundTrips) {
+  const ElectrodePair p = parse_pair("F8-T4");
+  EXPECT_EQ(p.anode, "F8");
+  EXPECT_EQ(p.cathode, "T4");
+  EXPECT_EQ(p.label(), "F8-T4");
+}
+
+TEST(Montage, ParsePairRejectsMalformed) {
+  EXPECT_THROW(parse_pair("F8T4"), InvalidArgument);
+  EXPECT_THROW(parse_pair("F8-XX"), InvalidArgument);
+  EXPECT_THROW(parse_pair("ZZ-T4"), InvalidArgument);
+}
+
+TEST(Montage, PairEquality) {
+  EXPECT_EQ(montage::kF7T3, (ElectrodePair{"F7", "T3"}));
+  EXPECT_NE(montage::kF7T3, montage::kF8T4);
+}
+
+}  // namespace
+}  // namespace esl::signal

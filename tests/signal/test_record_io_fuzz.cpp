@@ -1,0 +1,85 @@
+// Robustness ("fuzz-lite") tests for the record parsers: arbitrary
+// garbage must produce a typed DataError, never a crash or silent
+// acceptance.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "signal/record_io.hpp"
+
+namespace esl::signal {
+namespace {
+
+std::string random_garbage(std::size_t length, std::uint64_t seed) {
+  Rng rng(seed);
+  std::string text(length, ' ');
+  const std::string alphabet =
+      "abcXYZ0123456789,.-#\n\t =";
+  for (auto& c : text) {
+    c = alphabet[static_cast<std::size_t>(
+        rng.uniform_index(alphabet.size()))];
+  }
+  return text;
+}
+
+class CsvFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CsvFuzzTest, GarbageNeverCrashesOrParses) {
+  const std::string garbage = random_garbage(512, GetParam());
+  std::stringstream stream(garbage);
+  // Either a typed DataError/InvalidArgument or (vanishingly unlikely) a
+  // valid record; anything else — crash, std::bad_alloc, raw
+  // std::exception from a parser — fails the test.
+  try {
+    const EegRecord record = read_csv(stream);
+    SUCCEED() << "garbage happened to parse: " << record.id();
+  } catch (const Error&) {
+    SUCCEED();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvFuzzTest,
+                         ::testing::Range<std::uint64_t>(0, 24));
+
+TEST(CsvFuzz, TruncatedValidFilesRejectedCleanly) {
+  // Build a valid record, then cut the CSV at many byte positions.
+  EegRecord record(256.0, "fuzz");
+  record.add_channel(montage::kF7T3, RealVector(64, 1.0));
+  record.add_channel(montage::kF8T4, RealVector(64, 2.0));
+  record.add_annotation({{0.05, 0.20}, EventKind::kSeizure});
+  std::stringstream full;
+  write_csv(record, full);
+  const std::string text = full.str();
+
+  for (std::size_t cut = 0; cut < text.size(); cut += 37) {
+    std::stringstream truncated(text.substr(0, cut));
+    try {
+      read_csv(truncated);
+    } catch (const Error&) {
+      // expected for most cut points
+    }
+  }
+  SUCCEED();
+}
+
+TEST(CsvFuzz, HeaderVariationsHandled) {
+  // Extra blank lines and spaces around metadata keep parsing.
+  std::stringstream stream(
+      "\n# esl-record v1\n#  sample_rate_hz=128\n\n"
+      "time_s,F7-T3\n0,1.5\n0.0078125,2.5\n");
+  const EegRecord record = read_csv(stream);
+  EXPECT_DOUBLE_EQ(record.sample_rate_hz(), 128.0);
+  EXPECT_EQ(record.length_samples(), 2u);
+}
+
+TEST(CsvFuzz, RejectsInfAndKeepsFiniteCheckTight) {
+  std::stringstream stream(
+      "# sample_rate_hz=256\ntime_s,F7-T3\n0,nan(garbage\n");
+  // stod parses "nan" but trailing characters must be flagged.
+  EXPECT_THROW(read_csv(stream), DataError);
+}
+
+}  // namespace
+}  // namespace esl::signal

@@ -1,0 +1,79 @@
+#include "signal/sliding_window.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace esl::signal {
+namespace {
+
+TEST(SlidingWindows, CountFormula) {
+  const SlidingWindows plan(100, 10, 5);
+  EXPECT_EQ(plan.count(), 19u);  // (100-10)/5 + 1
+}
+
+TEST(SlidingWindows, ExactFitGivesOneWindow) {
+  const SlidingWindows plan(10, 10, 3);
+  EXPECT_EQ(plan.count(), 1u);
+}
+
+TEST(SlidingWindows, StartPositions) {
+  const SlidingWindows plan(20, 8, 4);
+  EXPECT_EQ(plan.start(0), 0u);
+  EXPECT_EQ(plan.start(1), 4u);
+  EXPECT_EQ(plan.start(3), 12u);
+  EXPECT_THROW(plan.start(4), InvalidArgument);
+}
+
+TEST(SlidingWindows, PaperPlanGeometry) {
+  // 4 s windows, 75 % overlap at 256 Hz: window 1024 samples, hop 256.
+  const std::size_t hour = 3600 * 256;
+  const SlidingWindows plan = SlidingWindows::paper_plan(hour, 256.0);
+  EXPECT_EQ(plan.window_length(), 1024u);
+  EXPECT_EQ(plan.hop(), 256u);
+  // One feature row per second: 3597 windows for an hour of signal.
+  EXPECT_EQ(plan.count(), 3597u);
+}
+
+TEST(SlidingWindows, PaperPlanCustomOverlap) {
+  const SlidingWindows plan =
+      SlidingWindows::paper_plan(2560, 256.0, 4.0, 0.5);
+  EXPECT_EQ(plan.hop(), 512u);
+}
+
+TEST(SlidingWindows, ViewReturnsCorrectSlice) {
+  RealVector signal(64);
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    signal[i] = static_cast<Real>(i);
+  }
+  const SlidingWindows plan(64, 16, 8);
+  const auto view = plan.view(signal, 2);
+  ASSERT_EQ(view.size(), 16u);
+  EXPECT_DOUBLE_EQ(view[0], 16.0);
+  EXPECT_DOUBLE_EQ(view[15], 31.0);
+}
+
+TEST(SlidingWindows, ViewValidatesSignalLength) {
+  RealVector wrong(32, 0.0);
+  const SlidingWindows plan(64, 16, 8);
+  EXPECT_THROW(plan.view(wrong, 0), InvalidArgument);
+}
+
+TEST(SlidingWindows, RejectsDegenerateParameters) {
+  EXPECT_THROW(SlidingWindows(100, 0, 5), InvalidArgument);
+  EXPECT_THROW(SlidingWindows(100, 10, 0), InvalidArgument);
+  EXPECT_THROW(SlidingWindows(5, 10, 1), InvalidArgument);
+}
+
+TEST(SlidingWindows, WindowsCoverSignalWithoutGaps) {
+  const SlidingWindows plan(1000, 100, 25);
+  // Consecutive windows overlap by window - hop = 75 samples.
+  for (std::size_t w = 0; w + 1 < plan.count(); ++w) {
+    EXPECT_EQ(plan.start(w + 1) - plan.start(w), 25u);
+  }
+  // The final window must reach (nearly) the signal end.
+  EXPECT_GE(plan.start(plan.count() - 1) + 100, 1000u - 25u);
+}
+
+}  // namespace
+}  // namespace esl::signal
