@@ -47,6 +47,19 @@ class Matrix {
   /// Appends a row; its length must equal cols() (or sets cols() when empty).
   void append_row(std::span<const Real> values);
 
+  /// Removes all rows but keeps the column count and the storage capacity,
+  /// so a matrix reused as an append_row scratch buffer stops allocating
+  /// once it has seen its peak size.
+  void clear_rows() {
+    rows_ = 0;
+    data_.clear();
+  }
+
+  /// Pre-allocates storage for `rows` rows of the given width.
+  void reserve_rows(std::size_t rows, std::size_t cols) {
+    data_.reserve(rows * cols);
+  }
+
   /// Returns a new matrix keeping only the given column indices, in order.
   Matrix select_columns(const std::vector<std::size_t>& columns) const;
 

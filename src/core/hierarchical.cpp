@@ -15,22 +15,29 @@ HierarchicalDetector::HierarchicalDetector(HierarchicalConfig config)
           "HierarchicalDetector: stage-1 sensitivity must lie in (0, 1]");
 }
 
-void HierarchicalDetector::fit(const ml::Dataset& train, std::uint64_t seed) {
+Real fit_stage1_threshold(const ml::Dataset& train, Real sensitivity,
+                          std::size_t feature) {
   train.check();
-  expects(train.feature_count() > config_.screening_feature,
-          "HierarchicalDetector::fit: screening feature out of range");
+  expects(sensitivity > 0.0 && sensitivity <= 1.0,
+          "fit_stage1_threshold: sensitivity must lie in (0, 1]");
+  expects(train.feature_count() > feature,
+          "fit_stage1_threshold: screening feature out of range");
   expects(train.positives() >= 2,
-          "HierarchicalDetector::fit: need at least 2 seizure windows");
+          "fit_stage1_threshold: need at least 2 seizure windows");
 
-  // Stage-1 threshold: keep the configured fraction of positive windows.
+  // Keep the configured fraction of positive windows above the threshold.
   RealVector positive_values;
   for (std::size_t i = 0; i < train.size(); ++i) {
     if (train.y[i] == 1) {
-      positive_values.push_back(train.x(i, config_.screening_feature));
+      positive_values.push_back(train.x(i, feature));
     }
   }
-  threshold_ = stats::quantile(positive_values,
-                               1.0 - config_.stage1_target_sensitivity);
+  return stats::quantile(positive_values, 1.0 - sensitivity);
+}
+
+void HierarchicalDetector::fit(const ml::Dataset& train, std::uint64_t seed) {
+  threshold_ = fit_stage1_threshold(train, config_.stage1_target_sensitivity,
+                                    config_.screening_feature);
 
   // Stage-2 forest on z-scored features.
   scaler_ = features::fit_column_stats(train.x);

@@ -45,6 +45,13 @@ struct HierarchicalPrediction {
   }
 };
 
+/// Fits the stage-1 screening threshold on labeled (raw, unscaled) window
+/// data: the value of `feature` that keeps `sensitivity` of the seizure
+/// windows at or above it. Shared by HierarchicalDetector and the
+/// streaming engine's pre-batch screen.
+Real fit_stage1_threshold(const ml::Dataset& train, Real sensitivity,
+                          std::size_t feature);
+
 /// Two-stage screening + random-forest detector.
 class HierarchicalDetector {
  public:

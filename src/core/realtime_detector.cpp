@@ -59,6 +59,39 @@ void RealtimeDetector::fit(const ml::Dataset& train, std::uint64_t seed) {
   forest_.fit(scaled, seed);
 }
 
+void RealtimeDetector::scale_rows_in_place(Matrix& raw_rows) const {
+  expects(scaler_.has_value(),
+          "RealtimeDetector::scale_rows_in_place: not fitted");
+  expects(raw_rows.cols() == scaler_->size(),
+          "RealtimeDetector::scale_rows_in_place: row width mismatch");
+  // Row-major sweep (cache-friendly for the engine's batch matrix); each
+  // element gets the exact apply_zscore arithmetic, so results stay
+  // bit-identical to the offline column-major path.
+  const Real* mean = scaler_->mean.data();
+  const Real* stddev = scaler_->stddev.data();
+  for (std::size_t r = 0; r < raw_rows.rows(); ++r) {
+    const auto row = raw_rows.row(r);
+    for (std::size_t f = 0; f < row.size(); ++f) {
+      const Real centered = row[f] - mean[f];
+      row[f] = stddev[f] > 0.0 ? centered / stddev[f] : 0.0;
+    }
+  }
+}
+
+int RealtimeDetector::predict_row(std::span<const Real> raw_row,
+                                  RealVector& scratch) const {
+  expects(is_fitted(), "RealtimeDetector::predict_row: not fitted");
+  expects(raw_row.size() == scaler_->size(),
+          "RealtimeDetector::predict_row: row width mismatch");
+  scratch.resize(raw_row.size());
+  for (std::size_t f = 0; f < raw_row.size(); ++f) {
+    const Real sigma = scaler_->stddev[f];
+    const Real centered = raw_row[f] - scaler_->mean[f];
+    scratch[f] = sigma > 0.0 ? centered / sigma : 0.0;
+  }
+  return forest_.predict(scratch);
+}
+
 std::vector<int> RealtimeDetector::predict_windows(
     const signal::EegRecord& record) const {
   expects(is_fitted(), "RealtimeDetector::predict_windows: not fitted");

@@ -47,6 +47,19 @@ class RealtimeDetector {
   /// Per-window hard labels for a record.
   std::vector<int> predict_windows(const signal::EegRecord& record) const;
 
+  /// Streaming single-window path: z-scores one raw e-Glass row into
+  /// `scratch` (reused by the caller, no allocation once warm) and
+  /// classifies it.
+  int predict_row(std::span<const Real> raw_row, RealVector& scratch) const;
+
+  /// z-scores raw feature rows in place with the fitted scaler; the
+  /// engine uses this on its reused batch scratch matrix before running
+  /// forest().predict_all_into on it (bit-identical to predict_row
+  /// per row).
+  void scale_rows_in_place(Matrix& raw_rows) const;
+
+  const ml::RandomForest& forest() const { return forest_; }
+
   /// Confusion matrix of the detector against ground-truth intervals.
   ml::ConfusionMatrix evaluate(const signal::EegRecord& record,
                                const std::vector<signal::Interval>& truth) const;

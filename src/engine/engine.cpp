@@ -1,0 +1,191 @@
+#include "engine/engine.hpp"
+
+#include "common/error.hpp"
+
+namespace esl::engine {
+
+Engine::Engine(std::shared_ptr<const core::RealtimeDetector> fleet_model,
+               EngineConfig config)
+    : fleet_(std::move(fleet_model)), config_(config), extractor_(2) {
+  if (config_.screening.has_value()) {
+    expects(config_.screening->feature < extractor_.feature_count(),
+            "Engine: screening feature out of range");
+  }
+}
+
+std::uint64_t Engine::add_session() { return add_session(config_.session); }
+
+std::uint64_t Engine::add_session(const SessionConfig& config) {
+  const auto id = static_cast<std::uint64_t>(slots_.size());
+  Slot s;
+  s.session = std::make_unique<PatientSession>(id, extractor_, config);
+  s.model = config.use_fleet_model ? fleet_model_ptr() : nullptr;
+  slots_.push_back(std::move(s));
+  return id;
+}
+
+Engine::Slot& Engine::slot(std::uint64_t id) {
+  expects(id < slots_.size(), "Engine: unknown session id");
+  return slots_[id];
+}
+
+const Engine::Slot& Engine::slot(std::uint64_t id) const {
+  expects(id < slots_.size(), "Engine: unknown session id");
+  return slots_[id];
+}
+
+PatientSession& Engine::session(std::uint64_t id) {
+  return *slot(id).session;
+}
+
+const PatientSession& Engine::session(std::uint64_t id) const {
+  return *slot(id).session;
+}
+
+std::size_t Engine::ingest(std::uint64_t id,
+                           const std::vector<std::span<const Real>>& chunk) {
+  return slot(id).session->ingest(chunk);
+}
+
+const core::RealtimeDetector* Engine::fleet_model_ptr() const {
+  return fleet_ && fleet_->is_fitted() ? fleet_.get() : nullptr;
+}
+
+void Engine::classify_group(const core::RealtimeDetector* model) {
+  batch_.clear_rows();
+  batch_src_.clear();
+  const bool fitted = model != nullptr && model->is_fitted();
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].model != model) {
+      continue;
+    }
+    const Matrix& pending = slots_[i].session->pending();
+    for (std::size_t r = 0; r < pending.rows(); ++r) {
+      if (config_.screening.has_value() &&
+          pending(r, config_.screening->feature) <
+              config_.screening->threshold) {
+        screened_[i][r] = 1;        // label stays 0; the forest never runs
+        ++stats_.screened_windows;
+        continue;
+      }
+      if (!fitted) {
+        ++stats_.unmodeled_windows;  // cold start: pass through as 0
+        continue;
+      }
+      batch_.append_row(pending.row(r));
+      batch_src_.emplace_back(i, r);
+    }
+  }
+  if (batch_.rows() == 0) {
+    return;
+  }
+  // One tree-major forest pass over the whole fleet's ready windows.
+  model->scale_rows_in_place(batch_);
+  model->forest().predict_all_into(batch_, proba_scratch_, predicted_scratch_);
+  ++stats_.batches;
+  stats_.forest_windows += predicted_scratch_.size();
+  for (std::size_t k = 0; k < predicted_scratch_.size(); ++k) {
+    labels_[batch_src_[k].first][batch_src_[k].second] = predicted_scratch_[k];
+  }
+}
+
+std::vector<Detection> Engine::poll() {
+  ++stats_.polls;
+
+  // Refresh each session's model: personalized detector once its pipeline
+  // trained one; the shared fleet model otherwise (unless opted out).
+  for (auto& s : slots_) {
+    if (s.pipeline && s.pipeline->detector_ready()) {
+      s.model = &s.pipeline->detector();
+    } else {
+      s.model = s.session->config().use_fleet_model ? fleet_model_ptr()
+                                                    : nullptr;
+    }
+  }
+
+  labels_.resize(slots_.size());
+  screened_.resize(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    labels_[i].assign(slots_[i].session->pending().rows(), 0);
+    screened_[i].assign(slots_[i].session->pending().rows(), 0);
+  }
+
+  // One batched pass per distinct model, first-appearance order (the
+  // fleet model first in the common case). The distinct count is the
+  // number of personalized patients + 1, so the scan stays cheap.
+  std::vector<const core::RealtimeDetector*> distinct;
+  for (const auto& s : slots_) {
+    if (s.session->pending().rows() == 0) {
+      continue;
+    }
+    bool seen = false;
+    for (const auto* m : distinct) {
+      seen = seen || m == s.model;
+    }
+    if (!seen) {
+      distinct.push_back(s.model);
+    }
+  }
+  for (const auto* model : distinct) {
+    classify_group(model);
+  }
+
+  // Per-session post-processing in window order: alarm run-lengths, hooks.
+  std::vector<Detection> out;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    PatientSession& session = *slots_[i].session;
+    const Matrix& pending = session.pending();
+    const auto& indices = session.pending_window_indices();
+    for (std::size_t r = 0; r < pending.rows(); ++r) {
+      Detection d;
+      d.session_id = session.id();
+      d.window_index = indices[r];
+      d.window_start_s = session.window_start_s(indices[r]);
+      d.label = labels_[i][r];
+      d.screened_out = screened_[i][r] != 0;
+      d.alarm = session.observe_label(d.label);
+      if (d.alarm) {
+        ++stats_.alarms;
+        if (alarm_hook_) {
+          alarm_hook_(d);
+        }
+      }
+      out.push_back(d);
+    }
+    stats_.windows_classified += pending.rows();
+    session.clear_pending();
+  }
+  return out;
+}
+
+void Engine::attach_self_learning(std::uint64_t id,
+                                  const core::SelfLearningConfig& config) {
+  Slot& s = slot(id);
+  expects(s.session->history_enabled(),
+          "Engine::attach_self_learning: session needs history_seconds > 0 "
+          "for a-posteriori labeling");
+  s.pipeline = std::make_unique<core::SelfLearningPipeline>(config);
+}
+
+bool Engine::has_self_learning(std::uint64_t id) const {
+  return slot(id).pipeline != nullptr;
+}
+
+signal::Interval Engine::patient_trigger(std::uint64_t id) {
+  Slot& s = slot(id);
+  expects(s.pipeline != nullptr,
+          "Engine::patient_trigger: no self-learning pipeline attached");
+  // Times in the returned label are relative to the start of the history
+  // buffer (its oldest retained sample), not the whole stream.
+  const signal::EegRecord record = s.session->history_record();
+  const signal::Interval label = s.pipeline->on_patient_trigger(record);
+  if (s.pipeline->detector_ready()) {
+    s.model = &s.pipeline->detector();
+  }
+  if (label_hook_) {
+    label_hook_(id, label);
+  }
+  return label;
+}
+
+}  // namespace esl::engine

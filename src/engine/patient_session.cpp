@@ -1,0 +1,113 @@
+#include "engine/patient_session.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "signal/montage.hpp"
+
+namespace esl::engine {
+
+PatientSession::PatientSession(
+    std::uint64_t id, const features::WindowFeatureExtractor& extractor,
+    const SessionConfig& config)
+    : id_(id),
+      config_(config),
+      streaming_(extractor, config.sample_rate_hz, config.window_seconds,
+                 config.overlap) {
+  expects(config_.alarm_consecutive >= 1,
+          "PatientSession: alarm_consecutive must be positive");
+  expects(config_.history_seconds >= 0.0,
+          "PatientSession: history_seconds must be non-negative");
+  if (config_.history_seconds > 0.0) {
+    const auto capacity = static_cast<std::size_t>(
+        std::lround(config_.history_seconds * config_.sample_rate_hz));
+    expects(capacity >= streaming_.window_length(),
+            "PatientSession: history shorter than one window");
+    history_.reserve(extractor.required_channels());
+    for (std::size_t c = 0; c < extractor.required_channels(); ++c) {
+      history_.emplace_back(capacity);
+    }
+  }
+  pending_.reserve_rows(16, streaming_.feature_count());
+}
+
+std::size_t PatientSession::ingest(
+    const std::vector<std::span<const Real>>& chunk) {
+  // Validate the whole chunk before touching any state, so a rejected
+  // chunk cannot leave the history rings half-updated or misaligned.
+  const std::size_t channels =
+      std::max(history_.size(), streaming_.channel_count());
+  expects(chunk.size() >= channels, "PatientSession::ingest: too few channels");
+  const std::size_t length = chunk.empty() ? 0 : chunk[0].size();
+  for (std::size_t c = 0; c < channels; ++c) {
+    expects(chunk[c].size() == length,
+            "PatientSession::ingest: channel chunk lengths differ");
+  }
+  for (std::size_t c = 0; c < history_.size(); ++c) {
+    history_[c].push(chunk[c]);
+  }
+  return streaming_.push(chunk, *this);
+}
+
+void PatientSession::on_window(std::size_t index, Seconds /*start_s*/,
+                               std::span<const Real> row) {
+  pending_.append_row(row);
+  pending_indices_.push_back(index);
+}
+
+void PatientSession::clear_pending() {
+  pending_.clear_rows();
+  pending_indices_.clear();
+}
+
+Seconds PatientSession::window_start_s(std::size_t window_index) const {
+  return streaming_.window_start_s(window_index);
+}
+
+bool PatientSession::observe_label(int label) {
+  alarm_run_ = label == 1 ? alarm_run_ + 1 : 0;
+  if (alarm_run_ == config_.alarm_consecutive) {
+    ++alarms_;
+    return true;
+  }
+  return false;
+}
+
+Seconds PatientSession::history_buffered_s() const {
+  return history_.empty()
+             ? 0.0
+             : static_cast<Seconds>(history_.front().size()) /
+                   config_.sample_rate_hz;
+}
+
+signal::EegRecord PatientSession::history_record(
+    const std::string& record_id) const {
+  expects(history_enabled(),
+          "PatientSession::history_record: history disabled");
+  const std::size_t available = history_.front().size();
+  expects(available >= streaming_.window_length(),
+          "PatientSession::history_record: less than one window buffered");
+
+  signal::EegRecord record(
+      config_.sample_rate_hz,
+      record_id.empty() ? "session-" + std::to_string(id_) : record_id);
+  const auto pairs = signal::montage::wearable_pairs();
+  for (std::size_t c = 0; c < history_.size(); ++c) {
+    RealVector samples(available);
+    history_[c].copy_all(samples);
+    // Wearable montage labels for the first pairs; synthetic labels for
+    // any extra channels so multi-channel sessions still materialize.
+    signal::ElectrodePair electrodes;
+    if (c < pairs.size()) {
+      electrodes = pairs[c];
+    } else {
+      electrodes.anode = 'C' + std::to_string(c);
+      electrodes.cathode = "Cz";
+    }
+    record.add_channel(std::move(electrodes), std::move(samples));
+  }
+  return record;
+}
+
+}  // namespace esl::engine

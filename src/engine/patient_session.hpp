@@ -1,0 +1,105 @@
+// One monitored patient inside the streaming engine.
+//
+// A PatientSession ingests raw EEG in arbitrary-size chunks (from a radio
+// packet, a file reader, a socket — the engine does not care), runs the
+// incremental sliding-window extractor over per-channel ring buffers, and
+// parks the resulting raw e-Glass feature rows in a pending matrix that
+// the Engine drains into batched inference. It also owns the per-patient
+// post-processing state (consecutive-positive alarm runs) and, optionally,
+// a retrospective raw-signal history ring so a patient button press can
+// reconstruct the "last hour of signal" for a-posteriori labeling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "features/streaming.hpp"
+#include "signal/eeg_record.hpp"
+#include "signal/sample_ring.hpp"
+
+namespace esl::engine {
+
+/// Per-session stream geometry and post-processing knobs.
+struct SessionConfig {
+  Real sample_rate_hz = 256.0;
+  Seconds window_seconds = 4.0;
+  Real overlap = 0.75;
+  /// Consecutive positive windows required to raise an alarm (§III-C
+  /// post-processing; RealtimeDetector::raises_alarm uses the same rule).
+  std::size_t alarm_consecutive = 3;
+  /// Length of the retrospective raw-signal buffer used for a-posteriori
+  /// labeling on patient trigger ("the last hour"). 0 disables it.
+  Seconds history_seconds = 0.0;
+  /// Model policy, read by the Engine: when false the session never uses
+  /// the shared fleet detector and stays cold until its own self-learning
+  /// pipeline trains a personal one (the paper's patient-specific
+  /// scenario, §III).
+  bool use_fleet_model = true;
+};
+
+/// Chunked ingest -> incremental windowing -> pending feature rows.
+class PatientSession final : private features::WindowSink {
+ public:
+  /// `extractor` must outlive the session (the engine owns one shared
+  /// extractor; sessions borrow it).
+  PatientSession(std::uint64_t id,
+                 const features::WindowFeatureExtractor& extractor,
+                 const SessionConfig& config);
+
+  std::uint64_t id() const { return id_; }
+  const SessionConfig& config() const { return config_; }
+
+  /// Feeds one chunk (one span per channel, equal lengths, any size).
+  /// Completed windows accumulate as rows of pending(). Returns the
+  /// number of windows completed by this chunk.
+  std::size_t ingest(const std::vector<std::span<const Real>>& chunk);
+
+  /// Raw (unscaled) feature rows awaiting inference, in window order.
+  const Matrix& pending() const { return pending_; }
+  /// Global window index of each pending row.
+  const std::vector<std::size_t>& pending_window_indices() const {
+    return pending_indices_;
+  }
+  /// Drops the pending rows after the engine consumed them; storage
+  /// capacity is retained so steady-state ingest does not allocate.
+  void clear_pending();
+
+  /// Windows emitted since the stream started.
+  std::size_t windows_emitted() const { return streaming_.emitted(); }
+  /// Stream time (seconds) of the start of window `window_index`.
+  Seconds window_start_s(std::size_t window_index) const;
+  /// Samples currently buffered toward the next window.
+  std::size_t buffered_samples() const { return streaming_.buffered(); }
+
+  /// Feeds one classified window into the alarm post-processing, in
+  /// window order. Returns true when this window completes a run of
+  /// config().alarm_consecutive positive windows (an alarm).
+  bool observe_label(int label);
+  /// Alarms raised so far.
+  std::size_t alarms() const { return alarms_; }
+
+  bool history_enabled() const { return !history_.empty(); }
+  /// Seconds of signal currently held in the history ring.
+  Seconds history_buffered_s() const;
+  /// Materializes the retrospective history as an EegRecord (wearable
+  /// montage labels) for a-posteriori labeling. Requires history_enabled()
+  /// and at least one buffered window's worth of signal.
+  signal::EegRecord history_record(const std::string& record_id = "") const;
+
+ private:
+  void on_window(std::size_t index, Seconds start_s,
+                 std::span<const Real> row) override;
+
+  std::uint64_t id_;
+  SessionConfig config_;
+  features::StreamingExtractor streaming_;
+  Matrix pending_;
+  std::vector<std::size_t> pending_indices_;
+  std::vector<signal::SampleRing> history_;  // empty when disabled
+  std::size_t alarm_run_ = 0;
+  std::size_t alarms_ = 0;
+};
+
+}  // namespace esl::engine

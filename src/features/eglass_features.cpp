@@ -119,9 +119,17 @@ std::vector<std::string> EglassFeatureExtractor::feature_names() const {
 RealVector EglassFeatureExtractor::extract(
     const std::vector<std::span<const Real>>& channels,
     Real sample_rate_hz) const {
+  RealVector out;
+  extract_into(channels, sample_rate_hz, out);
+  return out;
+}
+
+void EglassFeatureExtractor::extract_into(
+    const std::vector<std::span<const Real>>& channels, Real sample_rate_hz,
+    RealVector& out) const {
   expects(channels.size() >= channels_,
           "EglassFeatureExtractor: too few channel windows");
-  RealVector out;
+  out.clear();
   out.reserve(channels_ * k_eglass_features_per_channel);
   for (std::size_t c = 0; c < channels_; ++c) {
     expects(channels[c].size() >= 16,
@@ -132,7 +140,6 @@ RealVector EglassFeatureExtractor::extract(
   }
   ensures(out.size() == channels_ * k_eglass_features_per_channel,
           "EglassFeatureExtractor: feature width drifted");
-  return out;
 }
 
 }  // namespace esl::features

@@ -27,6 +27,10 @@ class EglassFeatureExtractor final : public WindowFeatureExtractor {
   std::size_t required_channels() const override { return channels_; }
   RealVector extract(const std::vector<std::span<const Real>>& channels,
                      Real sample_rate_hz) const override;
+  /// Streaming hot path: appends into the caller's reused row buffer
+  /// instead of allocating a fresh vector per window.
+  void extract_into(const std::vector<std::span<const Real>>& channels,
+                    Real sample_rate_hz, RealVector& out) const override;
 
   /// The 54 per-channel names without the channel prefix.
   static std::vector<std::string> per_channel_names();

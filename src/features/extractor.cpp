@@ -49,11 +49,12 @@ WindowedFeatures extract_windowed_features(const signal::EegRecord& record,
   out.window_start_s.resize(plan.count());
 
   std::vector<std::span<const Real>> window_views(channels_needed);
+  RealVector row;
   for (std::size_t w = 0; w < plan.count(); ++w) {
     for (std::size_t c = 0; c < channels_needed; ++c) {
       window_views[c] = plan.view(record.channel(c).samples, w);
     }
-    const RealVector row = extractor.extract(window_views, record.sample_rate_hz());
+    extractor.extract_into(window_views, record.sample_rate_hz(), row);
     ensures(row.size() == feature_count,
             "extract_windowed_features: extractor returned wrong width");
     std::copy(row.begin(), row.end(), out.features.row(w).begin());

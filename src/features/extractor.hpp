@@ -34,6 +34,18 @@ class WindowFeatureExtractor {
   virtual RealVector extract(
       const std::vector<std::span<const Real>>& channels,
       Real sample_rate_hz) const = 0;
+
+  /// Allocation-aware variant for streaming hot paths: writes the feature
+  /// row into `out` (cleared, capacity retained). Extractors that build
+  /// their row incrementally override this so a caller-owned scratch row
+  /// is reused window after window; the default delegates to extract().
+  virtual void extract_into(const std::vector<std::span<const Real>>& channels,
+                            Real sample_rate_hz, RealVector& out) const {
+    out = extract(channels, sample_rate_hz);
+  }
+
+  /// Number of output features (== feature_names().size()).
+  std::size_t feature_count() const { return feature_names().size(); }
 };
 
 /// Feature matrix plus the window geometry needed to map feature-space

@@ -6,6 +6,21 @@
 
 namespace esl::features {
 
+namespace {
+
+/// Sink adapter for the allocating convenience overload.
+class CollectSink final : public WindowSink {
+ public:
+  void on_window(std::size_t /*index*/, Seconds /*start_s*/,
+                 std::span<const Real> row) override {
+    rows.emplace_back(row.begin(), row.end());
+  }
+
+  std::vector<RealVector> rows;
+};
+
+}  // namespace
+
 StreamingExtractor::StreamingExtractor(const WindowFeatureExtractor& extractor,
                                        Real sample_rate_hz,
                                        Seconds window_seconds, Real overlap)
@@ -24,36 +39,68 @@ StreamingExtractor::StreamingExtractor(const WindowFeatureExtractor& extractor,
     hop_ = 1;
   }
   expects(window_length_ >= 1, "StreamingExtractor: window too short");
-  buffers_.resize(extractor_.required_channels());
+  feature_count_ = extractor_.feature_count();
+
+  const std::size_t channels = extractor_.required_channels();
+  rings_.reserve(channels);
+  window_scratch_.resize(channels);
+  views_.resize(channels);
+  for (std::size_t c = 0; c < channels; ++c) {
+    rings_.emplace_back(window_length_);
+    window_scratch_[c].resize(window_length_);
+    views_[c] = window_scratch_[c];
+  }
+  row_scratch_.reserve(feature_count_);
+}
+
+std::size_t StreamingExtractor::push(
+    const std::vector<std::span<const Real>>& block, WindowSink& sink) {
+  expects(block.size() >= rings_.size(),
+          "StreamingExtractor::push: too few channels in block");
+  const std::size_t block_length = block.empty() ? 0 : block[0].size();
+  for (std::size_t c = 0; c < rings_.size(); ++c) {
+    expects(block[c].size() == block_length,
+            "StreamingExtractor::push: channel block lengths differ");
+  }
+  if (rings_.empty()) {
+    return 0;
+  }
+
+  // Consume the block in slices so the rings never overflow: fill up to
+  // one window, emit, slide by one hop, repeat.
+  std::size_t produced = 0;
+  std::size_t offset = 0;
+  while (true) {
+    const std::size_t need = window_length_ - rings_.front().size();
+    const std::size_t take = std::min(need, block_length - offset);
+    for (std::size_t c = 0; c < rings_.size(); ++c) {
+      rings_[c].push(block[c].subspan(offset, take));
+    }
+    offset += take;
+    if (rings_.front().size() < window_length_) {
+      break;  // block exhausted before the next window completed
+    }
+    for (std::size_t c = 0; c < rings_.size(); ++c) {
+      rings_[c].copy_front(window_length_, window_scratch_[c]);
+    }
+    extractor_.extract_into(views_, sample_rate_hz_, row_scratch_);
+    sink.on_window(emitted_,
+                   static_cast<Seconds>(emitted_ * hop_) / sample_rate_hz_,
+                   row_scratch_);
+    ++emitted_;
+    ++produced;
+    for (auto& ring : rings_) {
+      ring.drop_front(hop_);
+    }
+  }
+  return produced;
 }
 
 std::vector<RealVector> StreamingExtractor::push(
     const std::vector<std::span<const Real>>& block) {
-  expects(block.size() >= buffers_.size(),
-          "StreamingExtractor::push: too few channels in block");
-  const std::size_t block_length = block.empty() ? 0 : block[0].size();
-  for (std::size_t c = 0; c < buffers_.size(); ++c) {
-    expects(block[c].size() == block_length,
-            "StreamingExtractor::push: channel block lengths differ");
-    buffers_[c].insert(buffers_[c].end(), block[c].begin(), block[c].end());
-  }
-
-  std::vector<RealVector> rows;
-  std::vector<std::span<const Real>> views(buffers_.size());
-  while (!buffers_.empty() && buffers_.front().size() >= window_length_) {
-    for (std::size_t c = 0; c < buffers_.size(); ++c) {
-      views[c] = std::span<const Real>(buffers_[c]).subspan(0, window_length_);
-    }
-    rows.push_back(extractor_.extract(views, sample_rate_hz_));
-    ++emitted_;
-    // Slide by one hop.
-    for (auto& buffer : buffers_) {
-      buffer.erase(buffer.begin(),
-                   buffer.begin() + static_cast<std::ptrdiff_t>(hop_));
-    }
-    consumed_before_buffer_ += hop_;
-  }
-  return rows;
+  CollectSink sink;
+  push(block, sink);
+  return std::move(sink.rows);
 }
 
 Seconds StreamingExtractor::window_start_s(std::size_t index) const {

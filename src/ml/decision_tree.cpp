@@ -49,6 +49,12 @@ void DecisionTree::fit(const Matrix& x, const std::vector<int>& y,
   depth_ = 0;
   std::vector<std::size_t> indices = sample_indices;
   build(x, y, indices, 0, indices.size(), 0, rng, config);
+  max_split_feature_ = 0;
+  for (const Node& node : nodes_) {
+    if (!node.is_leaf) {
+      max_split_feature_ = std::max(max_split_feature_, node.feature);
+    }
+  }
 }
 
 std::size_t DecisionTree::build(const Matrix& x, const std::vector<int>& y,
@@ -162,6 +168,26 @@ Real DecisionTree::predict_proba(std::span<const Real> row) const {
 
 int DecisionTree::predict(std::span<const Real> row) const {
   return predict_proba(row) >= 0.5 ? 1 : 0;
+}
+
+void DecisionTree::accumulate_proba(const Matrix& rows,
+                                    std::vector<Real>& sums) const {
+  expects(!nodes_.empty(), "DecisionTree::accumulate_proba: tree not fitted");
+  expects(sums.size() == rows.rows(),
+          "DecisionTree::accumulate_proba: sums size mismatch");
+  expects(rows.rows() == 0 || max_split_feature_ < rows.cols(),
+          "DecisionTree::accumulate_proba: rows too narrow");
+  const Node* nodes = nodes_.data();
+  for (std::size_t r = 0; r < rows.rows(); ++r) {
+    const Real* row = rows.row(r).data();
+    std::size_t node = 0;
+    while (!nodes[node].is_leaf) {
+      node = row[nodes[node].feature] <= nodes[node].threshold
+                 ? nodes[node].left
+                 : nodes[node].right;
+    }
+    sums[r] += nodes[node].positive_fraction;
+  }
 }
 
 }  // namespace esl::ml

@@ -39,6 +39,12 @@ class DecisionTree {
   /// Hard label with a 0.5 threshold.
   int predict(std::span<const Real> row) const;
 
+  /// Batched traversal: adds this tree's class-1 probability of every row
+  /// of `rows` into `sums` (sums.size() == rows.rows()). Iterating rows
+  /// inside one tree keeps the node array cache-hot, which is what makes
+  /// the engine's batched inference faster than per-window calls.
+  void accumulate_proba(const Matrix& rows, std::vector<Real>& sums) const;
+
   /// Number of nodes (0 before fit).
   std::size_t node_count() const { return nodes_.size(); }
   /// Maximum depth reached while growing.
@@ -61,6 +67,9 @@ class DecisionTree {
 
   std::vector<Node> nodes_;
   std::size_t depth_ = 0;
+  /// Highest feature index any split uses; lets the batched traversal
+  /// validate the row width once instead of per node hop.
+  std::size_t max_split_feature_ = 0;
 };
 
 }  // namespace esl::ml

@@ -56,11 +56,25 @@ int RandomForest::predict(std::span<const Real> row) const {
 }
 
 std::vector<int> RandomForest::predict_all(const Matrix& rows) const {
-  std::vector<int> out(rows.rows());
-  for (std::size_t r = 0; r < rows.rows(); ++r) {
-    out[r] = predict(rows.row(r));
-  }
+  std::vector<int> out;
+  RealVector proba;
+  predict_all_into(rows, proba, out);
   return out;
+}
+
+void RandomForest::predict_all_into(const Matrix& rows, RealVector& proba,
+                                    std::vector<int>& labels) const {
+  expects(is_fitted(), "RandomForest::predict_all_into: not fitted");
+  proba.assign(rows.rows(), 0.0);
+  for (const auto& tree : trees_) {
+    tree.accumulate_proba(rows, proba);
+  }
+  const Real tree_count = static_cast<Real>(trees_.size());
+  labels.resize(rows.rows());
+  for (std::size_t r = 0; r < rows.rows(); ++r) {
+    proba[r] /= tree_count;  // same op as predict_proba: bit-equal paths
+    labels[r] = proba[r] >= config_.threshold ? 1 : 0;
+  }
 }
 
 }  // namespace esl::ml

@@ -35,8 +35,18 @@ class RandomForest {
   /// Hard label using the configured threshold.
   int predict(std::span<const Real> row) const;
 
-  /// Predicts every row of a matrix.
+  /// Predicts every row of a matrix with one tree-major pass: iterating
+  /// rows inside each tree keeps the node array cache-hot across the
+  /// batch. Per row the trees accumulate in the same order (and with the
+  /// same final division) as predict_proba, so batched and per-row
+  /// predictions are bit-identical.
   std::vector<int> predict_all(const Matrix& rows) const;
+
+  /// Scratch-reusing variant for per-poll streaming callers: `proba` and
+  /// `labels` are resized and overwritten, allocating nothing once they
+  /// reach their steady-state capacity.
+  void predict_all_into(const Matrix& rows, RealVector& proba,
+                        std::vector<int>& labels) const;
 
   bool is_fitted() const { return !trees_.empty(); }
   std::size_t tree_count() const { return trees_.size(); }

@@ -1,0 +1,60 @@
+#include "signal/sample_ring.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace esl::signal {
+
+SampleRing::SampleRing(std::size_t capacity) : data_(capacity) {
+  expects(capacity >= 1, "SampleRing: capacity must be positive");
+}
+
+void SampleRing::push(std::span<const Real> samples) {
+  const std::size_t cap = data_.size();
+  // A block longer than the ring reduces to its trailing `cap` samples.
+  if (samples.size() > cap) {
+    dropped_ += size_ + samples.size() - cap;
+    head_ = 0;
+    size_ = cap;
+    std::copy(samples.end() - static_cast<std::ptrdiff_t>(cap), samples.end(),
+              data_.begin());
+    return;
+  }
+  std::size_t tail = (head_ + size_) % cap;
+  for (const Real sample : samples) {
+    data_[tail] = sample;
+    tail = tail + 1 == cap ? 0 : tail + 1;
+    if (size_ == cap) {
+      head_ = head_ + 1 == cap ? 0 : head_ + 1;  // overwrote the oldest
+      ++dropped_;
+    } else {
+      ++size_;
+    }
+  }
+}
+
+void SampleRing::copy_front(std::size_t count, std::span<Real> out) const {
+  expects(count <= size_, "SampleRing::copy_front: not enough samples");
+  expects(out.size() >= count, "SampleRing::copy_front: output too small");
+  const std::size_t cap = data_.size();
+  const std::size_t first = std::min(count, cap - head_);
+  std::copy_n(data_.begin() + static_cast<std::ptrdiff_t>(head_), first,
+              out.begin());
+  std::copy_n(data_.begin(), count - first,
+              out.begin() + static_cast<std::ptrdiff_t>(first));
+}
+
+void SampleRing::drop_front(std::size_t count) {
+  expects(count <= size_, "SampleRing::drop_front: not enough samples");
+  head_ = (head_ + count) % data_.size();
+  size_ -= count;
+}
+
+void SampleRing::clear() {
+  head_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace esl::signal

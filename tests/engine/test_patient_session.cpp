@@ -1,0 +1,168 @@
+#include "engine/patient_session.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "features/eglass_features.hpp"
+#include "features/extractor.hpp"
+#include "sim/cohort.hpp"
+
+namespace esl::engine {
+namespace {
+
+/// Shared short background record (cheap) for chunking tests.
+class PatientSessionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const sim::CohortSimulator simulator;
+    record_ = new signal::EegRecord(
+        simulator.synthesize_background_record(0, 60.0, 11));
+  }
+  static void TearDownTestSuite() {
+    delete record_;
+    record_ = nullptr;
+  }
+
+  static std::vector<std::span<const Real>> chunk_views(
+      const signal::EegRecord& record, std::size_t offset, std::size_t count) {
+    std::vector<std::span<const Real>> views;
+    for (std::size_t c = 0; c < record.channel_count(); ++c) {
+      views.push_back(std::span<const Real>(record.channel(c).samples)
+                          .subspan(offset, count));
+    }
+    return views;
+  }
+
+  /// Streams the whole record in `chunk` sized pieces.
+  static void stream(PatientSession& session, const signal::EegRecord& record,
+                     std::size_t chunk) {
+    const std::size_t length = record.length_samples();
+    for (std::size_t offset = 0; offset < length; offset += chunk) {
+      const std::size_t n = std::min(chunk, length - offset);
+      session.ingest(chunk_views(record, offset, n));
+    }
+  }
+
+  static signal::EegRecord* record_;
+};
+
+signal::EegRecord* PatientSessionTest::record_ = nullptr;
+
+TEST_F(PatientSessionTest, ChunkedFeatureRowsMatchBatchBitForBit) {
+  const features::EglassFeatureExtractor extractor(2);
+  const features::WindowedFeatures batch =
+      features::extract_windowed_features(*record_, extractor);
+
+  SessionConfig config;
+  config.sample_rate_hz = record_->sample_rate_hz();
+  PatientSession session(0, extractor, config);
+  stream(session, *record_, 997);  // prime-sized chunks, misaligned to hops
+
+  ASSERT_EQ(session.pending().rows(), batch.count());
+  EXPECT_EQ(session.pending(), batch.features);  // bit-for-bit
+  for (std::size_t w = 0; w < batch.count(); ++w) {
+    EXPECT_EQ(session.pending_window_indices()[w], w);
+    EXPECT_DOUBLE_EQ(session.window_start_s(w), batch.window_start_s[w]);
+  }
+}
+
+TEST_F(PatientSessionTest, SingleSampleChunksMatchBatch) {
+  const features::EglassFeatureExtractor extractor(2);
+  // 12 s is enough for a few windows while keeping 1-sample pushes cheap.
+  const sim::CohortSimulator simulator;
+  const signal::EegRecord record =
+      simulator.synthesize_background_record(0, 12.0, 12);
+  const features::WindowedFeatures batch =
+      features::extract_windowed_features(record, extractor);
+
+  SessionConfig config;
+  config.sample_rate_hz = record.sample_rate_hz();
+  PatientSession session(1, extractor, config);
+  stream(session, record, 1);
+
+  ASSERT_EQ(session.pending().rows(), batch.count());
+  EXPECT_EQ(session.pending(), batch.features);
+}
+
+TEST_F(PatientSessionTest, ClearPendingKeepsGlobalWindowIndices) {
+  const features::EglassFeatureExtractor extractor(2);
+  SessionConfig config;
+  config.sample_rate_hz = record_->sample_rate_hz();
+  PatientSession session(2, extractor, config);
+
+  const std::size_t half = record_->length_samples() / 2;
+  session.ingest(chunk_views(*record_, 0, half));
+  const std::size_t first_batch = session.pending().rows();
+  ASSERT_GT(first_batch, 0u);
+  session.clear_pending();
+  EXPECT_EQ(session.pending().rows(), 0u);
+
+  session.ingest(chunk_views(*record_, half, record_->length_samples() - half));
+  ASSERT_GT(session.pending().rows(), 0u);
+  // Indices continue the global counter instead of restarting at 0.
+  EXPECT_EQ(session.pending_window_indices().front(), first_batch);
+  EXPECT_EQ(session.windows_emitted(),
+            first_batch + session.pending().rows());
+}
+
+TEST_F(PatientSessionTest, AlarmRunLengthPostProcessing) {
+  const features::EglassFeatureExtractor extractor(2);
+  SessionConfig config;
+  config.alarm_consecutive = 3;
+  PatientSession session(3, extractor, config);
+
+  EXPECT_FALSE(session.observe_label(1));
+  EXPECT_FALSE(session.observe_label(1));
+  EXPECT_TRUE(session.observe_label(1));   // third in a row -> alarm
+  EXPECT_FALSE(session.observe_label(1));  // run continues, no re-alarm
+  EXPECT_FALSE(session.observe_label(0));  // run broken
+  EXPECT_FALSE(session.observe_label(1));
+  EXPECT_FALSE(session.observe_label(1));
+  EXPECT_TRUE(session.observe_label(1));   // new run -> second alarm
+  EXPECT_EQ(session.alarms(), 2u);
+}
+
+TEST_F(PatientSessionTest, HistoryRecordHoldsLatestSignalTail) {
+  const features::EglassFeatureExtractor extractor(2);
+  SessionConfig config;
+  config.sample_rate_hz = record_->sample_rate_hz();
+  config.history_seconds = 20.0;  // shorter than the 60 s record
+  PatientSession session(4, extractor, config);
+  stream(session, *record_, 1024);
+
+  ASSERT_TRUE(session.history_enabled());
+  EXPECT_DOUBLE_EQ(session.history_buffered_s(), 20.0);
+
+  const signal::EegRecord history = session.history_record();
+  ASSERT_EQ(history.channel_count(), record_->channel_count());
+  EXPECT_EQ(history.channel(0).electrodes.label(), "F7-T3");
+  EXPECT_EQ(history.channel(1).electrodes.label(), "F8-T4");
+
+  const std::size_t tail = history.length_samples();
+  const std::size_t offset = record_->length_samples() - tail;
+  for (std::size_t c = 0; c < history.channel_count(); ++c) {
+    const auto& expected = record_->channel(c).samples;
+    const auto& actual = history.channel(c).samples;
+    for (std::size_t i = 0; i < tail; ++i) {
+      ASSERT_EQ(actual[i], expected[offset + i]) << "channel " << c
+                                                 << " sample " << i;
+    }
+  }
+}
+
+TEST_F(PatientSessionTest, HistoryDisabledByDefault) {
+  const features::EglassFeatureExtractor extractor(2);
+  PatientSession session(5, extractor, SessionConfig{});
+  EXPECT_FALSE(session.history_enabled());
+  EXPECT_THROW(session.history_record(), InvalidArgument);
+}
+
+TEST_F(PatientSessionTest, RejectsHistoryShorterThanWindow) {
+  const features::EglassFeatureExtractor extractor(2);
+  SessionConfig config;
+  config.history_seconds = 1.0;  // < 4 s window
+  EXPECT_THROW(PatientSession(6, extractor, config), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace esl::engine

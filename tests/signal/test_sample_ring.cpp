@@ -1,0 +1,109 @@
+#include "signal/sample_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace esl::signal {
+namespace {
+
+RealVector iota(std::size_t n, Real start = 0.0) {
+  RealVector v(n);
+  std::iota(v.begin(), v.end(), start);
+  return v;
+}
+
+TEST(SampleRing, RejectsZeroCapacity) {
+  EXPECT_THROW(SampleRing(0), InvalidArgument);
+}
+
+TEST(SampleRing, PushAndCopyFrontPreservesOrder) {
+  SampleRing ring(8);
+  const RealVector v = iota(5);
+  ring.push(v);
+  EXPECT_EQ(ring.size(), 5u);
+  EXPECT_FALSE(ring.full());
+
+  RealVector out(5);
+  ring.copy_front(5, out);
+  EXPECT_EQ(out, v);
+}
+
+TEST(SampleRing, OverflowDropsOldest) {
+  SampleRing ring(4);
+  ring.push(iota(3));          // 0 1 2
+  ring.push(iota(3, 3.0));     // 3 4 5 -> drops 0 1
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_TRUE(ring.full());
+  EXPECT_EQ(ring.dropped(), 2u);
+
+  RealVector out(4);
+  ring.copy_all(out);
+  EXPECT_EQ(out, (RealVector{2.0, 3.0, 4.0, 5.0}));
+}
+
+TEST(SampleRing, BlockLargerThanCapacityKeepsTail) {
+  SampleRing ring(4);
+  ring.push(iota(2));   // pre-fill so the bulk path also accounts them
+  ring.push(iota(10));  // only 6 7 8 9 survive
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.dropped(), 8u);  // 2 buffered + 6 of the block
+
+  RealVector out(4);
+  ring.copy_all(out);
+  EXPECT_EQ(out, (RealVector{6.0, 7.0, 8.0, 9.0}));
+}
+
+TEST(SampleRing, DropFrontSlidesWindow) {
+  SampleRing ring(6);
+  ring.push(iota(6));
+  ring.drop_front(2);
+  EXPECT_EQ(ring.size(), 4u);
+  ring.push(iota(2, 6.0));  // wraps around the physical end
+
+  RealVector out(6);
+  ring.copy_all(out);
+  EXPECT_EQ(out, (RealVector{2.0, 3.0, 4.0, 5.0, 6.0, 7.0}));
+}
+
+TEST(SampleRing, CopyFrontChecksBounds) {
+  SampleRing ring(4);
+  ring.push(iota(2));
+  RealVector out(4);
+  EXPECT_THROW(ring.copy_front(3, out), InvalidArgument);
+  EXPECT_THROW(ring.drop_front(3), InvalidArgument);
+}
+
+TEST(SampleRing, ClearResets) {
+  SampleRing ring(4);
+  ring.push(iota(6));
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  ring.push(iota(1));
+  RealVector out(1);
+  ring.copy_all(out);
+  EXPECT_EQ(out[0], 0.0);
+}
+
+TEST(SampleRing, ManySmallPushesMatchOneBigPush) {
+  SampleRing a(100);
+  SampleRing b(100);
+  const RealVector v = iota(257);
+  b.push(v);
+  for (std::size_t i = 0; i < v.size(); i += 3) {
+    const std::size_t n = std::min<std::size_t>(3, v.size() - i);
+    a.push(std::span<const Real>(v).subspan(i, n));
+  }
+  ASSERT_EQ(a.size(), b.size());
+  RealVector out_a(a.size());
+  RealVector out_b(b.size());
+  a.copy_all(out_a);
+  b.copy_all(out_b);
+  EXPECT_EQ(out_a, out_b);
+}
+
+}  // namespace
+}  // namespace esl::signal
