@@ -1,25 +1,36 @@
-// Streaming engine throughput: windows/sec vs. concurrent session count,
-// single- vs. batched-inference.
+// Streaming engine + service throughput.
 //
-// Two measurements per session count N:
-//   * inference stage in isolation — the N feature rows one poll round
-//     drains (one ready window per session) classified (a) row by row
-//     with RealtimeDetector::predict_row (the per-window single-session
-//     loop) and (b) through the engine's batched path (gather rows,
-//     z-score the batch in place, one tree-major forest pass);
-//   * end-to-end engine streaming — N sessions ingesting 1-second chunks
-//     with a poll per round, reporting total windows/sec.
+// Three measurements:
+//   * inference stage in isolation — N feature rows (one ready window per
+//     session) classified (a) row by row with
+//     RealtimeDetector::predict_row and (b) through the engine's batched
+//     tree-major path. The batched win grows with N because each tree's
+//     node array stays cache-hot across the batch.
+//   * end-to-end single Engine — N sessions ingesting 1-second chunks
+//     with a poll per round (feature extraction included).
+//   * sharded DetectionService — fixed session count spread over
+//     1/2/4/8 shards under the InlineBackend (caller thread) and the
+//     ThreadPoolBackend (one worker per shard, bounded MPSC ingest
+//     queues). On multi-core hardware the threaded backend scales with
+//     shard count; on a single core it shows the queue/handoff overhead.
 //
-// The batched win grows with N because the tree-major pass keeps each
-// tree's node array cache-hot across the whole batch and amortizes the
-// scaling sweep; per-row traversal re-walks all trees cold per window.
+// Usage:
+//   engine_throughput [--json PATH] [--sessions N] [--seconds S]
+//                     [--shards CSV] [--backend inline|threads|both]
+//
+// --json writes the backend x shard-count matrix (plus the inference
+// numbers) as machine-readable JSON, e.g. BENCH_engine.json, so the
+// perf trajectory can be tracked across commits.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "core/realtime_detector.hpp"
-#include "engine/engine.hpp"
+#include "engine/service.hpp"
 #include "ml/dataset.hpp"
 #include "sim/cohort.hpp"
 
@@ -87,10 +98,11 @@ std::pair<double, double> inference_stage(const core::RealtimeDetector& det,
   return {total / single_s, total / batched_s};
 }
 
-/// End-to-end engine streaming: N sessions, 1 s chunks, poll per round.
-double end_to_end(const std::shared_ptr<const core::RealtimeDetector>& det,
-                  const signal::EegRecord& record, std::size_t sessions,
-                  Seconds stream_seconds) {
+/// End-to-end single Engine: N sessions, 1 s chunks, poll per round.
+double engine_end_to_end(
+    const std::shared_ptr<const core::RealtimeDetector>& det,
+    const signal::EegRecord& record, std::size_t sessions,
+    Seconds stream_seconds) {
   engine::Engine eng(det);
   for (std::size_t s = 0; s < sessions; ++s) {
     eng.add_session();
@@ -112,11 +124,145 @@ double end_to_end(const std::shared_ptr<const core::RealtimeDetector>& det,
   return static_cast<double>(eng.stats().windows_classified) / elapsed;
 }
 
+/// Detections go nowhere: the bench measures the pipeline, not a consumer.
+class NullSink final : public engine::DetectionSink {
+ public:
+  void on_detections(std::span<const engine::Detection>) override {}
+};
+
+/// End-to-end DetectionService: `sessions` hash-partitioned over
+/// `shards`, 1 s chunks, one flush per round.
+double service_end_to_end(
+    const std::shared_ptr<const core::RealtimeDetector>& det,
+    const signal::EegRecord& record, std::size_t sessions,
+    std::size_t shards, bool threaded, Seconds stream_seconds) {
+  engine::ServiceConfig config;
+  config.shards = shards;
+  std::unique_ptr<engine::ExecutionBackend> backend;
+  if (threaded) {
+    backend = std::make_unique<engine::ThreadPoolBackend>();
+  }
+  engine::DetectionService service(det, config, std::move(backend));
+  NullSink sink;
+  service.set_detection_sink(&sink);
+  std::vector<engine::SessionHandle> handles;
+  for (std::size_t s = 0; s < sessions; ++s) {
+    handles.push_back(service.create_session(s, engine::SessionConfig{}));
+  }
+  const auto chunk = static_cast<std::size_t>(record.sample_rate_hz());
+  const auto rounds = static_cast<std::size_t>(stream_seconds);
+  const std::size_t length = record.length_samples();
+
+  const auto start = Clock::now();
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (std::size_t s = 0; s < sessions; ++s) {
+      const std::size_t offset = ((round + s * 37) * chunk) % (length - chunk);
+      service.ingest(handles[s], chunk_views(record, offset, chunk));
+    }
+    service.flush();
+  }
+  const double elapsed = seconds_since(start);
+  const double wps =
+      static_cast<double>(service.stats().windows_classified) / elapsed;
+  service.stop();
+  return wps;
+}
+
+struct ServiceResult {
+  const char* backend;
+  std::size_t shards;
+  double windows_per_s;
+};
+
+struct Options {
+  std::string json_path;
+  std::size_t sessions = 32;
+  Seconds stream_seconds = 20.0;
+  std::vector<std::size_t> shards = {1, 2, 4, 8};
+  bool run_inline = true;
+  bool run_threads = true;
+};
+
+Options parse_options(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      opts.json_path = value();
+    } else if (arg == "--sessions") {
+      opts.sessions = static_cast<std::size_t>(std::atol(value()));
+    } else if (arg == "--seconds") {
+      opts.stream_seconds = std::atof(value());
+    } else if (arg == "--shards") {
+      opts.shards.clear();
+      for (const char* token = std::strtok(const_cast<char*>(value()), ",");
+           token != nullptr; token = std::strtok(nullptr, ",")) {
+        opts.shards.push_back(static_cast<std::size_t>(std::atol(token)));
+      }
+    } else if (arg == "--backend") {
+      const std::string backend = value();
+      if (backend != "inline" && backend != "threads" && backend != "both") {
+        std::fprintf(stderr, "unknown --backend %s\n", backend.c_str());
+        std::exit(2);
+      }
+      opts.run_inline = backend == "inline" || backend == "both";
+      opts.run_threads = backend == "threads" || backend == "both";
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return opts;
+}
+
+void write_json(const Options& opts,
+                const std::vector<std::pair<std::size_t, std::pair<double, double>>>&
+                    inference,
+                const std::vector<ServiceResult>& services) {
+  std::FILE* f = std::fopen(opts.json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", opts.json_path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"engine_throughput\",\n");
+  std::fprintf(f, "  \"sessions\": %zu,\n  \"stream_seconds\": %.1f,\n",
+               opts.sessions, opts.stream_seconds);
+  std::fprintf(f, "  \"inference\": [\n");
+  for (std::size_t i = 0; i < inference.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"rows\": %zu, \"single_wps\": %.1f, "
+                 "\"batched_wps\": %.1f}%s\n",
+                 inference[i].first, inference[i].second.first,
+                 inference[i].second.second,
+                 i + 1 < inference.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"service\": [\n");
+  for (std::size_t i = 0; i < services.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"backend\": \"%s\", \"shards\": %zu, "
+                 "\"windows_per_s\": %.1f}%s\n",
+                 services[i].backend, services[i].shards,
+                 services[i].windows_per_s,
+                 i + 1 < services.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", opts.json_path.c_str());
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const Options opts = parse_options(argc, argv);
   esl::bench::print_header(
-      "Engine throughput: single- vs batched-inference by session count");
+      "Engine + service throughput: batching, sharding, backends");
 
   const sim::CohortSimulator simulator;
   const auto events = simulator.events_for_patient(4);
@@ -136,30 +282,67 @@ int main() {
   const features::WindowedFeatures windowed =
       features::extract_windowed_features(stream_record, extractor);
 
+  std::printf("\n-- inference stage (isolated), single vs batched --\n");
   std::printf("%8s %16s %16s %9s %14s\n", "sessions", "single (w/s)",
               "batched (w/s)", "speedup", "engine (w/s)");
+  std::vector<std::pair<std::size_t, std::pair<double, double>>> inference;
   for (const std::size_t sessions : {1u, 4u, 16u, 64u, 256u}) {
     Matrix rows(sessions, windowed.features.cols());
     for (std::size_t r = 0; r < sessions; ++r) {
       const auto src = windowed.features.row(r % windowed.count());
       std::copy(src.begin(), src.end(), rows.row(r).begin());
     }
-    const auto [single_wps, batched_wps] =
-        inference_stage(*detector, rows, 100000);
+    const auto wps = inference_stage(*detector, rows, 100000);
+    inference.emplace_back(sessions, wps);
     if (sessions <= 64) {
       const double engine_wps =
-          end_to_end(detector, stream_record, sessions, 30.0);
-      std::printf("%8zu %16.0f %16.0f %8.2fx %14.0f\n", sessions, single_wps,
-                  batched_wps, batched_wps / single_wps, engine_wps);
+          engine_end_to_end(detector, stream_record, sessions, 30.0);
+      std::printf("%8zu %16.0f %16.0f %8.2fx %14.0f\n", sessions, wps.first,
+                  wps.second, wps.second / wps.first, engine_wps);
     } else {
-      std::printf("%8zu %16.0f %16.0f %8.2fx %14s\n", sessions, single_wps,
-                  batched_wps, batched_wps / single_wps, "-");
+      std::printf("%8zu %16.0f %16.0f %8.2fx %14s\n", sessions, wps.first,
+                  wps.second, wps.second / wps.first, "-");
     }
   }
+
+  std::printf(
+      "\n-- sharded service, %zu sessions, 1 s chunks, flush per round --\n",
+      opts.sessions);
+  std::printf("%8s %16s %16s %9s\n", "shards", "inline (w/s)",
+              "threads (w/s)", "speedup");
+  std::vector<ServiceResult> services;
+  for (const std::size_t shards : opts.shards) {
+    double inline_wps = 0.0;
+    double threads_wps = 0.0;
+    if (opts.run_inline) {
+      inline_wps = service_end_to_end(detector, stream_record, opts.sessions,
+                                      shards, false, opts.stream_seconds);
+      services.push_back({"inline", shards, inline_wps});
+    }
+    if (opts.run_threads) {
+      threads_wps = service_end_to_end(detector, stream_record, opts.sessions,
+                                       shards, true, opts.stream_seconds);
+      services.push_back({"threads", shards, threads_wps});
+    }
+    if (opts.run_inline && opts.run_threads) {
+      std::printf("%8zu %16.0f %16.0f %8.2fx\n", shards, inline_wps,
+                  threads_wps, threads_wps / inline_wps);
+    } else {
+      std::printf("%8zu %16.0f %16.0f %9s\n", shards, inline_wps, threads_wps,
+                  "-");
+    }
+  }
+
   std::printf(
       "\nsingle  = per-window RealtimeDetector::predict_row loop\n"
       "batched = engine path: gather + in-place z-score + tree-major forest\n"
-      "engine  = end-to-end streaming windows/sec (feature extraction "
-      "included), 1 s chunks, one poll per round\n");
+      "engine  = end-to-end single-Engine streaming windows/sec\n"
+      "service = end-to-end DetectionService (feature extraction included);\n"
+      "          the threads backend runs one worker per shard and scales\n"
+      "          with cores, inline shows the single-thread baseline\n");
+
+  if (!opts.json_path.empty()) {
+    write_json(opts, inference, services);
+  }
   return 0;
 }

@@ -1,18 +1,22 @@
-// A miniature fleet-monitoring service on top of the streaming engine.
+// A miniature fleet-monitoring service on top of the sharded
+// DetectionService.
 //
 // Synthesizes a cohort of patients, trains a shared fleet detector on one
 // patient's labeled record, then streams live EEG for a handful of
-// concurrent sessions in 1-second chunks through the Engine: batched
-// inference per poll, alarm hooks, and — for one cold-start patient with
-// a personal self-learning pipeline — a missed seizure, a patient button
-// press, Algorithm-1 a-posteriori labeling, and personalization.
+// concurrent sessions in 1-second chunks through a two-shard
+// DetectionService: sessions hash-partitioned across shards, batched
+// inference per shard, alarm hooks, a drained DetectionSink, and — for
+// one cold-start patient with a personal self-learning pipeline — a
+// missed seizure, a patient button press, Algorithm-1 a-posteriori
+// labeling, and personalization, all through the facade.
 //
-//   ./streaming_service
+//   ./streaming_service [inline|threads]   (default: threads)
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "core/realtime_detector.hpp"
-#include "engine/engine.hpp"
+#include "engine/service.hpp"
 #include "ml/dataset.hpp"
 #include "sim/cohort.hpp"
 
@@ -33,8 +37,10 @@ std::vector<std::span<const Real>> chunk_views(const signal::EegRecord& record,
 
 }  // namespace
 
-int main() {
-  std::printf("=== streaming multi-patient detection service ===\n\n");
+int main(int argc, char** argv) {
+  const bool threaded = argc < 2 || std::strcmp(argv[1], "inline") != 0;
+  std::printf("=== sharded multi-patient detection service (%s backend) ===\n\n",
+              threaded ? "threads" : "inline");
 
   // --- fleet model: trained offline on one labeled record of patient 5.
   const sim::CohortSimulator simulator;
@@ -49,40 +55,52 @@ int main() {
   std::printf("fleet detector trained: %zu windows, %zu seizure windows\n",
               train.size(), train.positives());
 
-  // --- engine with a hierarchical stage-1 screen fitted on the same set.
-  engine::EngineConfig config;
-  config.screening =
+  // --- two-shard service with a hierarchical stage-1 screen per shard.
+  engine::ServiceConfig config;
+  config.shards = 2;
+  config.engine.screening =
       engine::ScreeningConfig{14, core::fit_stage1_threshold(train, 0.98, 14)};
-  engine::Engine engine(fleet, config);
+  std::unique_ptr<engine::ExecutionBackend> backend;
+  if (threaded) {
+    backend = std::make_unique<engine::ThreadPoolBackend>();
+  }
+  engine::DetectionService service(fleet, config, std::move(backend));
 
-  engine.set_alarm_hook([](const engine::Detection& d) {
-    std::printf("  [alarm] session %llu at t=%.0fs (window %zu)\n",
-                static_cast<unsigned long long>(d.session_id),
-                d.window_start_s, d.window_index);
+  service.set_alarm_hook([](const engine::Detection& d) {
+    const engine::SessionHandle handle{d.session_id};
+    std::printf("  [alarm] session %llu (shard %u) at t=%.0fs (window %zu)\n",
+                static_cast<unsigned long long>(handle.local_id()),
+                handle.shard(), d.window_start_s, d.window_index);
   });
-  engine.set_label_hook([](std::uint64_t id, const signal::Interval& label) {
-    std::printf("  [label] session %llu: a-posteriori seizure "
-                "[%.0f, %.0f]s in its history buffer\n",
-                static_cast<unsigned long long>(id), label.onset,
-                label.offset);
-  });
+  service.set_label_hook(
+      [](engine::SessionHandle handle, const signal::Interval& label) {
+        std::printf("  [label] session %llu (shard %u): a-posteriori seizure "
+                    "[%.0f, %.0f]s in its history buffer\n",
+                    static_cast<unsigned long long>(handle.local_id()),
+                    handle.shard(), label.onset, label.offset);
+      });
 
-  // --- sessions: a small cohort slice streaming concurrently. Session 0
+  // --- sessions: a small cohort slice streaming concurrently. The first
   // follows a cold-start self-learning patient (personal pipeline, no
-  // usable fleet coverage assumed); the rest ride the fleet model.
+  // usable fleet coverage assumed); the rest ride the fleet model,
+  // hash-partitioned across the two shards.
   const std::size_t fleet_sessions = 7;
   engine::SessionConfig personal_config;
   personal_config.history_seconds = 600.0;  // retro buffer for Algorithm 1
   personal_config.use_fleet_model = false;  // patient-specific model only
-  const std::uint64_t personal = engine.add_session(personal_config);
+  const engine::SessionHandle personal =
+      service.create_session(personal_config);
   core::SelfLearningConfig learn;
   learn.average_seizure_duration_s = simulator.average_seizure_duration(2);
-  engine.attach_self_learning(personal, learn);
+  service.attach_self_learning(personal, learn);
+  std::vector<engine::SessionHandle> fleet_handles;
   for (std::size_t s = 0; s < fleet_sessions; ++s) {
-    engine.add_session();
+    fleet_handles.push_back(service.create_session());
   }
-  std::printf("%zu sessions online (session 0 self-learning)\n\n",
-              engine.session_count());
+  std::printf("%zu sessions online across %zu shards "
+              "(the self-learning one on shard %u)\n\n",
+              service.session_count(), service.shard_count(),
+              personal.shard());
 
   // --- live signal: patient 3's seizure record for the self-learning
   // session, held-out records (seizure + background) for the fleet.
@@ -96,39 +114,55 @@ int main() {
                    : simulator.synthesize_background_record(4, 500.0, 20 + s));
   }
 
-  // --- stream: 1-second chunks, one batched poll per round.
+  // --- stream: 1-second chunks, one barrier flush per round; detections
+  // accumulate in the built-in sink and are drained once per round.
   const auto chunk = static_cast<std::size_t>(simulator.sample_rate_hz());
   const std::size_t rounds = personal_record.length_samples() / chunk;
+  std::vector<engine::Detection> detections;
+  std::size_t seizure_windows = 0;
   for (std::size_t round = 0; round < rounds; ++round) {
-    engine.ingest(personal, chunk_views(personal_record, round * chunk, chunk));
+    service.ingest(personal,
+                   chunk_views(personal_record, round * chunk, chunk));
     for (std::size_t s = 0; s < fleet_sessions; ++s) {
       const std::size_t length = fleet_records[s].length_samples();
       if ((round + 1) * chunk <= length) {
-        engine.ingest(1 + s, chunk_views(fleet_records[s], round * chunk, chunk));
+        service.ingest(fleet_handles[s],
+                       chunk_views(fleet_records[s], round * chunk, chunk));
       }
     }
-    engine.poll();
+    service.flush();
+    detections.clear();
+    for (service.drain(detections); const engine::Detection& d : detections) {
+      seizure_windows += d.label == 1 ? 1 : 0;
+    }
   }
+  std::printf("streamed %zu rounds; %zu seizure-positive windows so far\n",
+              rounds, seizure_windows);
 
   // --- the self-learning patient's seizure was missed (cold model):
   // the patient presses the button, the history is labeled and learned.
-  if (engine.session(personal).alarms() == 0) {
-    std::printf("\nsession 0 missed its seizure -> patient trigger\n");
-    engine.patient_trigger(personal);
+  if (service.session_alarms(personal) == 0) {
+    std::printf("\nself-learning session missed its seizure -> patient "
+                "trigger\n");
+    service.patient_trigger(personal);
     const signal::Interval truth = personal_record.seizures().front();
     std::printf("  true seizure was [%.0f, %.0f]s\n", truth.onset,
                 truth.offset);
   }
 
   // --- replay the same patient with the personalized model.
-  std::printf("\nreplaying session 0's patient with the learned model:\n");
+  std::printf("\nreplaying the patient with the learned model:\n");
   for (std::size_t round = 0; round < rounds; ++round) {
-    engine.ingest(personal, chunk_views(personal_record, round * chunk, chunk));
-    engine.poll();
+    service.ingest(personal,
+                   chunk_views(personal_record, round * chunk, chunk));
+    service.flush();
   }
+  detections.clear();
+  service.drain(detections);
 
-  const engine::EngineStats& stats = engine.stats();
-  std::printf("\n=== engine stats ===\n");
+  const engine::EngineStats stats = service.stats();
+  std::printf("\n=== service stats (aggregated over %zu shards) ===\n",
+              service.shard_count());
   std::printf("windows classified : %zu\n", stats.windows_classified);
   std::printf("forest windows     : %zu (batched over %zu forest passes)\n",
               stats.forest_windows, stats.batches);

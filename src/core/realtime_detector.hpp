@@ -35,6 +35,17 @@ ml::Dataset build_window_dataset(const signal::EegRecord& record,
                                  const RealtimeConfig& config = {});
 
 /// The trainable detector.
+///
+/// Thread safety: fit() is not synchronized, but once fitted the object
+/// is logically immutable — every const method (predict_row,
+/// predict_windows, scale_rows_in_place, forest() traversal, evaluate,
+/// raises_alarm) only reads the trained state and writes caller-provided
+/// scratch, with no mutable members or internal caching. A fitted
+/// detector may therefore be shared read-only across engine shards and
+/// their worker threads (the DetectionService hands one fleet model to
+/// every shard). Re-fitting while other threads predict is a data race;
+/// train a fresh detector and swap it in between polls instead — the
+/// engine's personalization path does exactly this under its shard lock.
 class RealtimeDetector {
  public:
   explicit RealtimeDetector(RealtimeConfig config = {});

@@ -1,0 +1,229 @@
+#include "engine/backend.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace esl::engine {
+
+namespace {
+
+/// Rewrites engine-local detection ids into packed SessionHandle values.
+void translate_ids(std::uint32_t shard_index,
+                   std::vector<Detection>& detections) {
+  for (Detection& d : detections) {
+    d.session_id = SessionHandle::pack(shard_index, d.session_id).value;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- inline
+
+void InlineBackend::start(std::vector<std::unique_ptr<Shard>>& shards,
+                          DetectionSink& sink) {
+  shards_ = &shards;
+  sink_ = &sink;
+}
+
+void InlineBackend::stop() {
+  shards_ = nullptr;
+  sink_ = nullptr;
+}
+
+void InlineBackend::ingest(Shard& shard, std::uint64_t local_id,
+                           const std::vector<std::span<const Real>>& chunk) {
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.engine->ingest(local_id, chunk);
+}
+
+void InlineBackend::flush() {
+  ensures(shards_ != nullptr, "InlineBackend: flush before start");
+  for (const auto& shard : *shards_) {
+    scratch_.clear();
+    {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      shard->engine->poll_into(scratch_);
+    }
+    translate_ids(shard->index, scratch_);
+    if (!scratch_.empty()) {
+      sink_->on_detections(scratch_);
+    }
+  }
+}
+
+// ------------------------------------------------------------ threadpool
+
+ThreadPoolBackend::ThreadPoolBackend(ThreadPoolConfig config)
+    : config_(config) {
+  expects(config_.queue_capacity >= 1,
+          "ThreadPoolBackend: queue_capacity must be positive");
+}
+
+ThreadPoolBackend::~ThreadPoolBackend() {
+  try {
+    stop();
+  } catch (...) {
+    // A pending worker error surfacing in the destructor has nowhere to
+    // go; stop() already joined every thread before rethrowing it.
+  }
+}
+
+void ThreadPoolBackend::start(std::vector<std::unique_ptr<Shard>>& shards,
+                              DetectionSink& sink) {
+  ensures(workers_.empty(), "ThreadPoolBackend: started twice");
+  shards_ = &shards;
+  sink_ = &sink;
+  stopping_.store(false, std::memory_order_relaxed);
+  workers_.reserve(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->queue = std::make_unique<IngestQueue>(config_.queue_capacity);
+    workers_.push_back(std::move(worker));
+  }
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    workers_[i]->thread = std::thread([this, i] { run_worker(i); });
+  }
+}
+
+void ThreadPoolBackend::stop() {
+  if (workers_.empty()) {
+    return;
+  }
+  // Order matters: drain in-flight chunks, join every worker, and only
+  // then surface any captured worker error — stop() must never leave
+  // threads running by throwing early.
+  flush_barrier();
+  stopping_.store(true, std::memory_order_release);
+  for (const auto& worker : workers_) {
+    worker->queue->wake();
+  }
+  for (const auto& worker : workers_) {
+    if (worker->thread.joinable()) {
+      worker->thread.join();
+    }
+  }
+  for (const auto& worker : workers_) {
+    worker->queue->close();
+  }
+  workers_.clear();
+  shards_ = nullptr;
+  sink_ = nullptr;
+  rethrow_worker_error();
+}
+
+void ThreadPoolBackend::ingest(
+    Shard& shard, std::uint64_t local_id,
+    const std::vector<std::span<const Real>>& chunk) {
+  ensures(shard.index < workers_.size(),
+          "ThreadPoolBackend: ingest before start");
+  workers_[shard.index]->queue->push(local_id, chunk);
+}
+
+void ThreadPoolBackend::flush() {
+  flush_barrier();
+  rethrow_worker_error();
+}
+
+void ThreadPoolBackend::flush_barrier() {
+  if (workers_.empty()) {
+    return;
+  }
+  std::uint64_t target = 0;
+  {
+    std::lock_guard<std::mutex> lock(flush_mutex_);
+    target = ++flush_epoch_;
+    // Snapshot how much each queue has ever received: the barrier only
+    // waits for *those* chunks, so it completes even while producers
+    // keep streaming new ones past it. Overlapping flushes monotonically
+    // raise the watermark, which at worst makes an earlier waiter wait
+    // for the later flush's (finite) snapshot too.
+    for (const auto& worker : workers_) {
+      worker->flush_watermark = worker->queue->pushed();
+    }
+  }
+  for (const auto& worker : workers_) {
+    worker->queue->wake();
+  }
+  std::unique_lock<std::mutex> lock(flush_mutex_);
+  flush_cv_.wait(lock, [this, target] {
+    return std::all_of(workers_.begin(), workers_.end(),
+                       [target](const std::unique_ptr<Worker>& w) {
+                         return w->done_epoch >= target;
+                       });
+  });
+}
+
+void ThreadPoolBackend::rethrow_worker_error() {
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  if (worker_error_ != nullptr) {
+    std::exception_ptr error = worker_error_;
+    worker_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPoolBackend::run_worker(std::size_t index) {
+  Shard& shard = *(*shards_)[index];
+  Worker& worker = *workers_[index];
+  std::vector<IngestChunk> chunks;
+  std::vector<Detection> detections;
+  std::vector<std::span<const Real>> views;
+
+  while (true) {
+    worker.queue->wait();
+
+    chunks.clear();
+    worker.queue->pop_all(chunks);
+    if (!chunks.empty()) {
+      try {
+        detections.clear();
+        {
+          std::lock_guard<std::mutex> lock(shard.mutex);
+          for (const IngestChunk& chunk : chunks) {
+            views.clear();
+            for (const RealVector& channel : chunk.channels) {
+              views.emplace_back(channel);
+            }
+            shard.engine->ingest(chunk.session_id, views);
+          }
+          shard.engine->poll_into(detections);
+        }
+        translate_ids(shard.index, detections);
+        if (!detections.empty()) {
+          sink_->on_detections(detections);
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex_);
+        if (worker_error_ == nullptr) {
+          worker_error_ = std::current_exception();
+        }
+      }
+      worker.queue->recycle(chunks);
+    }
+
+    // A flush epoch completes once this queue's popped() count reaches
+    // the watermark snapshotted by the flush: every chunk the barrier
+    // covers has then been ingested *and* polled (this point is only
+    // reached after the drained batch went through poll_into), even if
+    // producers have already pushed newer chunks behind it.
+    bool notify = false;
+    {
+      std::lock_guard<std::mutex> lock(flush_mutex_);
+      if (worker.done_epoch < flush_epoch_ &&
+          worker.queue->popped() >= worker.flush_watermark) {
+        worker.done_epoch = flush_epoch_;
+        notify = true;
+      }
+    }
+    if (notify) {
+      flush_cv_.notify_all();
+    }
+    if (stopping_.load(std::memory_order_acquire) &&
+        worker.queue->size() == 0) {
+      return;
+    }
+  }
+}
+
+}  // namespace esl::engine

@@ -1,0 +1,182 @@
+// Pluggable execution backends for the sharded DetectionService.
+//
+// The Engine is single-threaded by design; the service scales it out by
+// owning N shards (one Engine each) and delegating *how* those shards
+// execute to an ExecutionBackend:
+//
+//   * InlineBackend — everything on the caller's thread, shard by shard,
+//     preserving the exact deterministic semantics of driving a single
+//     Engine directly (ingest -> poll per flush). Zero threads, zero
+//     queues; the right choice for tests, embedding, and single-core
+//     edge gateways.
+//   * ThreadPoolBackend — one worker thread per shard. ingest() copies
+//     the chunk into the shard's bounded MPSC IngestQueue and returns;
+//     the worker drains the queue, runs Engine::ingest + poll off the
+//     caller's thread, and delivers detections to the DetectionSink.
+//     flush() is a barrier: every chunk enqueued before it has been
+//     windowed, classified, and delivered when it returns.
+//
+// Ordering guarantee (both backends): detections for one session are
+// always delivered in window order. Cross-session/cross-shard ordering
+// is unspecified under ThreadPoolBackend — per-session streams are
+// independent, so interleaving across shards carries no information.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "engine/ingest_queue.hpp"
+
+namespace esl::engine {
+
+/// Opaque session address: shard index and engine-local session id packed
+/// into one uint64, so code written against raw Engine ids migrates
+/// mechanically (with one shard, value == the Engine id).
+struct SessionHandle {
+  std::uint64_t value = 0;
+
+  static constexpr unsigned k_shard_bits = 16;
+  static constexpr unsigned k_local_bits = 64 - k_shard_bits;
+  static constexpr std::uint64_t k_local_mask = (1ull << k_local_bits) - 1;
+  static constexpr std::size_t k_max_shards = 1ull << k_shard_bits;
+
+  static constexpr SessionHandle pack(std::uint32_t shard,
+                                      std::uint64_t local_id) {
+    return SessionHandle{(static_cast<std::uint64_t>(shard) << k_local_bits) |
+                         (local_id & k_local_mask)};
+  }
+  constexpr std::uint32_t shard() const {
+    return static_cast<std::uint32_t>(value >> k_local_bits);
+  }
+  constexpr std::uint64_t local_id() const { return value & k_local_mask; }
+
+  friend constexpr bool operator==(SessionHandle, SessionHandle) = default;
+};
+
+/// Receives classified windows from the backend. Detection::session_id
+/// carries the packed SessionHandle value. Calls are serialized per
+/// shard; under ThreadPoolBackend different shards deliver concurrently
+/// from their worker threads, so implementations must be thread-safe.
+class DetectionSink {
+ public:
+  virtual ~DetectionSink() = default;
+  virtual void on_detections(std::span<const Detection> detections) = 0;
+};
+
+/// One service shard: an Engine plus the mutex that serializes worker
+/// data-plane access with control-plane calls (create_session,
+/// patient_trigger, stats) arriving on other threads.
+struct Shard {
+  std::uint32_t index = 0;
+  Engine* engine = nullptr;  // owned by the DetectionService
+  mutable std::mutex mutex;
+};
+
+/// How shards execute. The service calls start() once before any
+/// traffic and stop() before destroying the shards; implementations
+/// must not touch shards or the sink outside that bracket.
+class ExecutionBackend {
+ public:
+  virtual ~ExecutionBackend() = default;
+
+  virtual const char* name() const = 0;
+
+  /// `shards` and `sink` outlive the backend's started interval.
+  virtual void start(std::vector<std::unique_ptr<Shard>>& shards,
+                     DetectionSink& sink) = 0;
+
+  /// Drains in-flight work, then joins/clears any workers. Idempotent;
+  /// no sink call happens after it returns.
+  virtual void stop() = 0;
+
+  /// Routes one chunk (one span per channel) to `shard`'s session
+  /// `local_id`. May block for backpressure (bounded queues).
+  virtual void ingest(Shard& shard, std::uint64_t local_id,
+                      const std::vector<std::span<const Real>>& chunk) = 0;
+
+  /// Barrier: when it returns, every chunk ingested before the call has
+  /// been windowed, classified, and delivered to the sink.
+  virtual void flush() = 0;
+};
+
+/// Caller-thread execution: ingest() forwards straight into the Engine,
+/// flush() polls each shard in index order. Bit-identical to driving the
+/// Engines directly, with fully deterministic delivery order.
+class InlineBackend final : public ExecutionBackend {
+ public:
+  const char* name() const override { return "inline"; }
+  void start(std::vector<std::unique_ptr<Shard>>& shards,
+             DetectionSink& sink) override;
+  void stop() override;
+  void ingest(Shard& shard, std::uint64_t local_id,
+              const std::vector<std::span<const Real>>& chunk) override;
+  void flush() override;
+
+ private:
+  std::vector<std::unique_ptr<Shard>>* shards_ = nullptr;
+  DetectionSink* sink_ = nullptr;
+  std::vector<Detection> scratch_;  // reused per-flush detection buffer
+};
+
+struct ThreadPoolConfig {
+  /// Bounded chunks per shard ingest queue; producers block when full.
+  std::size_t queue_capacity = 64;
+};
+
+/// One worker thread per shard; chunks flow through bounded MPSC ingest
+/// queues so producers never run feature extraction or inference.
+class ThreadPoolBackend final : public ExecutionBackend {
+ public:
+  explicit ThreadPoolBackend(ThreadPoolConfig config = {});
+  ~ThreadPoolBackend() override;
+
+  const char* name() const override { return "threads"; }
+  void start(std::vector<std::unique_ptr<Shard>>& shards,
+             DetectionSink& sink) override;
+  void stop() override;
+  void ingest(Shard& shard, std::uint64_t local_id,
+              const std::vector<std::span<const Real>>& chunk) override;
+  void flush() override;
+
+ private:
+  struct Worker {
+    std::unique_ptr<IngestQueue> queue;
+    std::thread thread;
+    // Guarded by flush_mutex_. A flush captures queue->pushed() as the
+    // watermark; the worker completes the epoch once queue->popped()
+    // reaches it, so barriers finish even under continuous ingest.
+    std::uint64_t done_epoch = 0;
+    std::uint64_t flush_watermark = 0;
+  };
+
+  void run_worker(std::size_t index);
+  /// flush() without the worker-error rethrow (stop() must join first).
+  void flush_barrier();
+  /// Rethrows the first captured worker exception, if any.
+  void rethrow_worker_error();
+
+  ThreadPoolConfig config_;
+  std::vector<std::unique_ptr<Shard>>* shards_ = nullptr;
+  DetectionSink* sink_ = nullptr;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  std::mutex flush_mutex_;  // guards flush_epoch_ and Worker::done_epoch
+  std::condition_variable flush_cv_;
+  std::uint64_t flush_epoch_ = 0;
+  std::atomic<bool> stopping_{false};
+
+  // First exception thrown on a worker thread (engine precondition
+  // violations surface on the caller's thread at the next flush/stop).
+  std::mutex error_mutex_;
+  std::exception_ptr worker_error_;
+};
+
+}  // namespace esl::engine

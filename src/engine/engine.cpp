@@ -16,6 +16,8 @@ Engine::Engine(std::shared_ptr<const core::RealtimeDetector> fleet_model,
 std::uint64_t Engine::add_session() { return add_session(config_.session); }
 
 std::uint64_t Engine::add_session(const SessionConfig& config) {
+  // validate(config) runs inside the PatientSession constructor, before
+  // any state exists — a rejected config leaves the engine untouched.
   const auto id = static_cast<std::uint64_t>(slots_.size());
   Slot s;
   s.session = std::make_unique<PatientSession>(id, extractor_, config);
@@ -90,6 +92,12 @@ void Engine::classify_group(const core::RealtimeDetector* model) {
 }
 
 std::vector<Detection> Engine::poll() {
+  std::vector<Detection> out;
+  poll_into(out);
+  return out;
+}
+
+void Engine::poll_into(std::vector<Detection>& out) {
   ++stats_.polls;
 
   // Refresh each session's model: personalized detector once its pipeline
@@ -131,7 +139,6 @@ std::vector<Detection> Engine::poll() {
   }
 
   // Per-session post-processing in window order: alarm run-lengths, hooks.
-  std::vector<Detection> out;
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     PatientSession& session = *slots_[i].session;
     const Matrix& pending = session.pending();
@@ -155,7 +162,6 @@ std::vector<Detection> Engine::poll() {
     stats_.windows_classified += pending.rows();
     session.clear_pending();
   }
-  return out;
 }
 
 void Engine::attach_self_learning(std::uint64_t id,

@@ -75,6 +75,9 @@ class Engine {
                   EngineConfig config = {});
 
   /// Adds a session with the engine-default SessionConfig; returns its id.
+  /// The config is validated up front (see validate(SessionConfig)):
+  /// invalid geometry raises InvalidArgument here, not inside the
+  /// windowing path on the first chunk.
   std::uint64_t add_session();
   std::uint64_t add_session(const SessionConfig& config);
   std::size_t session_count() const { return slots_.size(); }
@@ -90,6 +93,10 @@ class Engine {
   /// by session (ascending id), in window order within a session. The
   /// alarm hook fires for each detection that completed an alarm run.
   std::vector<Detection> poll();
+  /// Allocation-friendly poll: appends the detections onto `out` instead
+  /// of returning a fresh vector (execution backends reuse one buffer
+  /// across polls). Semantics are otherwise identical to poll().
+  void poll_into(std::vector<Detection>& out);
 
   /// Attaches a personal self-learning pipeline to a session (enables
   /// patient_trigger). The session keeps using the fleet model until the

@@ -8,17 +8,40 @@
 
 namespace esl::engine {
 
+void validate(const SessionConfig& config) {
+  expects(std::isfinite(config.sample_rate_hz) && config.sample_rate_hz > 0.0,
+          "SessionConfig: sample_rate_hz must be positive");
+  expects(std::isfinite(config.window_seconds) && config.window_seconds > 0.0,
+          "SessionConfig: window_seconds must be positive");
+  expects(std::isfinite(config.overlap) && config.overlap >= 0.0 &&
+              config.overlap < 1.0,
+          "SessionConfig: overlap must be in [0, 1)");
+  expects(config.alarm_consecutive >= 1,
+          "SessionConfig: alarm_consecutive must be positive");
+  expects(std::isfinite(config.history_seconds) &&
+              config.history_seconds >= 0.0,
+          "SessionConfig: history_seconds must be non-negative");
+}
+
+namespace {
+
+/// Validates before the constructor's member-init list can hand the
+/// geometry to StreamingExtractor (config_ is declared first, so this
+/// runs ahead of the streaming_ member's construction).
+const SessionConfig& validated(const SessionConfig& config) {
+  validate(config);
+  return config;
+}
+
+}  // namespace
+
 PatientSession::PatientSession(
     std::uint64_t id, const features::WindowFeatureExtractor& extractor,
     const SessionConfig& config)
     : id_(id),
-      config_(config),
+      config_(validated(config)),
       streaming_(extractor, config.sample_rate_hz, config.window_seconds,
                  config.overlap) {
-  expects(config_.alarm_consecutive >= 1,
-          "PatientSession: alarm_consecutive must be positive");
-  expects(config_.history_seconds >= 0.0,
-          "PatientSession: history_seconds must be non-negative");
   if (config_.history_seconds > 0.0) {
     const auto capacity = static_cast<std::size_t>(
         std::lround(config_.history_seconds * config_.sample_rate_hz));

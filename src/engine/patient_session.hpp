@@ -39,6 +39,14 @@ struct SessionConfig {
   bool use_fleet_model = true;
 };
 
+/// Throws InvalidArgument unless `config` describes a usable stream:
+/// positive sample rate and window length, overlap in [0, 1),
+/// alarm_consecutive >= 1, history_seconds >= 0. Engine::add_session and
+/// DetectionService::create_session validate through this so bad
+/// geometry is rejected up front instead of failing deep inside the
+/// windowing path.
+void validate(const SessionConfig& config);
+
 /// Chunked ingest -> incremental windowing -> pending feature rows.
 class PatientSession final : private features::WindowSink {
  public:

@@ -315,6 +315,28 @@ TEST_F(EngineTest, MixedFleetAndPersonalModelsBatchSeparately) {
   }
 }
 
+TEST_F(EngineTest, AddSessionValidatesConfigUpFront) {
+  // Bad stream geometry must be rejected at add_session with
+  // InvalidArgument, not by a failure deep inside the windowing path.
+  Engine engine(*fleet_);
+  SessionConfig bad;
+  bad.overlap = 1.0;
+  EXPECT_THROW(engine.add_session(bad), InvalidArgument);
+  bad = SessionConfig{};
+  bad.overlap = -0.5;
+  EXPECT_THROW(engine.add_session(bad), InvalidArgument);
+  bad = SessionConfig{};
+  bad.sample_rate_hz = 0.0;
+  EXPECT_THROW(engine.add_session(bad), InvalidArgument);
+  bad = SessionConfig{};
+  bad.window_seconds = -1.0;
+  EXPECT_THROW(engine.add_session(bad), InvalidArgument);
+  bad = SessionConfig{};
+  bad.alarm_consecutive = 0;
+  EXPECT_THROW(engine.add_session(bad), InvalidArgument);
+  EXPECT_EQ(engine.session_count(), 0u);  // nothing was half-created
+}
+
 TEST_F(EngineTest, RejectsUnknownSessionAndMissingPipeline) {
   Engine engine(*fleet_);
   EXPECT_THROW(engine.session(0), InvalidArgument);

@@ -150,6 +150,83 @@ TEST_F(PatientSessionTest, HistoryRecordHoldsLatestSignalTail) {
   }
 }
 
+TEST_F(PatientSessionTest, HistoryRingWrapsAroundOnLongStreams) {
+  // Stream the 60 s record three times through a 20 s history ring: the
+  // ring wraps many times and must still hold exactly the newest 20 s.
+  const features::EglassFeatureExtractor extractor(2);
+  SessionConfig config;
+  config.sample_rate_hz = record_->sample_rate_hz();
+  config.history_seconds = 20.0;
+  PatientSession session(7, extractor, config);
+  for (int pass = 0; pass < 3; ++pass) {
+    stream(session, *record_, 777);  // chunk size misaligned to the ring
+  }
+
+  EXPECT_DOUBLE_EQ(session.history_buffered_s(), 20.0);
+  const signal::EegRecord history = session.history_record();
+  const std::size_t tail = history.length_samples();
+  const std::size_t offset = record_->length_samples() - tail;
+  for (std::size_t c = 0; c < history.channel_count(); ++c) {
+    const auto& expected = record_->channel(c).samples;
+    const auto& actual = history.channel(c).samples;
+    for (std::size_t i = 0; i < tail; ++i) {
+      ASSERT_EQ(actual[i], expected[offset + i])
+          << "channel " << c << " sample " << i;
+    }
+  }
+}
+
+TEST_F(PatientSessionTest, HistoryRecordAtExactlyOneWindowBoundary) {
+  // history_seconds == window_seconds is the smallest legal ring. One
+  // sample short of a window must still throw; the exact window length
+  // must materialize.
+  const features::EglassFeatureExtractor extractor(2);
+  SessionConfig config;
+  config.sample_rate_hz = record_->sample_rate_hz();
+  config.history_seconds = config.window_seconds;  // capacity == 1 window
+  PatientSession session(8, extractor, config);
+
+  const auto window_length = static_cast<std::size_t>(
+      config.window_seconds * config.sample_rate_hz);
+  session.ingest(chunk_views(*record_, 0, window_length - 1));
+  EXPECT_THROW(session.history_record(), InvalidArgument);
+
+  session.ingest(chunk_views(*record_, window_length - 1, 1));
+  const signal::EegRecord history = session.history_record();
+  EXPECT_EQ(history.length_samples(), window_length);
+  for (std::size_t c = 0; c < history.channel_count(); ++c) {
+    for (std::size_t i = 0; i < window_length; ++i) {
+      ASSERT_EQ(history.channel(c).samples[i], record_->channel(c).samples[i])
+          << "channel " << c << " sample " << i;
+    }
+  }
+
+  // Once the ring is full it stays exactly one window long and slides.
+  session.ingest(chunk_views(*record_, window_length, 100));
+  const signal::EegRecord slid = session.history_record();
+  EXPECT_EQ(slid.length_samples(), window_length);
+  EXPECT_EQ(slid.channel(0).samples[0], record_->channel(0).samples[100]);
+}
+
+TEST_F(PatientSessionTest, RejectsInvalidStreamGeometry) {
+  const features::EglassFeatureExtractor extractor(2);
+  SessionConfig bad;
+  bad.overlap = 1.0;  // hop would be zero
+  EXPECT_THROW(PatientSession(9, extractor, bad), InvalidArgument);
+  bad = SessionConfig{};
+  bad.sample_rate_hz = -256.0;
+  EXPECT_THROW(PatientSession(9, extractor, bad), InvalidArgument);
+  bad = SessionConfig{};
+  bad.window_seconds = 0.0;
+  EXPECT_THROW(PatientSession(9, extractor, bad), InvalidArgument);
+  bad = SessionConfig{};
+  bad.alarm_consecutive = 0;
+  EXPECT_THROW(PatientSession(9, extractor, bad), InvalidArgument);
+  bad = SessionConfig{};
+  bad.history_seconds = -1.0;
+  EXPECT_THROW(PatientSession(9, extractor, bad), InvalidArgument);
+}
+
 TEST_F(PatientSessionTest, HistoryDisabledByDefault) {
   const features::EglassFeatureExtractor extractor(2);
   PatientSession session(5, extractor, SessionConfig{});
