@@ -3,9 +3,12 @@
 // Three measurements:
 //   * inference stage in isolation — N feature rows (one ready window per
 //     session) classified (a) row by row with
-//     RealtimeDetector::predict_row and (b) through the engine's batched
-//     tree-major path. The batched win grows with N because each tree's
-//     node array stays cache-hot across the batch.
+//     RealtimeDetector::predict_row, (b) through the engine's batched
+//     tree-major path, and (c) through the compiled flat artifact
+//     (ml::CompiledForest). The batched win grows with N because each
+//     tree's node array stays cache-hot across the batch; the compiled
+//     win comes from traversing contiguous SoA arrays instead of hopping
+//     nodes (build with -DESL_NATIVE=ON to let it vectorize).
 //   * end-to-end single Engine — N sessions ingesting 1-second chunks
 //     with a poll per round (feature extraction included).
 //   * sharded DetectionService — fixed session count spread over
@@ -17,10 +20,16 @@
 // Usage:
 //   engine_throughput [--json PATH] [--sessions N] [--seconds S]
 //                     [--shards CSV] [--backend inline|threads|both]
+//                     [--model forest|compiled]
+//
+// --model selects the artifact the end-to-end engine/service runs deploy
+// to every session (compiled = swap_model with the compiled fleet
+// artifact; detections are bit-identical either way).
 //
 // --json writes the backend x shard-count matrix (plus the inference
-// numbers) as machine-readable JSON, e.g. BENCH_engine.json, so the
-// perf trajectory can be tracked across commits.
+// numbers, including the compiled-vs-baseline speedup) as
+// machine-readable JSON, e.g. BENCH_engine.json, so the perf trajectory
+// can be tracked across commits.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -54,11 +63,18 @@ std::vector<std::span<const Real>> chunk_views(const signal::EegRecord& record,
   return views;
 }
 
+struct InferenceResult {
+  double single_wps = 0.0;
+  double batched_wps = 0.0;
+  double compiled_wps = 0.0;
+};
+
 /// Inference-stage comparison on one poll round's worth of rows (N rows,
-/// one ready window per session). Returns {single_wps, batched_wps}.
-std::pair<double, double> inference_stage(const core::RealtimeDetector& det,
-                                          const Matrix& rows,
-                                          std::size_t target_windows) {
+/// one ready window per session): per-row loop, batched node-hopping
+/// interpreter, and the compiled flat artifact.
+InferenceResult inference_stage(const core::RealtimeDetector& det,
+                                const Matrix& rows,
+                                std::size_t target_windows) {
   const std::size_t n = rows.rows();
   const std::size_t reps = std::max<std::size_t>(1, target_windows / n);
 
@@ -90,22 +106,43 @@ std::pair<double, double> inference_stage(const core::RealtimeDetector& det,
     sink += labels.empty() ? 0 : labels[0];
   }
   const double batched_s = seconds_since(start);
+
+  // (c) compiled flat artifact: same gather, scale + traversal inside
+  // the model (what a swap_model-deployed session runs per poll).
+  const std::shared_ptr<const ml::CompiledForest> compiled = det.compile();
+  start = Clock::now();
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    batch.clear_rows();
+    for (std::size_t r = 0; r < n; ++r) {
+      batch.append_row(rows.row(r));
+    }
+    compiled->predict_into(batch, proba, labels);
+    sink += labels.empty() ? 0 : labels[0];
+  }
+  const double compiled_s = seconds_since(start);
   if (sink == -1) {
     std::printf("(unreachable checksum %d)\n", sink);  // keep calls live
   }
 
   const double total = static_cast<double>(reps * n);
-  return {total / single_s, total / batched_s};
+  return {total / single_s, total / batched_s, total / compiled_s};
 }
 
 /// End-to-end single Engine: N sessions, 1 s chunks, poll per round.
+/// `compiled` deploys the compiled fleet artifact to every session
+/// (the --model=compiled path; detections are bit-identical).
 double engine_end_to_end(
     const std::shared_ptr<const core::RealtimeDetector>& det,
     const signal::EegRecord& record, std::size_t sessions,
-    Seconds stream_seconds) {
+    Seconds stream_seconds, bool compiled) {
   engine::Engine eng(det);
+  const std::shared_ptr<const ml::CompiledForest> artifact =
+      compiled ? det->compile() : nullptr;
   for (std::size_t s = 0; s < sessions; ++s) {
-    eng.add_session();
+    const std::uint64_t id = eng.add_session();
+    if (artifact != nullptr) {
+      eng.swap_model(id, artifact);
+    }
   }
   const auto chunk = static_cast<std::size_t>(record.sample_rate_hz());
   const auto rounds = static_cast<std::size_t>(stream_seconds);
@@ -135,7 +172,8 @@ class NullSink final : public engine::DetectionSink {
 double service_end_to_end(
     const std::shared_ptr<const core::RealtimeDetector>& det,
     const signal::EegRecord& record, std::size_t sessions,
-    std::size_t shards, bool threaded, Seconds stream_seconds) {
+    std::size_t shards, bool threaded, Seconds stream_seconds,
+    bool compiled) {
   engine::ServiceConfig config;
   config.shards = shards;
   std::unique_ptr<engine::ExecutionBackend> backend;
@@ -145,9 +183,14 @@ double service_end_to_end(
   engine::DetectionService service(det, config, std::move(backend));
   NullSink sink;
   service.set_detection_sink(&sink);
+  const std::shared_ptr<const ml::CompiledForest> artifact =
+      compiled ? det->compile() : nullptr;
   std::vector<engine::SessionHandle> handles;
   for (std::size_t s = 0; s < sessions; ++s) {
     handles.push_back(service.create_session(s, engine::SessionConfig{}));
+    if (artifact != nullptr) {
+      service.swap_model(handles.back(), artifact);
+    }
   }
   const auto chunk = static_cast<std::size_t>(record.sample_rate_hz());
   const auto rounds = static_cast<std::size_t>(stream_seconds);
@@ -181,6 +224,10 @@ struct Options {
   std::vector<std::size_t> shards = {1, 2, 4, 8};
   bool run_inline = true;
   bool run_threads = true;
+  /// Artifact deployed to end-to-end sessions: the fleet ForestModel
+  /// ("forest") or the compiled flat artifact via swap_model
+  /// ("compiled").
+  std::string model = "forest";
 };
 
 Options parse_options(int argc, char** argv) {
@@ -214,6 +261,12 @@ Options parse_options(int argc, char** argv) {
       }
       opts.run_inline = backend == "inline" || backend == "both";
       opts.run_threads = backend == "threads" || backend == "both";
+    } else if (arg == "--model") {
+      opts.model = value();
+      if (opts.model != "forest" && opts.model != "compiled") {
+        std::fprintf(stderr, "unknown --model %s\n", opts.model.c_str());
+        std::exit(2);
+      }
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       std::exit(2);
@@ -222,10 +275,10 @@ Options parse_options(int argc, char** argv) {
   return opts;
 }
 
-void write_json(const Options& opts,
-                const std::vector<std::pair<std::size_t, std::pair<double, double>>>&
-                    inference,
-                const std::vector<ServiceResult>& services) {
+void write_json(
+    const Options& opts,
+    const std::vector<std::pair<std::size_t, InferenceResult>>& inference,
+    const std::vector<ServiceResult>& services) {
   std::FILE* f = std::fopen(opts.json_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", opts.json_path.c_str());
@@ -234,13 +287,16 @@ void write_json(const Options& opts,
   std::fprintf(f, "{\n  \"bench\": \"engine_throughput\",\n");
   std::fprintf(f, "  \"sessions\": %zu,\n  \"stream_seconds\": %.1f,\n",
                opts.sessions, opts.stream_seconds);
+  std::fprintf(f, "  \"model\": \"%s\",\n", opts.model.c_str());
   std::fprintf(f, "  \"inference\": [\n");
   for (std::size_t i = 0; i < inference.size(); ++i) {
+    const InferenceResult& r = inference[i].second;
     std::fprintf(f,
                  "    {\"rows\": %zu, \"single_wps\": %.1f, "
-                 "\"batched_wps\": %.1f}%s\n",
-                 inference[i].first, inference[i].second.first,
-                 inference[i].second.second,
+                 "\"batched_wps\": %.1f, \"compiled_wps\": %.1f, "
+                 "\"compiled_speedup\": %.3f}%s\n",
+                 inference[i].first, r.single_wps, r.batched_wps,
+                 r.compiled_wps, r.compiled_wps / r.batched_wps,
                  i + 1 < inference.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"service\": [\n");
@@ -282,32 +338,38 @@ int main(int argc, char** argv) {
   const features::WindowedFeatures windowed =
       features::extract_windowed_features(stream_record, extractor);
 
-  std::printf("\n-- inference stage (isolated), single vs batched --\n");
-  std::printf("%8s %16s %16s %9s %14s\n", "sessions", "single (w/s)",
-              "batched (w/s)", "speedup", "engine (w/s)");
-  std::vector<std::pair<std::size_t, std::pair<double, double>>> inference;
+  const bool compiled_model = opts.model == "compiled";
+  std::printf("\n-- inference stage (isolated), single vs batched vs "
+              "compiled --\n");
+  std::printf("%8s %14s %14s %14s %9s %13s\n", "sessions", "single (w/s)",
+              "batched (w/s)", "compiled (w/s)", "speedup",
+              "engine (w/s)");
+  std::vector<std::pair<std::size_t, InferenceResult>> inference;
   for (const std::size_t sessions : {1u, 4u, 16u, 64u, 256u}) {
     Matrix rows(sessions, windowed.features.cols());
     for (std::size_t r = 0; r < sessions; ++r) {
       const auto src = windowed.features.row(r % windowed.count());
       std::copy(src.begin(), src.end(), rows.row(r).begin());
     }
-    const auto wps = inference_stage(*detector, rows, 100000);
+    const InferenceResult wps = inference_stage(*detector, rows, 100000);
     inference.emplace_back(sessions, wps);
     if (sessions <= 64) {
-      const double engine_wps =
-          engine_end_to_end(detector, stream_record, sessions, 30.0);
-      std::printf("%8zu %16.0f %16.0f %8.2fx %14.0f\n", sessions, wps.first,
-                  wps.second, wps.second / wps.first, engine_wps);
+      const double engine_wps = engine_end_to_end(
+          detector, stream_record, sessions, 30.0, compiled_model);
+      std::printf("%8zu %14.0f %14.0f %14.0f %7.2fx %13.0f\n", sessions,
+                  wps.single_wps, wps.batched_wps, wps.compiled_wps,
+                  wps.compiled_wps / wps.batched_wps, engine_wps);
     } else {
-      std::printf("%8zu %16.0f %16.0f %8.2fx %14s\n", sessions, wps.first,
-                  wps.second, wps.second / wps.first, "-");
+      std::printf("%8zu %14.0f %14.0f %14.0f %7.2fx %13s\n", sessions,
+                  wps.single_wps, wps.batched_wps, wps.compiled_wps,
+                  wps.compiled_wps / wps.batched_wps, "-");
     }
   }
 
   std::printf(
-      "\n-- sharded service, %zu sessions, 1 s chunks, flush per round --\n",
-      opts.sessions);
+      "\n-- sharded service, %zu sessions (%s model), 1 s chunks, flush "
+      "per round --\n",
+      opts.sessions, opts.model.c_str());
   std::printf("%8s %16s %16s %9s\n", "shards", "inline (w/s)",
               "threads (w/s)", "speedup");
   std::vector<ServiceResult> services;
@@ -315,13 +377,15 @@ int main(int argc, char** argv) {
     double inline_wps = 0.0;
     double threads_wps = 0.0;
     if (opts.run_inline) {
-      inline_wps = service_end_to_end(detector, stream_record, opts.sessions,
-                                      shards, false, opts.stream_seconds);
+      inline_wps =
+          service_end_to_end(detector, stream_record, opts.sessions, shards,
+                             false, opts.stream_seconds, compiled_model);
       services.push_back({"inline", shards, inline_wps});
     }
     if (opts.run_threads) {
-      threads_wps = service_end_to_end(detector, stream_record, opts.sessions,
-                                       shards, true, opts.stream_seconds);
+      threads_wps =
+          service_end_to_end(detector, stream_record, opts.sessions, shards,
+                             true, opts.stream_seconds, compiled_model);
       services.push_back({"threads", shards, threads_wps});
     }
     if (opts.run_inline && opts.run_threads) {
@@ -334,12 +398,14 @@ int main(int argc, char** argv) {
   }
 
   std::printf(
-      "\nsingle  = per-window RealtimeDetector::predict_row loop\n"
-      "batched = engine path: gather + in-place z-score + tree-major forest\n"
-      "engine  = end-to-end single-Engine streaming windows/sec\n"
-      "service = end-to-end DetectionService (feature extraction included);\n"
-      "          the threads backend runs one worker per shard and scales\n"
-      "          with cores, inline shows the single-thread baseline\n");
+      "\nsingle   = per-window RealtimeDetector::predict_row loop\n"
+      "batched  = engine path: gather + in-place z-score + tree-major forest\n"
+      "compiled = flat SoA artifact (ml::CompiledForest), bit-identical\n"
+      "           labels; speedup column is compiled vs batched\n"
+      "engine   = end-to-end single-Engine streaming windows/sec\n"
+      "service  = end-to-end DetectionService (feature extraction included);\n"
+      "           the threads backend runs one worker per shard and scales\n"
+      "           with cores, inline shows the single-thread baseline\n");
 
   if (!opts.json_path.empty()) {
     write_json(opts, inference, services);

@@ -1,0 +1,95 @@
+// Microbenchmarks of forest inference (google-benchmark): node-hopping
+// interpreter (RandomForest::predict_all_into) vs the compiled flat
+// traversal (ml::CompiledForest::predict_into) across tree depth and
+// batch size. The two produce bit-identical outputs (enforced by
+// tests/ml/test_compiled_forest.cpp); this isolates the layout win.
+// Build with -DESL_NATIVE=ON to let the flat inner loop vectorize.
+#include <benchmark/benchmark.h>
+
+#include "common/random.hpp"
+#include "ml/compiled_forest.hpp"
+#include "ml/dataset.hpp"
+#include "ml/random_forest.hpp"
+
+namespace {
+
+using namespace esl;
+
+constexpr std::size_t k_features = 54;  // e-Glass per-electrode width
+
+ml::Dataset noisy_dataset(std::size_t size, std::uint64_t seed) {
+  Rng rng(seed);
+  ml::Dataset data;
+  RealVector row(k_features);
+  for (std::size_t i = 0; i < size; ++i) {
+    for (auto& v : row) {
+      v = rng.normal();
+    }
+    // Weakly informative labels grow deep, bushy trees.
+    data.push_back(row, row[0] + 0.25 * rng.normal() > 0.0 ? 1 : 0);
+  }
+  return data;
+}
+
+ml::RandomForest fitted_forest(std::size_t max_depth) {
+  ml::ForestConfig config;
+  config.tree.max_depth = max_depth;
+  ml::RandomForest forest(config);
+  forest.fit(noisy_dataset(600, 7), 7);
+  return forest;
+}
+
+Matrix probe_rows(std::size_t rows) {
+  Rng rng(11);
+  Matrix m(rows, k_features);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t f = 0; f < k_features; ++f) {
+      m(r, f) = rng.normal();
+    }
+  }
+  return m;
+}
+
+void bm_node_hop(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  const ml::RandomForest forest = fitted_forest(depth);
+  const Matrix rows = probe_rows(batch);
+  RealVector proba;
+  std::vector<int> labels;
+  for (auto _ : state) {
+    forest.predict_all_into(rows, proba, labels);
+    benchmark::DoNotOptimize(labels.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+
+void bm_flat(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  const ml::RandomForest forest = fitted_forest(depth);
+  const ml::CompiledForest compiled(forest);  // no scaler: same input rows
+  Matrix rows = probe_rows(batch);
+  RealVector proba;
+  std::vector<int> labels;
+  for (auto _ : state) {
+    compiled.predict_into(rows, proba, labels);
+    benchmark::DoNotOptimize(labels.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+
+void depth_by_batch(benchmark::internal::Benchmark* bench) {
+  for (const std::int64_t depth : {4, 8, 16}) {
+    for (const std::int64_t batch : {1, 16, 64, 256, 1024}) {
+      bench->Args({depth, batch});
+    }
+  }
+}
+
+BENCHMARK(bm_node_hop)->Apply(depth_by_batch);
+BENCHMARK(bm_flat)->Apply(depth_by_batch);
+
+}  // namespace

@@ -5,7 +5,9 @@
 // patient's labeled record, then streams live EEG for a handful of
 // concurrent sessions in 1-second chunks through a two-shard
 // DetectionService: sessions hash-partitioned across shards, batched
-// inference per shard, alarm hooks, a drained DetectionSink, and — for
+// inference per shard, alarm hooks, a drained DetectionSink, a mid-stream
+// hot-swap of the compiled fleet artifact (RealtimeDetector::compile ->
+// swap_model, no flush or pause, bit-identical detections), and — for
 // one cold-start patient with a personal self-learning pipeline — a
 // missed seizure, a patient button press, Algorithm-1 a-posteriori
 // labeling, and personalization, all through the facade.
@@ -121,6 +123,20 @@ int main(int argc, char** argv) {
   std::vector<engine::Detection> detections;
   std::size_t seizure_windows = 0;
   for (std::size_t round = 0; round < rounds; ++round) {
+    if (round == rounds / 2) {
+      // Mid-stream model deploy: compile the fleet forest into its flat
+      // SoA artifact and swap it into every fleet session — no flush, no
+      // pause, and (compiled inference being bit-identical) no change in
+      // any detection.
+      const auto compiled = fleet->compile();
+      for (const engine::SessionHandle& handle : fleet_handles) {
+        service.swap_model(handle, compiled);
+      }
+      std::printf("  [deploy] compiled fleet artifact hot-swapped into %zu "
+                  "sessions (%zu trees, %zu nodes, depth %zu)\n",
+                  fleet_handles.size(), compiled->tree_count(),
+                  compiled->node_count(), compiled->max_depth());
+    }
     service.ingest(personal,
                    chunk_views(personal_record, round * chunk, chunk));
     for (std::size_t s = 0; s < fleet_sessions; ++s) {

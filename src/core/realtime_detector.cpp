@@ -41,7 +41,11 @@ ml::Dataset build_window_dataset(const signal::EegRecord& record,
 }
 
 RealtimeDetector::RealtimeDetector(RealtimeConfig config)
-    : config_(config), extractor_(2), forest_(config.forest) {}
+    : config_(config),
+      extractor_(2),
+      // Constructing the (unfitted) forest validates config.forest up
+      // front, exactly as the by-value member used to.
+      forest_(std::make_shared<const ml::RandomForest>(config.forest)) {}
 
 ml::Dataset RealtimeDetector::scale(const ml::Dataset& data) const {
   expects(scaler_.has_value(), "RealtimeDetector: scaler not fitted");
@@ -54,28 +58,31 @@ void RealtimeDetector::fit(const ml::Dataset& train, std::uint64_t seed) {
   train.check();
   expects(train.size() >= 4, "RealtimeDetector::fit: dataset too small");
   scaler_ = features::fit_column_stats(train.x);
+  row_scaler_ = ml::RowScaler{scaler_->mean, scaler_->stddev};
   ml::Dataset scaled = train;
   features::apply_zscore(scaled.x, *scaler_);
-  forest_.fit(scaled, seed);
+  // Train a fresh forest and share it into an immutable deployable
+  // artifact: the engine holds models only through that seam, so a later
+  // re-fit installs a new ensemble instead of mutating the one a shard
+  // may still be predicting with.
+  auto fitted = std::make_shared<ml::RandomForest>(config_.forest);
+  fitted->fit(scaled, seed);
+  forest_ = fitted;
+  model_ = std::make_shared<const ml::ForestModel>(forest_, row_scaler_);
+}
+
+std::shared_ptr<const ml::CompiledForest> RealtimeDetector::compile() const {
+  expects(is_fitted(), "RealtimeDetector::compile: not fitted");
+  return std::make_shared<const ml::CompiledForest>(*forest_, row_scaler_);
 }
 
 void RealtimeDetector::scale_rows_in_place(Matrix& raw_rows) const {
   expects(scaler_.has_value(),
           "RealtimeDetector::scale_rows_in_place: not fitted");
-  expects(raw_rows.cols() == scaler_->size(),
-          "RealtimeDetector::scale_rows_in_place: row width mismatch");
-  // Row-major sweep (cache-friendly for the engine's batch matrix); each
-  // element gets the exact apply_zscore arithmetic, so results stay
+  // RowScaler::apply is the one row-major z-score implementation (shared
+  // with the deployable artifacts); it validates the row width and stays
   // bit-identical to the offline column-major path.
-  const Real* mean = scaler_->mean.data();
-  const Real* stddev = scaler_->stddev.data();
-  for (std::size_t r = 0; r < raw_rows.rows(); ++r) {
-    const auto row = raw_rows.row(r);
-    for (std::size_t f = 0; f < row.size(); ++f) {
-      const Real centered = row[f] - mean[f];
-      row[f] = stddev[f] > 0.0 ? centered / stddev[f] : 0.0;
-    }
-  }
+  row_scaler_.apply(raw_rows);
 }
 
 int RealtimeDetector::predict_row(std::span<const Real> raw_row,
@@ -84,12 +91,8 @@ int RealtimeDetector::predict_row(std::span<const Real> raw_row,
   expects(raw_row.size() == scaler_->size(),
           "RealtimeDetector::predict_row: row width mismatch");
   scratch.resize(raw_row.size());
-  for (std::size_t f = 0; f < raw_row.size(); ++f) {
-    const Real sigma = scaler_->stddev[f];
-    const Real centered = raw_row[f] - scaler_->mean[f];
-    scratch[f] = sigma > 0.0 ? centered / sigma : 0.0;
-  }
-  return forest_.predict(scratch);
+  row_scaler_.apply_row(raw_row, scratch);
+  return forest_->predict(scratch);
 }
 
 std::vector<int> RealtimeDetector::predict_windows(
@@ -99,7 +102,7 @@ std::vector<int> RealtimeDetector::predict_windows(
       record, extractor_, config_.window_seconds, config_.overlap);
   Matrix scaled = windowed.features;
   features::apply_zscore(scaled, *scaler_);
-  return forest_.predict_all(scaled);
+  return forest_->predict_all(scaled);
 }
 
 ml::ConfusionMatrix RealtimeDetector::evaluate(
@@ -110,7 +113,7 @@ ml::ConfusionMatrix RealtimeDetector::evaluate(
       record, extractor_, config_.window_seconds, config_.overlap);
   Matrix scaled = windowed.features;
   features::apply_zscore(scaled, *scaler_);
-  const std::vector<int> predicted = forest_.predict_all(scaled);
+  const std::vector<int> predicted = forest_->predict_all(scaled);
   std::vector<int> labels(windowed.count());
   for (std::size_t w = 0; w < windowed.count(); ++w) {
     labels[w] = window_label(windowed.window_start_s[w],

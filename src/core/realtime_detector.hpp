@@ -5,11 +5,14 @@
 // by the a-posteriori labeling algorithm — the comparison behind Fig. 4.
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "features/eglass_features.hpp"
 #include "features/normalize.hpp"
+#include "ml/compiled_forest.hpp"
 #include "ml/dataset.hpp"
+#include "ml/inference_model.hpp"
 #include "ml/metrics.hpp"
 #include "ml/random_forest.hpp"
 #include "signal/eeg_record.hpp"
@@ -69,7 +72,21 @@ class RealtimeDetector {
   /// per row).
   void scale_rows_in_place(Matrix& raw_rows) const;
 
-  const ml::RandomForest& forest() const { return forest_; }
+  const ml::RandomForest& forest() const { return *forest_; }
+
+  /// The deployable inference artifact rebuilt by every fit(): a
+  /// ForestModel adapter bundling the fitted forest with its scaler.
+  /// nullptr before the first fit. The streaming engine predicts only
+  /// through this (or a compiled/swapped-in replacement) — never through
+  /// forest() directly.
+  std::shared_ptr<const ml::InferenceModel> model() const { return model_; }
+
+  /// Compiles the fitted forest (+ scaler) into an immutable flat
+  /// artifact (ml/compiled_forest.hpp). Predictions are bit-identical to
+  /// model()'s but traverse contiguous arrays; deploy it with
+  /// Engine::swap_model / DetectionService::swap_model. Each call builds
+  /// a fresh artifact from the current fit.
+  std::shared_ptr<const ml::CompiledForest> compile() const;
 
   /// Confusion matrix of the detector against ground-truth intervals.
   ml::ConfusionMatrix evaluate(const signal::EegRecord& record,
@@ -87,8 +104,16 @@ class RealtimeDetector {
 
   RealtimeConfig config_;
   features::EglassFeatureExtractor extractor_;
-  ml::RandomForest forest_;
+  /// The fitted ensemble. fit() installs a *fresh* forest here (never
+  /// mutates the old one), so the ForestModel artifact sharing it stays
+  /// immutable; never null (unfitted before the first fit).
+  std::shared_ptr<const ml::RandomForest> forest_;
   std::optional<features::ColumnStats> scaler_;
+  /// Row-major scaling twin of scaler_ (same values), shared with the
+  /// deployable artifacts; the single z-score implementation all
+  /// streaming paths go through.
+  ml::RowScaler row_scaler_;
+  std::shared_ptr<const ml::InferenceModel> model_;  // rebuilt by fit()
 };
 
 }  // namespace esl::core

@@ -21,7 +21,7 @@ std::uint64_t Engine::add_session(const SessionConfig& config) {
   const auto id = static_cast<std::uint64_t>(slots_.size());
   Slot s;
   s.session = std::make_unique<PatientSession>(id, extractor_, config);
-  s.model = config.use_fleet_model ? fleet_model_ptr() : nullptr;
+  s.model = config.use_fleet_model ? fleet_model() : nullptr;
   slots_.push_back(std::move(s));
   return id;
 }
@@ -49,16 +49,30 @@ std::size_t Engine::ingest(std::uint64_t id,
   return slot(id).session->ingest(chunk);
 }
 
-const core::RealtimeDetector* Engine::fleet_model_ptr() const {
-  return fleet_ && fleet_->is_fitted() ? fleet_.get() : nullptr;
+std::shared_ptr<const ml::InferenceModel> Engine::fleet_model() const {
+  // model() is nullptr until the detector is fitted. Fitting the fleet
+  // detector after construction is fine on a single-threaded Engine (it
+  // serves from the next poll) but is a data race while shard workers
+  // poll — with a running service, deploy mid-stream via swap_model.
+  return fleet_ ? fleet_->model() : nullptr;
 }
 
-void Engine::classify_group(const core::RealtimeDetector* model) {
+void Engine::refresh_model(Slot& s) const {
+  if (s.override_model) {
+    s.model = s.override_model;
+  } else if (s.pipeline && s.pipeline->detector_ready()) {
+    s.model = s.pipeline->detector().model();
+  } else {
+    s.model = s.session->config().use_fleet_model ? fleet_model() : nullptr;
+  }
+}
+
+void Engine::classify_group(const ml::InferenceModel* model) {
   batch_.clear_rows();
   batch_src_.clear();
-  const bool fitted = model != nullptr && model->is_fitted();
+  const bool fitted = model != nullptr;
   for (std::size_t i = 0; i < slots_.size(); ++i) {
-    if (slots_[i].model != model) {
+    if (slots_[i].model.get() != model) {
       continue;
     }
     const Matrix& pending = slots_[i].session->pending();
@@ -81,9 +95,9 @@ void Engine::classify_group(const core::RealtimeDetector* model) {
   if (batch_.rows() == 0) {
     return;
   }
-  // One tree-major forest pass over the whole fleet's ready windows.
-  model->scale_rows_in_place(batch_);
-  model->forest().predict_all_into(batch_, proba_scratch_, predicted_scratch_);
+  // One batched inference pass (scale + classify inside the model) over
+  // the whole group's ready windows.
+  model->predict_into(batch_, proba_scratch_, predicted_scratch_);
   ++stats_.batches;
   stats_.forest_windows += predicted_scratch_.size();
   for (std::size_t k = 0; k < predicted_scratch_.size(); ++k) {
@@ -100,15 +114,10 @@ std::vector<Detection> Engine::poll() {
 void Engine::poll_into(std::vector<Detection>& out) {
   ++stats_.polls;
 
-  // Refresh each session's model: personalized detector once its pipeline
-  // trained one; the shared fleet model otherwise (unless opted out).
+  // Refresh each session's effective model (override > pipeline >
+  // fleet) so mid-stream fits and swaps take effect this poll.
   for (auto& s : slots_) {
-    if (s.pipeline && s.pipeline->detector_ready()) {
-      s.model = &s.pipeline->detector();
-    } else {
-      s.model = s.session->config().use_fleet_model ? fleet_model_ptr()
-                                                    : nullptr;
-    }
+    refresh_model(s);
   }
 
   labels_.resize(slots_.size());
@@ -121,17 +130,17 @@ void Engine::poll_into(std::vector<Detection>& out) {
   // One batched pass per distinct model, first-appearance order (the
   // fleet model first in the common case). The distinct count is the
   // number of personalized patients + 1, so the scan stays cheap.
-  std::vector<const core::RealtimeDetector*> distinct;
+  std::vector<const ml::InferenceModel*> distinct;
   for (const auto& s : slots_) {
     if (s.session->pending().rows() == 0) {
       continue;
     }
     bool seen = false;
     for (const auto* m : distinct) {
-      seen = seen || m == s.model;
+      seen = seen || m == s.model.get();
     }
     if (!seen) {
-      distinct.push_back(s.model);
+      distinct.push_back(s.model.get());
     }
   }
   for (const auto* model : distinct) {
@@ -185,13 +194,27 @@ signal::Interval Engine::patient_trigger(std::uint64_t id) {
   // buffer (its oldest retained sample), not the whole stream.
   const signal::EegRecord record = s.session->history_record();
   const signal::Interval label = s.pipeline->on_patient_trigger(record);
-  if (s.pipeline->detector_ready()) {
-    s.model = &s.pipeline->detector();
-  }
+  // A retrain supersedes any pinned artifact: drop the override so the
+  // fresh personal model takes over (re-compile + swap_model to pin a
+  // flat artifact of the new fit).
+  s.override_model.reset();
+  refresh_model(s);
   if (label_hook_) {
     label_hook_(id, label);
   }
   return label;
+}
+
+void Engine::swap_model(std::uint64_t id,
+                        std::shared_ptr<const ml::InferenceModel> model) {
+  Slot& s = slot(id);
+  s.override_model = std::move(model);
+  refresh_model(s);  // effective immediately, not just at the next poll
+}
+
+std::shared_ptr<const ml::InferenceModel> Engine::session_model(
+    std::uint64_t id) const {
+  return slot(id).model;
 }
 
 }  // namespace esl::engine

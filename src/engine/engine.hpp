@@ -14,6 +14,14 @@
 // SelfLearningPipeline switches to its personalized detector as soon as
 // the pipeline has trained one; batches are then grouped per distinct
 // model so personalization never breaks batching for the rest.
+//
+// Models: the engine predicts exclusively through the immutable
+// ml::InferenceModel seam (shared_ptr<const>, one per slot) — never
+// through a detector's forest directly. swap_model() deploys an explicit
+// replacement (typically a RealtimeDetector::compile() artifact) for one
+// session between polls with no flush or stream pause: it is a
+// shared_ptr assignment, the old model serves until the assignment and
+// the new one from the next poll on.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +35,7 @@
 #include "core/self_learning.hpp"
 #include "engine/patient_session.hpp"
 #include "features/eglass_features.hpp"
+#include "ml/inference_model.hpp"
 
 namespace esl::engine {
 
@@ -109,7 +118,22 @@ class Engine {
   /// session's history record, labels it with Algorithm 1 via the attached
   /// pipeline (which retrains), switches the session to the personalized
   /// detector once fitted, fires the label hook, and returns the label.
+  /// Clears any swap_model override so the freshly retrained model is
+  /// never masked by a stale pinned artifact.
   signal::Interval patient_trigger(std::uint64_t id);
+
+  /// Deploys `model` for session `id`: every window classified by a poll
+  /// after the swap uses it, including windows already pending at swap
+  /// time. The override wins over the automatic fleet/pipeline model
+  /// choice until cleared with nullptr or by the next patient_trigger.
+  /// Typical use: compile the session's retrained detector and swap the
+  /// flat artifact in without stopping the stream.
+  void swap_model(std::uint64_t id,
+                  std::shared_ptr<const ml::InferenceModel> model);
+  /// The model classifying session `id`'s windows as of the last poll
+  /// (or swap); nullptr while the session is cold.
+  std::shared_ptr<const ml::InferenceModel> session_model(
+      std::uint64_t id) const;
 
   /// Called for every detection that raised an alarm (during poll()).
   void set_alarm_hook(std::function<void(const Detection&)> hook) {
@@ -132,18 +156,26 @@ class Engine {
   struct Slot {
     std::unique_ptr<PatientSession> session;
     std::unique_ptr<core::SelfLearningPipeline> pipeline;
-    /// Model classifying this session's windows: the fleet detector, the
-    /// pipeline's personal detector, or nullptr while neither is fitted.
-    const core::RealtimeDetector* model = nullptr;
+    /// Model classifying this session's windows: the override, the
+    /// pipeline's personal model, the fleet model, or nullptr while none
+    /// is fitted.
+    std::shared_ptr<const ml::InferenceModel> model;
+    /// Explicit deployment via swap_model(); wins over the automatic
+    /// fleet/pipeline choice until cleared (or the next patient_trigger).
+    std::shared_ptr<const ml::InferenceModel> override_model;
   };
 
   Slot& slot(std::uint64_t id);
   const Slot& slot(std::uint64_t id) const;
-  /// Fleet model pointer when fitted, nullptr otherwise.
-  const core::RealtimeDetector* fleet_model_ptr() const;
+  /// Fleet model when fitted, nullptr otherwise.
+  std::shared_ptr<const ml::InferenceModel> fleet_model() const;
+  /// Recomputes the slot's effective model: override > personalized
+  /// pipeline > fleet (unless opted out) > none. The one precedence rule
+  /// poll, swap_model and patient_trigger all share.
+  void refresh_model(Slot& s) const;
   /// Classifies the pending rows of every slot whose model is `model`
-  /// into labels_; one batched forest pass.
-  void classify_group(const core::RealtimeDetector* model);
+  /// into labels_; one batched inference pass.
+  void classify_group(const ml::InferenceModel* model);
 
   std::shared_ptr<const core::RealtimeDetector> fleet_;
   EngineConfig config_;

@@ -212,6 +212,24 @@ signal::Interval DetectionService::patient_trigger(SessionHandle handle) {
   return shard.engine->patient_trigger(handle.local_id());
 }
 
+void DetectionService::swap_model(
+    SessionHandle handle, std::shared_ptr<const ml::InferenceModel> model) {
+  Shard& shard = shard_for(handle);
+  // The shard lock serializes the swap with the shard's ingest/poll
+  // cycle: the worker is either before the poll (new model classifies
+  // this round) or past it (new model from the next round) — never
+  // mid-batch with a dangling model.
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.engine->swap_model(handle.local_id(), std::move(model));
+}
+
+std::shared_ptr<const ml::InferenceModel> DetectionService::session_model(
+    SessionHandle handle) const {
+  const Shard& shard = shard_for(handle);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.engine->session_model(handle.local_id());
+}
+
 std::size_t DetectionService::session_alarms(SessionHandle handle) const {
   const Shard& shard = shard_for(handle);
   std::lock_guard<std::mutex> lock(shard.mutex);

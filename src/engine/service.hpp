@@ -34,6 +34,7 @@
 
 #include "engine/backend.hpp"
 #include "engine/engine.hpp"
+#include "ml/inference_model.hpp"
 
 namespace esl::engine {
 
@@ -118,6 +119,20 @@ class DetectionService {
                             const core::SelfLearningConfig& config);
   bool has_self_learning(SessionHandle handle) const;
   signal::Interval patient_trigger(SessionHandle handle);
+
+  /// Atomically deploys `model` for one session's future windows, under
+  /// the session's shard lock — no flush or stop needed, on any backend,
+  /// while ingest keeps flowing. Windows the shard already classified
+  /// keep their labels; every window polled after the swap uses `model`.
+  /// nullptr restores the automatic fleet/pipeline model choice. This is
+  /// the self-learning redeploy path: patient_trigger ->
+  /// RealtimeDetector::compile() -> swap_model, all mid-stream.
+  void swap_model(SessionHandle handle,
+                  std::shared_ptr<const ml::InferenceModel> model);
+  /// The model currently classifying one session's windows (snapshot
+  /// under the shard lock; nullptr while the session is cold).
+  std::shared_ptr<const ml::InferenceModel> session_model(
+      SessionHandle handle) const;
 
   /// Alarms raised by one session so far (thread-safe snapshot).
   std::size_t session_alarms(SessionHandle handle) const;

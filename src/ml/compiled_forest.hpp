@@ -1,0 +1,74 @@
+// Immutable compiled inference artifact: a fitted random forest
+// flattened into contiguous structure-of-arrays storage.
+//
+// A fitted RandomForest keeps each tree as a vector of Node structs and
+// classifies by hopping node indices through scattered records — fine for
+// a wearable classifying one window, wasteful for a service classifying
+// a fleet's batch. CompiledForest is a one-time flattening pass: the
+// whole ensemble becomes per-forest feature[], threshold[], left[]/
+// right[] and leaf_value[] arrays with all trees packed back-to-back,
+// and predict_into traverses batch-major — a block of rows advances
+// through one tree level by level, so the inner loop is a branch-light
+// gather/select over flat arrays that the compiler can auto-vectorize
+// (build with ESL_NATIVE=ON for -march=native codegen). Leaves are
+// encoded as self-loops, so a block runs a fixed per-tree level count
+// with no per-row early-exit branch.
+//
+// Parity contract: per row, trees accumulate in the same order and with
+// the same final division by tree_count as RandomForest::predict_proba /
+// predict_all_into, so compiled outputs are bit-identical to the
+// node-hopping interpreter (tests/ml/test_compiled_forest.cpp).
+//
+// The artifact is immutable after construction and holds no mutable
+// state, which is what makes DetectionService::swap_model safe: deploys
+// are a shared_ptr swap under the shard lock, never an in-place retrain.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/inference_model.hpp"
+#include "ml/random_forest.hpp"
+
+namespace esl::ml {
+
+class CompiledForest final : public InferenceModel {
+ public:
+  /// Flattens `forest` (must be fitted). `scaler` is baked in and applied
+  /// before traversal; pass {} when rows arrive pre-scaled.
+  explicit CompiledForest(const RandomForest& forest, RowScaler scaler = {});
+
+  const char* name() const override { return "compiled"; }
+  std::size_t tree_count() const override { return tree_root_.size(); }
+  void predict_into(Matrix& raw_rows, RealVector& proba,
+                    std::vector<int>& labels) const override;
+
+  /// Total flattened nodes across all trees.
+  std::size_t node_count() const { return feature_.size(); }
+  /// Deepest tree in the ensemble (levels traversed per block).
+  std::size_t max_depth() const { return max_depth_; }
+  /// Decision threshold on the averaged tree probability.
+  Real decision_threshold() const { return decision_threshold_; }
+  const RowScaler& scaler() const { return scaler_; }
+
+ private:
+  RowScaler scaler_;
+  Real decision_threshold_ = 0.5;
+  std::size_t max_depth_ = 0;
+  std::uint32_t max_feature_ = 0;
+
+  // One entry per node, all trees back-to-back. Children are absolute
+  // node indices; leaves self-loop (left == right == self, threshold
+  // +inf) so traversal needs no is_leaf branch. leaf_value_ holds every
+  // node's positive fraction but is only read once a row parks on a leaf.
+  std::vector<std::uint32_t> feature_;
+  RealVector threshold_;
+  std::vector<std::uint32_t> left_;
+  std::vector<std::uint32_t> right_;
+  RealVector leaf_value_;
+
+  std::vector<std::uint32_t> tree_root_;
+  std::vector<std::uint32_t> tree_depth_;  // levels to run per tree
+};
+
+}  // namespace esl::ml

@@ -153,6 +153,13 @@ std::size_t DecisionTree::build(const Matrix& x, const std::vector<int>& y,
   return node_index;
 }
 
+DecisionTree::NodeView DecisionTree::node(std::size_t index) const {
+  expects(index < nodes_.size(), "DecisionTree::node: index out of range");
+  const Node& n = nodes_[index];
+  return {n.is_leaf, n.feature, n.threshold, n.left, n.right,
+          n.positive_fraction};
+}
+
 Real DecisionTree::predict_proba(std::span<const Real> row) const {
   expects(!nodes_.empty(), "DecisionTree::predict_proba: tree not fitted");
   std::size_t node = 0;

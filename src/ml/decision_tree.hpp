@@ -50,6 +50,20 @@ class DecisionTree {
   /// Maximum depth reached while growing.
   std::size_t depth() const { return depth_; }
 
+  /// Read-only view of one fitted node, for model compilation
+  /// (ml/compiled_forest.hpp): flattening passes walk the tree without
+  /// depending on the node layout. `left`/`right` are indices into this
+  /// tree's own node array; meaningless when `is_leaf`.
+  struct NodeView {
+    bool is_leaf = true;
+    std::size_t feature = 0;
+    Real threshold = 0.0;
+    std::size_t left = 0;
+    std::size_t right = 0;
+    Real positive_fraction = 0.0;
+  };
+  NodeView node(std::size_t index) const;
+
  private:
   struct Node {
     bool is_leaf = true;

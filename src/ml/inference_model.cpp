@@ -1,0 +1,44 @@
+#include "ml/inference_model.hpp"
+
+#include "common/error.hpp"
+
+namespace esl::ml {
+
+void RowScaler::apply(Matrix& raw_rows) const {
+  if (empty()) {
+    return;
+  }
+  expects(stddev.size() == mean.size(),
+          "RowScaler::apply: mean/stddev size mismatch");
+  expects(raw_rows.cols() == mean.size(),
+          "RowScaler::apply: row width mismatch");
+  for (std::size_t r = 0; r < raw_rows.rows(); ++r) {
+    const auto row = raw_rows.row(r);
+    apply_row(row, row);
+  }
+}
+
+void RowScaler::apply_row(std::span<const Real> raw,
+                          std::span<Real> out) const {
+  const Real* m = mean.data();
+  const Real* s = stddev.data();
+  for (std::size_t f = 0; f < raw.size(); ++f) {
+    const Real centered = raw[f] - m[f];
+    out[f] = s[f] > 0.0 ? centered / s[f] : 0.0;
+  }
+}
+
+ForestModel::ForestModel(std::shared_ptr<const RandomForest> forest,
+                         RowScaler scaler)
+    : forest_(std::move(forest)), scaler_(std::move(scaler)) {
+  expects(forest_ != nullptr && forest_->is_fitted(),
+          "ForestModel: needs a fitted forest");
+}
+
+void ForestModel::predict_into(Matrix& raw_rows, RealVector& proba,
+                               std::vector<int>& labels) const {
+  scaler_.apply(raw_rows);
+  forest_->predict_all_into(raw_rows, proba, labels);
+}
+
+}  // namespace esl::ml

@@ -6,15 +6,21 @@
 
 namespace esl::ml {
 
+void validate(const ForestConfig& config) {
+  expects(config.tree_count >= 1,
+          "ForestConfig: need at least one tree");
+  expects(config.bootstrap_fraction > 0.0 && config.bootstrap_fraction <= 1.0,
+          "ForestConfig: bootstrap_fraction must lie in (0, 1]");
+  expects(config.threshold > 0.0 && config.threshold < 1.0,
+          "ForestConfig: threshold must lie in (0, 1)");
+}
+
 RandomForest::RandomForest(ForestConfig config) : config_(config) {
-  expects(config_.tree_count >= 1, "RandomForest: need at least one tree");
-  expects(config_.bootstrap_fraction > 0.0 && config_.bootstrap_fraction <= 1.0,
-          "RandomForest: bootstrap_fraction must lie in (0, 1]");
-  expects(config_.threshold > 0.0 && config_.threshold < 1.0,
-          "RandomForest: threshold must lie in (0, 1)");
+  validate(config_);
 }
 
 void RandomForest::fit(const Dataset& data, std::uint64_t seed) {
+  validate(config_);
   data.check();
   expects(data.size() >= 2, "RandomForest::fit: dataset too small");
 
@@ -40,6 +46,11 @@ void RandomForest::fit(const Dataset& data, std::uint64_t seed) {
     }
     trees_[t].fit(data.x, data.y, bootstrap, tree_rng, tree_config);
   }
+}
+
+const DecisionTree& RandomForest::tree(std::size_t index) const {
+  expects(index < trees_.size(), "RandomForest::tree: index out of range");
+  return trees_[index];
 }
 
 Real RandomForest::predict_proba(std::span<const Real> row) const {

@@ -21,6 +21,13 @@ struct ForestConfig {
   std::size_t features_per_split = 0;
 };
 
+/// Throws InvalidArgument unless `config` describes a trainable forest:
+/// tree_count >= 1, threshold in (0, 1), bootstrap_fraction in (0, 1].
+/// The constructor and fit() both validate through this (mirroring the
+/// engine's validate(SessionConfig) pattern), so a bad config is rejected
+/// up front rather than surfacing as a degenerate ensemble.
+void validate(const ForestConfig& config);
+
 /// Bagged ensemble of CART trees with feature subsampling.
 class RandomForest {
  public:
@@ -50,6 +57,9 @@ class RandomForest {
 
   bool is_fitted() const { return !trees_.empty(); }
   std::size_t tree_count() const { return trees_.size(); }
+  /// One fitted tree (model compilation walks these via
+  /// DecisionTree::node).
+  const DecisionTree& tree(std::size_t index) const;
   const ForestConfig& config() const { return config_; }
 
  private:

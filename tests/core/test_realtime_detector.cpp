@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
+#include "features/extractor.hpp"
 #include "sim/cohort.hpp"
 
 namespace esl::core {
@@ -94,6 +95,49 @@ TEST_F(RealtimeDetectorTest, PredictionsOnePerWindow) {
   const auto expected =
       static_cast<std::size_t>(test_record_->duration_seconds()) - 3;
   EXPECT_EQ(predictions.size(), expected);
+}
+
+TEST_F(RealtimeDetectorTest, DeployableModelsMatchOfflinePredictionsBitForBit) {
+  // model() (the ForestModel adapter) and compile() (the flat artifact)
+  // fed *raw* feature rows must reproduce the detector's offline
+  // scale-then-predict path exactly — this is what makes them safe to
+  // hot-swap into a live engine.
+  ml::Dataset train =
+      build_window_dataset(*train_record_, train_record_->seizures());
+  Rng rng(4);
+  RealtimeDetector detector;
+  EXPECT_EQ(detector.model(), nullptr);  // no artifact before fit
+  EXPECT_THROW(detector.compile(), InvalidArgument);
+  detector.fit(ml::balance_classes(train, rng), 7);
+  ASSERT_NE(detector.model(), nullptr);
+
+  const features::WindowedFeatures windowed =
+      features::extract_windowed_features(
+          *test_record_, features::EglassFeatureExtractor(2),
+          detector.config().window_seconds, detector.config().overlap);
+  const std::vector<int> offline = detector.predict_windows(*test_record_);
+
+  const std::shared_ptr<const ml::CompiledForest> compiled =
+      detector.compile();
+  EXPECT_EQ(compiled->tree_count(), detector.forest().tree_count());
+  for (const ml::InferenceModel* model :
+       {static_cast<const ml::InferenceModel*>(detector.model().get()),
+        static_cast<const ml::InferenceModel*>(compiled.get())}) {
+    SCOPED_TRACE(model->name());
+    Matrix raw = windowed.features;
+    RealVector proba;
+    std::vector<int> labels;
+    model->predict_into(raw, proba, labels);
+    EXPECT_EQ(labels, offline);
+  }
+
+  // Re-fitting replaces the artifact; the old one stays valid for
+  // holders (immutability is what makes mid-stream swaps safe).
+  const std::shared_ptr<const ml::InferenceModel> before = detector.model();
+  Rng rng2(5);
+  detector.fit(ml::balance_classes(train, rng2), 11);
+  EXPECT_NE(detector.model(), before);
+  EXPECT_EQ(before->tree_count(), detector.forest().tree_count());
 }
 
 TEST(RealtimeDetectorValidation, UnfittedDetectorThrows) {

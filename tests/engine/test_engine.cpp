@@ -315,6 +315,91 @@ TEST_F(EngineTest, MixedFleetAndPersonalModelsBatchSeparately) {
   }
 }
 
+TEST_F(EngineTest, SwapModelDeploysCompiledArtifactBitForBit) {
+  // Baseline: the fleet ForestModel classifies the whole stream.
+  Engine baseline(*fleet_);
+  const std::uint64_t a = baseline.add_session();
+  const std::vector<Detection> expected =
+      stream_and_poll(baseline, a, *seizure_record_, 4096);
+
+  // Same stream, but the compiled artifact is hot-swapped in halfway:
+  // because CompiledForest is bit-identical to the interpreter, the
+  // detection sequence must not change at all.
+  Engine engine(*fleet_);
+  const std::uint64_t b = engine.add_session();
+  const std::shared_ptr<const ml::CompiledForest> compiled =
+      (*fleet_)->compile();
+  std::vector<Detection> actual;
+  const std::size_t length = seizure_record_->length_samples();
+  const std::size_t chunk = 4096;
+  bool swapped = false;
+  for (std::size_t offset = 0; offset < length; offset += chunk) {
+    if (!swapped && offset >= length / 2) {
+      engine.swap_model(b, compiled);  // no flush, no stream pause
+      swapped = true;
+    }
+    const std::size_t n = std::min(chunk, length - offset);
+    engine.ingest(b, chunk_views(*seizure_record_, offset, n));
+    for (const Detection& d : engine.poll()) {
+      actual.push_back(d);
+    }
+  }
+  ASSERT_TRUE(swapped);
+  EXPECT_STREQ(engine.session_model(b)->name(), "compiled");
+
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t w = 0; w < expected.size(); ++w) {
+    EXPECT_EQ(actual[w].label, expected[w].label) << "window " << w;
+    EXPECT_EQ(actual[w].alarm, expected[w].alarm) << "window " << w;
+    EXPECT_EQ(actual[w].window_index, expected[w].window_index);
+  }
+}
+
+TEST_F(EngineTest, SwapModelOverrideWinsAndClearsBackToAutomatic) {
+  Engine engine(*fleet_);
+  const std::uint64_t id = engine.add_session();
+  engine.poll();
+  EXPECT_EQ(engine.session_model(id), (*fleet_)->model());  // automatic
+
+  const std::shared_ptr<const ml::CompiledForest> compiled =
+      (*fleet_)->compile();
+  engine.swap_model(id, compiled);
+  engine.poll();
+  EXPECT_EQ(engine.session_model(id), compiled);  // override wins
+
+  engine.swap_model(id, nullptr);  // clear -> automatic choice again
+  engine.poll();
+  EXPECT_EQ(engine.session_model(id), (*fleet_)->model());
+
+  EXPECT_THROW(engine.swap_model(99, compiled), InvalidArgument);
+}
+
+TEST_F(EngineTest, PatientTriggerClearsSwappedOverride) {
+  // A pinned artifact must never mask the model a patient_trigger just
+  // retrained: the trigger drops the override and installs the personal
+  // model.
+  Engine engine(std::make_shared<core::RealtimeDetector>());
+  SessionConfig session_config;
+  session_config.history_seconds = 600.0;
+  const std::uint64_t id = engine.add_session(session_config);
+  core::SelfLearningConfig learn;
+  learn.average_seizure_duration_s = simulator_->average_seizure_duration(4);
+  engine.attach_self_learning(id, learn);
+
+  stream_and_poll(engine, id, *seizure_record_, 8192);
+  const std::shared_ptr<const ml::CompiledForest> pinned =
+      (*fleet_)->compile();
+  engine.swap_model(id, pinned);
+  engine.poll();
+  EXPECT_EQ(engine.session_model(id), pinned);
+
+  engine.patient_trigger(id);
+  engine.poll();
+  EXPECT_NE(engine.session_model(id), pinned);   // override dropped
+  ASSERT_NE(engine.session_model(id), nullptr);  // personal model active
+  EXPECT_STREQ(engine.session_model(id)->name(), "forest");
+}
+
 TEST_F(EngineTest, AddSessionValidatesConfigUpFront) {
   // Bad stream geometry must be rejected at add_session with
   // InvalidArgument, not by a failure deep inside the windowing path.

@@ -432,6 +432,172 @@ TEST_F(ServiceTest, PatientTriggerPersonalizesThroughTheFacade) {
   EXPECT_GT(positives, 0u);  // the learned detector now sees the seizure
 }
 
+TEST_F(ServiceTest, HotSwapMatchesSingleEngineRunsAcrossTheBoundary) {
+  // Deterministic mid-stream redeploy: model B (a different fit,
+  // compiled) replaces the fleet model for every session at a known
+  // round boundary. The service run must match a single-Engine run that
+  // swaps at the same boundary — pre-swap windows classified by A,
+  // post-swap windows by B, bit for bit.
+  Rng rng(2);
+  auto detector_b = std::make_shared<core::RealtimeDetector>();
+  detector_b->fit(ml::balance_classes(*train_set_, rng), 99);
+  const std::shared_ptr<const ml::CompiledForest> compiled_b =
+      detector_b->compile();
+
+  const std::size_t rounds = stream_samples(*background_record_) / k_chunk;
+  const std::size_t swap_round = rounds / 2;
+
+  // Reference: one Engine, swap at the same window boundary.
+  std::vector<std::vector<WindowOutcome>> reference(k_sessions);
+  {
+    Engine engine(*fleet_, screened_config());
+    for (std::size_t s = 0; s < k_sessions; ++s) {
+      engine.add_session();
+    }
+    for (std::size_t round = 0; round < rounds; ++round) {
+      if (round == swap_round) {
+        for (std::size_t s = 0; s < k_sessions; ++s) {
+          engine.swap_model(s, compiled_b);
+        }
+      }
+      for (std::size_t s = 0; s < k_sessions; ++s) {
+        const signal::EegRecord& record = record_for(s);
+        if ((round + 1) * k_chunk <= stream_samples(record)) {
+          engine.ingest(s, chunk_views(record, round * k_chunk, k_chunk));
+        }
+      }
+      for (const Detection& d : engine.poll()) {
+        reference[d.session_id].push_back(outcome_of(d));
+      }
+    }
+  }
+
+  for (const std::size_t shards : {1u, 3u}) {
+    SCOPED_TRACE("threads x " + std::to_string(shards) + " shards");
+    ServiceConfig config;
+    config.shards = shards;
+    config.engine = screened_config();
+    DetectionService service(*fleet_, config,
+                             std::make_unique<ThreadPoolBackend>());
+    std::vector<SessionHandle> handles;
+    for (std::size_t s = 0; s < k_sessions; ++s) {
+      handles.push_back(service.create_session(s, SessionConfig{}));
+    }
+
+    std::map<std::uint64_t, std::vector<WindowOutcome>> outcomes;
+    std::vector<Detection> drained;
+    for (std::size_t round = 0; round < rounds; ++round) {
+      if (round == swap_round) {
+        // flush() pins the boundary to the reference's window count; the
+        // service itself keeps running — no stop, no drained queues
+        // required by swap_model.
+        service.flush();
+        for (const SessionHandle& handle : handles) {
+          service.swap_model(handle, compiled_b);
+        }
+      }
+      for (std::size_t s = 0; s < k_sessions; ++s) {
+        const signal::EegRecord& record = record_for(s);
+        if ((round + 1) * k_chunk <= stream_samples(record)) {
+          service.ingest(handles[s],
+                         chunk_views(record, round * k_chunk, k_chunk));
+        }
+      }
+      service.flush();
+      drained.clear();
+      service.drain(drained);
+      for (const Detection& d : drained) {
+        outcomes[d.session_id].push_back(outcome_of(d));
+      }
+    }
+    for (const SessionHandle& handle : handles) {
+      EXPECT_STREQ(service.session_model(handle)->name(), "compiled");
+    }
+    for (std::size_t s = 0; s < k_sessions; ++s) {
+      SCOPED_TRACE("session " + std::to_string(s));
+      const auto it = outcomes.find(handles[s].value);
+      ASSERT_NE(it, outcomes.end());
+      EXPECT_EQ(it->second, reference[s]);
+    }
+  }
+}
+
+TEST_F(ServiceTest, HotSwapUnderContinuousIngestPreservesParity) {
+  // The headline swap property: swap_model needs no flush or stream
+  // pause. A swapper thread relentlessly flips every session between the
+  // fleet ForestModel and its compiled artifact while chunks keep
+  // flowing on worker threads. Because the two models are bit-identical,
+  // the delivered detections must equal the plain single-Engine
+  // reference no matter when each swap lands — proving a swap never
+  // loses, duplicates, or corrupts a window (and TSan proves it races
+  // nothing).
+  const std::vector<std::vector<WindowOutcome>> reference =
+      reference_outcomes();
+
+  ServiceConfig config;
+  config.shards = 2;
+  config.engine = screened_config();
+  DetectionService service(*fleet_, config,
+                           std::make_unique<ThreadPoolBackend>());
+  std::vector<SessionHandle> handles;
+  for (std::size_t s = 0; s < k_sessions; ++s) {
+    handles.push_back(service.create_session(s, SessionConfig{}));
+  }
+
+  const std::shared_ptr<const ml::CompiledForest> compiled =
+      (*fleet_)->compile();
+  std::atomic<bool> stop_swapping{false};
+  std::thread swapper([&] {
+    bool deploy_compiled = true;
+    while (!stop_swapping.load()) {
+      for (const SessionHandle& handle : handles) {
+        service.swap_model(
+            handle, deploy_compiled
+                        ? std::shared_ptr<const ml::InferenceModel>(compiled)
+                        : nullptr);
+      }
+      deploy_compiled = !deploy_compiled;
+    }
+  });
+
+  const std::size_t rounds = stream_samples(*background_record_) / k_chunk;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (std::size_t s = 0; s < k_sessions; ++s) {
+      const signal::EegRecord& record = record_for(s);
+      if ((round + 1) * k_chunk <= stream_samples(record)) {
+        service.ingest(handles[s],
+                       chunk_views(record, round * k_chunk, k_chunk));
+      }
+    }
+  }
+  stop_swapping.store(true);
+  swapper.join();
+  service.flush();
+
+  std::vector<Detection> drained;
+  service.drain(drained);
+  std::map<std::uint64_t, std::vector<WindowOutcome>> outcomes;
+  for (const Detection& d : drained) {
+    outcomes[d.session_id].push_back(outcome_of(d));
+  }
+  for (std::size_t s = 0; s < k_sessions; ++s) {
+    SCOPED_TRACE("session " + std::to_string(s));
+    const auto it = outcomes.find(handles[s].value);
+    ASSERT_NE(it, outcomes.end());
+    EXPECT_EQ(it->second, reference[s]);
+  }
+}
+
+TEST_F(ServiceTest, SwapModelRejectsUnknownSessions) {
+  DetectionService service(*fleet_);
+  const std::shared_ptr<const ml::CompiledForest> compiled =
+      (*fleet_)->compile();
+  EXPECT_THROW(service.swap_model(SessionHandle::pack(7, 0), compiled),
+               InvalidArgument);
+  EXPECT_THROW(service.swap_model(SessionHandle::pack(0, 3), compiled),
+               InvalidArgument);
+}
+
 TEST_F(ServiceTest, FlushCompletesWhileProducersKeepStreaming) {
   // flush() is a watermark barrier: it covers the chunks ingested before
   // the call and must return even though a producer thread never stops

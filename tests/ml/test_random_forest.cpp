@@ -124,6 +124,33 @@ TEST(RandomForest, ConfigValidation) {
   EXPECT_THROW(RandomForest{bad}, InvalidArgument);
 }
 
+TEST(RandomForest, ValidateRejectsEachBadFieldUpFront) {
+  // The free validate(ForestConfig) mirrors the engine's
+  // validate(SessionConfig) pattern: both the constructor and fit() run
+  // it, so a bad config raises InvalidArgument before any training.
+  EXPECT_NO_THROW(validate(ForestConfig{}));
+
+  ForestConfig bad;
+  bad.tree_count = 0;
+  EXPECT_THROW(validate(bad), InvalidArgument);
+
+  bad = ForestConfig{};
+  bad.threshold = 0.0;  // open interval: the boundary itself is invalid
+  EXPECT_THROW(validate(bad), InvalidArgument);
+  bad.threshold = 1.0;
+  EXPECT_THROW(validate(bad), InvalidArgument);
+  bad.threshold = -0.5;
+  EXPECT_THROW(validate(bad), InvalidArgument);
+
+  bad = ForestConfig{};
+  bad.bootstrap_fraction = 0.0;
+  EXPECT_THROW(validate(bad), InvalidArgument);
+  bad.bootstrap_fraction = 1.5;
+  EXPECT_THROW(validate(bad), InvalidArgument);
+  bad.bootstrap_fraction = 1.0;  // closed upper bound: valid
+  EXPECT_NO_THROW(validate(bad));
+}
+
 TEST(RandomForest, PredictBeforeFitThrows) {
   const RandomForest forest;
   const RealVector row = {0.0};
