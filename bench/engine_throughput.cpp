@@ -278,6 +278,7 @@ Options parse_options(int argc, char** argv) {
 void write_json(
     const Options& opts,
     const std::vector<std::pair<std::size_t, InferenceResult>>& inference,
+    const std::vector<std::pair<std::size_t, double>>& engine,
     const std::vector<ServiceResult>& services) {
   std::FILE* f = std::fopen(opts.json_path.c_str(), "w");
   if (f == nullptr) {
@@ -298,6 +299,15 @@ void write_json(
                  inference[i].first, r.single_wps, r.batched_wps,
                  r.compiled_wps, r.compiled_wps / r.batched_wps,
                  i + 1 < inference.size() ? "," : "");
+  }
+  // End-to-end single-Engine streaming (feature extraction included):
+  // the number the zero-alloc DSP work moves.
+  std::fprintf(f, "  ],\n  \"engine\": [\n");
+  for (std::size_t i = 0; i < engine.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"sessions\": %zu, \"windows_per_s\": %.1f}%s\n",
+                 engine[i].first, engine[i].second,
+                 i + 1 < engine.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"service\": [\n");
   for (std::size_t i = 0; i < services.size(); ++i) {
@@ -345,6 +355,7 @@ int main(int argc, char** argv) {
               "batched (w/s)", "compiled (w/s)", "speedup",
               "engine (w/s)");
   std::vector<std::pair<std::size_t, InferenceResult>> inference;
+  std::vector<std::pair<std::size_t, double>> engine;
   for (const std::size_t sessions : {1u, 4u, 16u, 64u, 256u}) {
     Matrix rows(sessions, windowed.features.cols());
     for (std::size_t r = 0; r < sessions; ++r) {
@@ -356,6 +367,7 @@ int main(int argc, char** argv) {
     if (sessions <= 64) {
       const double engine_wps = engine_end_to_end(
           detector, stream_record, sessions, 30.0, compiled_model);
+      engine.emplace_back(sessions, engine_wps);
       std::printf("%8zu %14.0f %14.0f %14.0f %7.2fx %13.0f\n", sessions,
                   wps.single_wps, wps.batched_wps, wps.compiled_wps,
                   wps.compiled_wps / wps.batched_wps, engine_wps);
@@ -408,7 +420,7 @@ int main(int argc, char** argv) {
       "           with cores, inline shows the single-thread baseline\n");
 
   if (!opts.json_path.empty()) {
-    write_json(opts, inference, services);
+    write_json(opts, inference, engine, services);
   }
   return 0;
 }

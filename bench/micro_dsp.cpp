@@ -1,13 +1,28 @@
 // Microbenchmarks of the DSP substrate on paper-sized inputs
 // (4 s windows at 256 Hz = 1024 samples).
+//
+// Two modes:
+//  * default: Google Benchmark suite, including allocating-vs-workspace
+//    pairs for the hot transforms;
+//  * --json PATH: self-timed before/after comparison of the allocating
+//    and workspace-threaded paths — windows/sec and allocs/window for
+//    each — written as machine-readable JSON (BENCH_dsp.json in CI) so
+//    the zero-alloc trajectory can be tracked across commits.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "alloc_compare.hpp"
 #include "common/random.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/spectrum.hpp"
 #include "dsp/wavelet.hpp"
+#include "dsp/workspace.hpp"
 #include "entropy/permutation_entropy.hpp"
 #include "entropy/sample_entropy.hpp"
+
+ESL_DEFINE_COUNTING_ALLOCATOR();
 
 namespace {
 
@@ -30,6 +45,16 @@ void bm_fft_1024(benchmark::State& state) {
 }
 BENCHMARK(bm_fft_1024);
 
+void bm_fft_1024_workspace(benchmark::State& state) {
+  const RealVector x = random_signal(1024, 1);
+  dsp::Workspace ws;
+  for (auto _ : state) {
+    dsp::rfft_into(x, ws, ws.spectrum);
+    benchmark::DoNotOptimize(ws.spectrum.data());
+  }
+}
+BENCHMARK(bm_fft_1024_workspace);
+
 void bm_fft_bluestein_1000(benchmark::State& state) {
   dsp::ComplexVector x(1000);
   Rng rng(2);
@@ -42,6 +67,20 @@ void bm_fft_bluestein_1000(benchmark::State& state) {
 }
 BENCHMARK(bm_fft_bluestein_1000);
 
+void bm_fft_bluestein_1000_workspace(benchmark::State& state) {
+  dsp::ComplexVector x(1000);
+  Rng rng(2);
+  for (auto& v : x) {
+    v = dsp::Complex(rng.normal(), rng.normal());
+  }
+  dsp::Workspace ws;
+  for (auto _ : state) {
+    dsp::fft_into(x, ws, ws.spectrum);
+    benchmark::DoNotOptimize(ws.spectrum.data());
+  }
+}
+BENCHMARK(bm_fft_bluestein_1000_workspace);
+
 void bm_periodogram_window(benchmark::State& state) {
   const RealVector x = random_signal(1024, 3);
   for (auto _ : state) {
@@ -49,6 +88,16 @@ void bm_periodogram_window(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_periodogram_window);
+
+void bm_periodogram_window_workspace(benchmark::State& state) {
+  const RealVector x = random_signal(1024, 3);
+  dsp::Workspace ws;
+  for (auto _ : state) {
+    dsp::periodogram_into(x, 256.0, ws, ws.psd);
+    benchmark::DoNotOptimize(ws.psd.density.data());
+  }
+}
+BENCHMARK(bm_periodogram_window_workspace);
 
 void bm_wavedec_db4_level7(benchmark::State& state) {
   const RealVector x = random_signal(1024, 4);
@@ -59,6 +108,17 @@ void bm_wavedec_db4_level7(benchmark::State& state) {
 }
 BENCHMARK(bm_wavedec_db4_level7);
 
+void bm_wavedec_db4_level7_workspace(benchmark::State& state) {
+  const RealVector x = random_signal(1024, 4);
+  const dsp::Wavelet db4 = dsp::Wavelet::daubechies(4);
+  dsp::Workspace ws;
+  for (auto _ : state) {
+    dsp::wavedec_into(x, db4, 7, ws, ws.decomposition);
+    benchmark::DoNotOptimize(ws.decomposition.approx.data());
+  }
+}
+BENCHMARK(bm_wavedec_db4_level7_workspace);
+
 void bm_welch_one_minute(benchmark::State& state) {
   const RealVector x = random_signal(60 * 256, 5);
   for (auto _ : state) {
@@ -66,6 +126,16 @@ void bm_welch_one_minute(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_welch_one_minute)->Unit(benchmark::kMillisecond);
+
+void bm_welch_one_minute_workspace(benchmark::State& state) {
+  const RealVector x = random_signal(60 * 256, 5);
+  dsp::Workspace ws;
+  for (auto _ : state) {
+    dsp::welch_into(x, 256.0, 1024, ws, ws.psd);
+    benchmark::DoNotOptimize(ws.psd.density.data());
+  }
+}
+BENCHMARK(bm_welch_one_minute_workspace)->Unit(benchmark::kMillisecond);
 
 void bm_permutation_entropy(benchmark::State& state) {
   const auto order = static_cast<std::size_t>(state.range(0));
@@ -85,6 +155,67 @@ void bm_sample_entropy_level6(benchmark::State& state) {
 }
 BENCHMARK(bm_sample_entropy_level6);
 
+// --------------------------------------------------------------- --json
+// Self-timed allocating-vs-workspace comparison (no Google Benchmark so
+// the allocation counts are exactly the measured calls and nothing else).
+// Harness + JSON schema shared with micro_features (alloc_compare.hpp).
+
+using bench::Comparison;
+using bench::measure;
+
+int run_json_mode(const std::string& path) {
+  const RealVector x1024 = random_signal(1024, 3);
+  const RealVector x1000 = random_signal(1000, 8);
+  const dsp::Wavelet db4 = dsp::Wavelet::daubechies(4);
+  dsp::Workspace ws;
+  std::vector<Comparison> comparisons;
+
+  comparisons.push_back(
+      {"periodogram_1024",
+       measure([&] { benchmark::DoNotOptimize(dsp::periodogram(x1024, 256.0)); },
+               20000),
+       measure(
+           [&] {
+             dsp::periodogram_into(x1024, 256.0, ws, ws.psd);
+             benchmark::DoNotOptimize(ws.psd.density.data());
+           },
+           20000)});
+  comparisons.push_back(
+      {"periodogram_bluestein_1000",
+       measure([&] { benchmark::DoNotOptimize(dsp::periodogram(x1000, 256.0)); },
+               5000),
+       measure(
+           [&] {
+             dsp::periodogram_into(x1000, 256.0, ws, ws.psd);
+             benchmark::DoNotOptimize(ws.psd.density.data());
+           },
+           5000)});
+  comparisons.push_back(
+      {"wavedec_db4_level7_1024",
+       measure([&] { benchmark::DoNotOptimize(dsp::wavedec(x1024, db4, 7)); },
+               20000),
+       measure(
+           [&] {
+             dsp::wavedec_into(x1024, db4, 7, ws, ws.decomposition);
+             benchmark::DoNotOptimize(ws.decomposition.approx.data());
+           },
+           20000)});
+  comparisons.push_back(
+      {"rfft_1024",
+       measure([&] { benchmark::DoNotOptimize(dsp::rfft(x1024)); }, 50000),
+       measure(
+           [&] {
+             dsp::rfft_into(x1024, ws, ws.spectrum);
+             benchmark::DoNotOptimize(ws.spectrum.data());
+           },
+           50000)});
+
+  bench::print_comparison_table("transform", comparisons);
+  return bench::write_comparison_json(path, "micro_dsp", comparisons);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return esl::bench::benchmark_main_with_json(argc, argv, run_json_mode);
+}

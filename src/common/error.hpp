@@ -43,8 +43,24 @@ inline void expects(bool condition, const std::string& message) {
   }
 }
 
+/// Literal-message overload: the std::string (and its heap allocation)
+/// is only materialized on failure, keeping contract checks off the
+/// allocation profile of the zero-alloc streaming hot path.
+inline void expects(bool condition, const char* message) {
+  if (!condition) {
+    throw InvalidArgument(message);
+  }
+}
+
 /// Postcondition / invariant check: throws LogicError when false.
 inline void ensures(bool condition, const std::string& message) {
+  if (!condition) {
+    throw LogicError(message);
+  }
+}
+
+/// Literal-message overload; see expects(bool, const char*).
+inline void ensures(bool condition, const char* message) {
   if (!condition) {
     throw LogicError(message);
   }

@@ -13,10 +13,12 @@ Matrix Matrix::from_rows(const std::vector<RealVector>& rows) {
 }
 
 Real Matrix::at(std::size_t r, std::size_t c) const {
-  expects(r < rows_ && c < cols_,
-          "Matrix::at: index (" + std::to_string(r) + ", " + std::to_string(c) +
-              ") out of range for " + std::to_string(rows_) + "x" +
-              std::to_string(cols_));
+  if (r >= rows_ || c >= cols_) {
+    // Concatenated only when throwing: at() may sit inside warm loops.
+    throw InvalidArgument("Matrix::at: index (" + std::to_string(r) + ", " +
+                          std::to_string(c) + ") out of range for " +
+                          std::to_string(rows_) + "x" + std::to_string(cols_));
+  }
   return (*this)(r, c);
 }
 
@@ -43,9 +45,14 @@ void Matrix::append_row(std::span<const Real> values) {
   if (rows_ == 0 && cols_ == 0) {
     cols_ = values.size();
   }
-  expects(values.size() == cols_,
-          "Matrix::append_row: row length " + std::to_string(values.size()) +
-              " does not match column count " + std::to_string(cols_));
+  if (values.size() != cols_) {
+    // Concatenated only when throwing: append_row is on the zero-alloc
+    // streaming path (one call per completed window).
+    throw InvalidArgument("Matrix::append_row: row length " +
+                          std::to_string(values.size()) +
+                          " does not match column count " +
+                          std::to_string(cols_));
+  }
   data_.insert(data_.end(), values.begin(), values.end());
   ++rows_;
 }

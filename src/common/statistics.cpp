@@ -56,17 +56,22 @@ Real median(std::span<const Real> values) {
 
 Real quantile(std::span<const Real> values, Real q) {
   expects(!values.empty(), "stats::quantile: empty input");
-  expects(q >= 0.0 && q <= 1.0, "stats::quantile: q must lie in [0, 1]");
   std::vector<Real> sorted(values.begin(), values.end());
   std::sort(sorted.begin(), sorted.end());
-  if (sorted.size() == 1) {
-    return sorted.front();
+  return quantile_from_sorted(sorted, q);
+}
+
+Real quantile_from_sorted(std::span<const Real> sorted_values, Real q) {
+  expects(!sorted_values.empty(), "stats::quantile: empty input");
+  expects(q >= 0.0 && q <= 1.0, "stats::quantile: q must lie in [0, 1]");
+  if (sorted_values.size() == 1) {
+    return sorted_values.front();
   }
-  const Real position = q * static_cast<Real>(sorted.size() - 1);
+  const Real position = q * static_cast<Real>(sorted_values.size() - 1);
   const auto lower = static_cast<std::size_t>(std::floor(position));
-  const auto upper = std::min(lower + 1, sorted.size() - 1);
+  const auto upper = std::min(lower + 1, sorted_values.size() - 1);
   const Real weight = position - static_cast<Real>(lower);
-  return (1.0 - weight) * sorted[lower] + weight * sorted[upper];
+  return (1.0 - weight) * sorted_values[lower] + weight * sorted_values[upper];
 }
 
 Real geometric_mean(std::span<const Real> values) {
@@ -189,13 +194,23 @@ Real RunningStats::stddev() const {
 }
 
 Hjorth hjorth_parameters(std::span<const Real> values) {
+  RealVector d1;
+  RealVector d2;
+  return hjorth_parameters(values, d1, d2);
+}
+
+Hjorth hjorth_parameters(std::span<const Real> values,
+                         RealVector& derivative_scratch,
+                         RealVector& second_derivative_scratch) {
   expects(values.size() >= 3, "stats::hjorth_parameters: need at least 3 samples");
   // First and second discrete derivatives.
-  std::vector<Real> d1(values.size() - 1);
+  RealVector& d1 = derivative_scratch;
+  d1.resize(values.size() - 1);
   for (std::size_t i = 0; i + 1 < values.size(); ++i) {
     d1[i] = values[i + 1] - values[i];
   }
-  std::vector<Real> d2(d1.size() - 1);
+  RealVector& d2 = second_derivative_scratch;
+  d2.resize(d1.size() - 1);
   for (std::size_t i = 0; i + 1 < d1.size(); ++i) {
     d2[i] = d1[i + 1] - d1[i];
   }

@@ -27,6 +27,11 @@ Real median(std::span<const Real> values);
 /// Linear-interpolated quantile, q in [0, 1].
 Real quantile(std::span<const Real> values, Real q);
 
+/// quantile() over values already sorted ascending (same interpolation,
+/// bit-identical). Lets a caller sort into a reused scratch buffer once
+/// and read several quantiles (e.g. the IQR) without re-copying.
+Real quantile_from_sorted(std::span<const Real> sorted_values, Real q);
+
 /// Geometric mean; all values must be positive. This is the only correct
 /// average of normalized (ratio) metrics, per Fleming & Wallace [31].
 Real geometric_mean(std::span<const Real> values);
@@ -83,5 +88,12 @@ struct Hjorth {
 /// Computes all three Hjorth parameters in one pass over the signal.
 /// Requires at least three samples.
 Hjorth hjorth_parameters(std::span<const Real> values);
+
+/// hjorth_parameters() with caller-owned scratch for the first/second
+/// discrete-derivative series (resized, capacity retained) — bit-identical
+/// results with zero steady-state allocation for fixed-length windows.
+Hjorth hjorth_parameters(std::span<const Real> values,
+                         RealVector& derivative_scratch,
+                         RealVector& second_derivative_scratch);
 
 }  // namespace esl::stats

@@ -4,6 +4,7 @@
 #include <numbers>
 
 #include "common/error.hpp"
+#include "dsp/workspace.hpp"
 
 namespace esl::dsp {
 
@@ -28,24 +29,35 @@ void bit_reverse_permute(std::span<Complex> data) {
 }
 
 /// Bluestein chirp-z transform: expresses an arbitrary-size DFT as a
-/// convolution, evaluated with a power-of-two FFT.
-ComplexVector bluestein(std::span<const Complex> input, bool inverse) {
+/// convolution, evaluated with a power-of-two FFT. All temporaries live
+/// in the workspace; the chirp is cached by (n, direction) since it is a
+/// pure function of both.
+void bluestein_into(std::span<const Complex> input, bool inverse,
+                    Workspace& ws, ComplexVector& out) {
   const std::size_t n = input.size();
   const std::size_t m = next_power_of_two(2 * n + 1);
   const Real sign = inverse ? 1.0 : -1.0;
 
   // Chirp w[k] = exp(sign * i * pi * k^2 / n).
-  ComplexVector chirp(n);
-  for (std::size_t k = 0; k < n; ++k) {
-    // k^2 mod 2n keeps the argument small and the chirp exactly periodic.
-    const std::size_t k2 = (k * k) % (2 * n);
-    const Real angle = sign * std::numbers::pi_v<Real> *
-                       static_cast<Real>(k2) / static_cast<Real>(n);
-    chirp[k] = Complex(std::cos(angle), std::sin(angle));
+  if (ws.chirp_length != n || ws.chirp_inverse != inverse ||
+      ws.chirp.size() != n) {
+    ws.chirp.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      // k^2 mod 2n keeps the argument small and the chirp exactly periodic.
+      const std::size_t k2 = (k * k) % (2 * n);
+      const Real angle = sign * std::numbers::pi_v<Real> *
+                         static_cast<Real>(k2) / static_cast<Real>(n);
+      ws.chirp[k] = Complex(std::cos(angle), std::sin(angle));
+    }
+    ws.chirp_length = n;
+    ws.chirp_inverse = inverse;
   }
+  const ComplexVector& chirp = ws.chirp;
 
-  ComplexVector a(m, Complex(0.0, 0.0));
-  ComplexVector b(m, Complex(0.0, 0.0));
+  ComplexVector& a = ws.conv_a;
+  ComplexVector& b = ws.conv_b;
+  a.assign(m, Complex(0.0, 0.0));
+  b.assign(m, Complex(0.0, 0.0));
   for (std::size_t k = 0; k < n; ++k) {
     a[k] = input[k] * chirp[k];
     b[k] = std::conj(chirp[k]);
@@ -61,7 +73,7 @@ ComplexVector bluestein(std::span<const Complex> input, bool inverse) {
   }
   fft_radix2_inplace(a, true);
 
-  ComplexVector out(n);
+  out.resize(n);
   for (std::size_t k = 0; k < n; ++k) {
     out[k] = a[k] * chirp[k];
   }
@@ -70,6 +82,12 @@ ComplexVector bluestein(std::span<const Complex> input, bool inverse) {
       v /= static_cast<Real>(n);
     }
   }
+}
+
+ComplexVector bluestein(std::span<const Complex> input, bool inverse) {
+  Workspace ws;
+  ComplexVector out;
+  bluestein_into(input, inverse, ws, out);
   return out;
 }
 
@@ -145,6 +163,51 @@ ComplexVector rfft(std::span<const Real> input) {
   ComplexVector full = fft(data);
   full.resize(input.size() / 2 + 1);
   return full;
+}
+
+void fft_into(std::span<const Complex> input, Workspace& workspace,
+              ComplexVector& out) {
+  expects(!input.empty(), "fft_into: empty input");
+  if (is_power_of_two(input.size())) {
+    out.assign(input.begin(), input.end());
+    fft_radix2_inplace(out, false);
+    return;
+  }
+  bluestein_into(input, false, workspace, out);
+}
+
+void ifft_into(std::span<const Complex> input, Workspace& workspace,
+               ComplexVector& out) {
+  expects(!input.empty(), "ifft_into: empty input");
+  if (is_power_of_two(input.size())) {
+    out.assign(input.begin(), input.end());
+    fft_radix2_inplace(out, true);
+    return;
+  }
+  bluestein_into(input, true, workspace, out);
+}
+
+void rfft_into(std::span<const Real> input, Workspace& workspace,
+               ComplexVector& out) {
+  expects(!input.empty(), "rfft_into: empty input");
+  const std::size_t n = input.size();
+  if (is_power_of_two(n)) {
+    // Stage the real signal directly in the output and transform in place.
+    out.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = Complex(input[i], 0.0);
+    }
+    fft_radix2_inplace(out, false);
+    out.resize(n / 2 + 1);
+    return;
+  }
+  ComplexVector& staged = workspace.time_scratch;
+  staged.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    staged[i] = Complex(input[i], 0.0);
+  }
+  bluestein_into(staged, false, workspace, out);
+  out.resize(n / 2 + 1);
 }
 
 ComplexVector dft_reference(std::span<const Complex> input) {

@@ -14,6 +14,8 @@
 
 namespace esl::dsp {
 
+class Workspace;
+
 using Complex = std::complex<Real>;
 using ComplexVector = std::vector<Complex>;
 
@@ -38,5 +40,23 @@ ComplexVector rfft(std::span<const Real> input);
 
 /// Naive O(n^2) DFT used as a test oracle.
 ComplexVector dft_reference(std::span<const Complex> input);
+
+// Workspace-threaded overloads: bit-identical to the functions above but
+// all temporaries (Bluestein chirp/convolution buffers, real-to-complex
+// staging) come from `workspace` and `out` is caller-owned, so a warm
+// call performs no heap allocation. `out` may be workspace.spectrum; it
+// must not alias `input` or workspace scratch. See dsp/workspace.hpp.
+
+/// fft() into a caller-owned buffer.
+void fft_into(std::span<const Complex> input, Workspace& workspace,
+              ComplexVector& out);
+
+/// ifft() into a caller-owned buffer.
+void ifft_into(std::span<const Complex> input, Workspace& workspace,
+               ComplexVector& out);
+
+/// rfft() into a caller-owned buffer (n/2+1 non-redundant bins).
+void rfft_into(std::span<const Real> input, Workspace& workspace,
+               ComplexVector& out);
 
 }  // namespace esl::dsp

@@ -5,29 +5,31 @@
 
 #include "common/error.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/workspace.hpp"
 
 namespace esl::dsp {
 
-Psd periodogram(std::span<const Real> signal, Real sample_rate_hz,
-                WindowKind window) {
+void periodogram_into(std::span<const Real> signal, Real sample_rate_hz,
+                      Workspace& workspace, Psd& out, WindowKind window) {
   expects(signal.size() >= 2, "periodogram: need at least 2 samples");
   expects(sample_rate_hz > 0.0, "periodogram: sample rate must be positive");
 
   const std::size_t n = signal.size();
-  const RealVector w = make_window(window, n, /*periodic=*/true);
-  RealVector tapered(n);
+  const RealVector& w = workspace.window_cache(window, n);
+  RealVector& tapered = workspace.tapered;
+  tapered.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     tapered[i] = signal[i] * w[i];
   }
 
-  const ComplexVector spectrum = rfft(tapered);
-  const Real scale = 1.0 / (sample_rate_hz * window_power(w));
+  rfft_into(tapered, workspace, workspace.spectrum);
+  const ComplexVector& spectrum = workspace.spectrum;
+  const Real scale = 1.0 / (sample_rate_hz * workspace.window_power_sum);
 
-  Psd psd;
-  psd.frequency.resize(spectrum.size());
-  psd.density.resize(spectrum.size());
+  out.frequency.resize(spectrum.size());
+  out.density.resize(spectrum.size());
   for (std::size_t k = 0; k < spectrum.size(); ++k) {
-    psd.frequency[k] =
+    out.frequency[k] =
         static_cast<Real>(k) * sample_rate_hz / static_cast<Real>(n);
     Real value = std::norm(spectrum[k]) * scale;
     // One-sided doubling: all bins except DC and (for even n) Nyquist.
@@ -36,40 +38,59 @@ Psd periodogram(std::span<const Real> signal, Real sample_rate_hz,
     if (!is_dc && !is_nyquist) {
       value *= 2.0;
     }
-    psd.density[k] = value;
+    out.density[k] = value;
   }
+}
+
+Psd periodogram(std::span<const Real> signal, Real sample_rate_hz,
+                WindowKind window) {
+  Workspace workspace;
+  Psd psd;
+  periodogram_into(signal, sample_rate_hz, workspace, psd, window);
   return psd;
 }
 
-Psd welch(std::span<const Real> signal, Real sample_rate_hz,
-          std::size_t segment_length, Real overlap, WindowKind window) {
+void welch_into(std::span<const Real> signal, Real sample_rate_hz,
+                std::size_t segment_length, Workspace& workspace, Psd& out,
+                Real overlap, WindowKind window) {
   expects(segment_length >= 2, "welch: segment_length must be >= 2");
   expects(overlap >= 0.0 && overlap < 1.0, "welch: overlap must lie in [0, 1)");
   if (signal.size() <= segment_length) {
-    return periodogram(signal, sample_rate_hz, window);
+    periodogram_into(signal, sample_rate_hz, workspace, out, window);
+    return;
   }
   const auto hop = std::max<std::size_t>(
       1, static_cast<std::size_t>(
              std::lround(static_cast<Real>(segment_length) * (1.0 - overlap))));
 
-  Psd accumulated;
   std::size_t segments = 0;
   for (std::size_t start = 0; start + segment_length <= signal.size();
        start += hop) {
-    const Psd segment_psd =
-        periodogram(signal.subspan(start, segment_length), sample_rate_hz, window);
     if (segments == 0) {
-      accumulated = segment_psd;
+      // First segment lands directly in the accumulator (frequency axis
+      // included), exactly like the allocating path's initial copy.
+      periodogram_into(signal.subspan(start, segment_length), sample_rate_hz,
+                       workspace, out, window);
     } else {
-      for (std::size_t k = 0; k < accumulated.density.size(); ++k) {
-        accumulated.density[k] += segment_psd.density[k];
+      periodogram_into(signal.subspan(start, segment_length), sample_rate_hz,
+                       workspace, workspace.segment_psd, window);
+      for (std::size_t k = 0; k < out.density.size(); ++k) {
+        out.density[k] += workspace.segment_psd.density[k];
       }
     }
     ++segments;
   }
-  for (auto& v : accumulated.density) {
+  for (auto& v : out.density) {
     v /= static_cast<Real>(segments);
   }
+}
+
+Psd welch(std::span<const Real> signal, Real sample_rate_hz,
+          std::size_t segment_length, Real overlap, WindowKind window) {
+  Workspace workspace;
+  Psd accumulated;
+  welch_into(signal, sample_rate_hz, segment_length, workspace, accumulated,
+             overlap, window);
   return accumulated;
 }
 

@@ -14,6 +14,8 @@
 
 namespace esl::dsp {
 
+class Workspace;
+
 /// One-sided PSD estimate: frequencies in Hz and density in unit^2/Hz.
 struct Psd {
   RealVector frequency;
@@ -35,6 +37,23 @@ Psd periodogram(std::span<const Real> signal, Real sample_rate_hz,
 Psd welch(std::span<const Real> signal, Real sample_rate_hz,
           std::size_t segment_length, Real overlap = 0.5,
           WindowKind window = WindowKind::kHann);
+
+// Workspace-threaded overloads: bit-identical to periodogram()/welch()
+// but the taper, tapered copy, and FFT temporaries come from `workspace`
+// and the PSD is written into the caller-owned `out` (which may be
+// workspace.psd), so a warm call performs no heap allocation. The
+// band-power readers below (band_power, total_power, ...) are already
+// allocation-free over any caller-owned Psd. See dsp/workspace.hpp.
+
+/// periodogram() into a caller-owned Psd.
+void periodogram_into(std::span<const Real> signal, Real sample_rate_hz,
+                      Workspace& workspace, Psd& out,
+                      WindowKind window = WindowKind::kHann);
+
+/// welch() into a caller-owned Psd.
+void welch_into(std::span<const Real> signal, Real sample_rate_hz,
+                std::size_t segment_length, Workspace& workspace, Psd& out,
+                Real overlap = 0.5, WindowKind window = WindowKind::kHann);
 
 /// Frequency band in Hz, [low, high).
 struct Band {

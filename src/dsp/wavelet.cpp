@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "dsp/workspace.hpp"
 
 namespace esl::dsp {
 
@@ -42,6 +43,14 @@ RealVector daubechies_lowpass(int vanishing_moments) {
   }
 }
 
+/// Single-level analysis core shared by the allocating and workspace
+/// paths: writes the coefficient pair into `approx`/`detail` (resized,
+/// capacity retained) with `padded_scratch` holding the odd-length
+/// periodization copy when needed.
+void dwt_single_buffers(std::span<const Real> signal, const Wavelet& wavelet,
+                        ExtensionMode mode, RealVector& padded_scratch,
+                        RealVector& approx, RealVector& detail);
+
 std::size_t reflect_index(std::ptrdiff_t index, std::size_t n) {
   // Half-point symmetric extension: ... x1 x0 | x0 x1 ... xn-1 | xn-1 xn-2 ...
   auto sn = static_cast<std::ptrdiff_t>(n);
@@ -54,6 +63,61 @@ std::size_t reflect_index(std::ptrdiff_t index, std::size_t n) {
     m = 2 * sn - 1 - m;
   }
   return static_cast<std::size_t>(m);
+}
+
+void dwt_single_buffers(std::span<const Real> signal, const Wavelet& wavelet,
+                        ExtensionMode mode, RealVector& padded_scratch,
+                        RealVector& approx, RealVector& detail) {
+  expects(signal.size() >= 2, "dwt_single: need at least 2 samples");
+  const std::size_t filter_length = wavelet.length();
+  const RealVector& h = wavelet.lowpass();
+  const RealVector& g = wavelet.highpass();
+
+  if (mode == ExtensionMode::kPeriodic) {
+    // Odd lengths are periodized by repeating the last sample (pywt 'per').
+    std::span<const Real> x = signal;
+    if (signal.size() % 2 != 0) {
+      padded_scratch.assign(signal.begin(), signal.end());
+      padded_scratch.push_back(signal.back());
+      x = padded_scratch;
+    }
+    const std::size_t n = x.size();
+    const std::size_t half = n / 2;
+    approx.assign(half, 0.0);
+    detail.assign(half, 0.0);
+    for (std::size_t i = 0; i < half; ++i) {
+      Real a = 0.0;
+      Real d = 0.0;
+      for (std::size_t k = 0; k < filter_length; ++k) {
+        const Real v = x[(2 * i + k) % n];
+        a += h[k] * v;
+        d += g[k] * v;
+      }
+      approx[i] = a;
+      detail[i] = d;
+    }
+    return;
+  }
+
+  // Symmetric mode: correlation against the reflected signal;
+  // coefficient index i reads x_sym(2i + k - N + 2).
+  const std::size_t n = signal.size();
+  const std::size_t count = (n + filter_length - 1) / 2;
+  approx.assign(count, 0.0);
+  detail.assign(count, 0.0);
+  for (std::size_t i = 0; i < count; ++i) {
+    Real a = 0.0;
+    Real d = 0.0;
+    for (std::size_t k = 0; k < filter_length; ++k) {
+      const auto idx = static_cast<std::ptrdiff_t>(2 * i + k) -
+                       static_cast<std::ptrdiff_t>(filter_length) + 2;
+      const Real v = signal[reflect_index(idx, n)];
+      a += h[k] * v;
+      d += g[k] * v;
+    }
+    approx[i] = a;
+    detail[i] = d;
+  }
 }
 
 }  // namespace
@@ -75,59 +139,16 @@ Wavelet Wavelet::daubechies(int vanishing_moments) {
 
 DwtLevel dwt_single(std::span<const Real> signal, const Wavelet& wavelet,
                     ExtensionMode mode) {
-  expects(signal.size() >= 2, "dwt_single: need at least 2 samples");
-  const std::size_t filter_length = wavelet.length();
-  const RealVector& h = wavelet.lowpass();
-  const RealVector& g = wavelet.highpass();
-
   DwtLevel out;
-  if (mode == ExtensionMode::kPeriodic) {
-    // Odd lengths are periodized by repeating the last sample (pywt 'per').
-    RealVector padded;
-    std::span<const Real> x = signal;
-    if (signal.size() % 2 != 0) {
-      padded.assign(signal.begin(), signal.end());
-      padded.push_back(signal.back());
-      x = padded;
-    }
-    const std::size_t n = x.size();
-    const std::size_t half = n / 2;
-    out.approx.assign(half, 0.0);
-    out.detail.assign(half, 0.0);
-    for (std::size_t i = 0; i < half; ++i) {
-      Real a = 0.0;
-      Real d = 0.0;
-      for (std::size_t k = 0; k < filter_length; ++k) {
-        const Real v = x[(2 * i + k) % n];
-        a += h[k] * v;
-        d += g[k] * v;
-      }
-      out.approx[i] = a;
-      out.detail[i] = d;
-    }
-    return out;
-  }
-
-  // Symmetric mode: correlation against the reflected signal;
-  // coefficient index i reads x_sym(2i + k - N + 2).
-  const std::size_t n = signal.size();
-  const std::size_t count = (n + filter_length - 1) / 2;
-  out.approx.assign(count, 0.0);
-  out.detail.assign(count, 0.0);
-  for (std::size_t i = 0; i < count; ++i) {
-    Real a = 0.0;
-    Real d = 0.0;
-    for (std::size_t k = 0; k < filter_length; ++k) {
-      const auto idx = static_cast<std::ptrdiff_t>(2 * i + k) -
-                       static_cast<std::ptrdiff_t>(filter_length) + 2;
-      const Real v = signal[reflect_index(idx, n)];
-      a += h[k] * v;
-      d += g[k] * v;
-    }
-    out.approx[i] = a;
-    out.detail[i] = d;
-  }
+  RealVector padded;
+  dwt_single_buffers(signal, wavelet, mode, padded, out.approx, out.detail);
   return out;
+}
+
+void dwt_single_into(std::span<const Real> signal, const Wavelet& wavelet,
+                     Workspace& workspace, DwtLevel& out, ExtensionMode mode) {
+  dwt_single_buffers(signal, wavelet, mode, workspace.padded, out.approx,
+                     out.detail);
 }
 
 RealVector idwt_single(std::span<const Real> approx,
@@ -200,21 +221,34 @@ std::size_t max_decomposition_levels(std::size_t signal_length,
 WaveletDecomposition wavedec(std::span<const Real> signal,
                              const Wavelet& wavelet, std::size_t levels,
                              ExtensionMode mode) {
+  Workspace workspace;
+  WaveletDecomposition out;
+  wavedec_into(signal, wavelet, levels, workspace, out, mode);
+  return out;
+}
+
+void wavedec_into(std::span<const Real> signal, const Wavelet& wavelet,
+                  std::size_t levels, Workspace& workspace,
+                  WaveletDecomposition& out, ExtensionMode mode) {
   expects(levels >= 1, "wavedec: levels must be >= 1");
   expects(signal.size() >= 2, "wavedec: need at least 2 samples");
 
-  WaveletDecomposition out;
-  RealVector current(signal.begin(), signal.end());
+  out.details.resize(levels);
+  out.signal_lengths.clear();
+  // Cascade through the ping-pong approximation buffers; details land
+  // directly in the decomposition's reused per-level storage.
+  RealVector* current = &workspace.approx_ping;
+  RealVector* next = &workspace.approx_pong;
+  current->assign(signal.begin(), signal.end());
   for (std::size_t level = 0; level < levels; ++level) {
-    expects(current.size() >= 2,
+    expects(current->size() >= 2,
             "wavedec: signal too short for requested level count");
-    out.signal_lengths.push_back(current.size());
-    DwtLevel step = dwt_single(current, wavelet, mode);
-    out.details.push_back(std::move(step.detail));
-    current = std::move(step.approx);
+    out.signal_lengths.push_back(current->size());
+    dwt_single_buffers(*current, wavelet, mode, workspace.padded, *next,
+                       out.details[level]);
+    std::swap(current, next);
   }
-  out.approx = std::move(current);
-  return out;
+  out.approx.assign(current->begin(), current->end());
 }
 
 RealVector waverec(const WaveletDecomposition& decomposition,
@@ -232,6 +266,14 @@ RealVector waverec(const WaveletDecomposition& decomposition,
 
 RealVector wavelet_energy_distribution(const WaveletDecomposition& d) {
   RealVector energies;
+  wavelet_energy_distribution_into(d, energies);
+  return energies;
+}
+
+void wavelet_energy_distribution_into(const WaveletDecomposition& d,
+                                      RealVector& out) {
+  RealVector& energies = out;
+  energies.clear();
   energies.reserve(d.levels() + 1);
   Real total = 0.0;
   for (const auto& detail : d.details) {
@@ -253,7 +295,6 @@ RealVector wavelet_energy_distribution(const WaveletDecomposition& d) {
       e /= total;
     }
   }
-  return energies;
 }
 
 }  // namespace esl::dsp

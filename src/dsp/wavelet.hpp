@@ -20,6 +20,8 @@
 
 namespace esl::dsp {
 
+class Workspace;
+
 /// Orthogonal wavelet filter bank.
 class Wavelet {
  public:
@@ -105,5 +107,27 @@ RealVector waverec(const WaveletDecomposition& decomposition,
 /// approximation (levels()+1 entries summing to 1 for non-zero signals);
 /// used by the e-Glass-style feature set.
 RealVector wavelet_energy_distribution(const WaveletDecomposition& d);
+
+// Workspace-threaded overloads: bit-identical to the transforms above but
+// the periodization pad and approximation ping-pong buffers come from
+// `workspace` and the coefficients land in the caller-owned `out` (which
+// may be workspace.decomposition), whose per-level buffers are reused, so
+// a warm call performs no heap allocation. See dsp/workspace.hpp.
+
+/// dwt_single() into a caller-owned level.
+void dwt_single_into(std::span<const Real> signal, const Wavelet& wavelet,
+                     Workspace& workspace, DwtLevel& out,
+                     ExtensionMode mode = ExtensionMode::kPeriodic);
+
+/// wavedec() into a caller-owned decomposition.
+void wavedec_into(std::span<const Real> signal, const Wavelet& wavelet,
+                  std::size_t levels, Workspace& workspace,
+                  WaveletDecomposition& out,
+                  ExtensionMode mode = ExtensionMode::kPeriodic);
+
+/// wavelet_energy_distribution() into a caller-owned vector (cleared,
+/// capacity retained); needs no workspace.
+void wavelet_energy_distribution_into(const WaveletDecomposition& d,
+                                      RealVector& out);
 
 }  // namespace esl::dsp

@@ -1,0 +1,112 @@
+// Reusable DSP scratch arena for the allocation-free streaming hot path.
+//
+// Every `*_into(..., Workspace&)` overload in the DSP layer (fft.hpp,
+// spectrum.hpp, wavelet.hpp) draws its temporaries from a Workspace
+// instead of the heap. Buffers grow on first use and are retained, so a
+// workspace that has seen one window of a given geometry (length, taper,
+// wavelet levels) performs zero heap allocations for every following
+// window of the same geometry. The workspace overloads are bit-identical
+// to the allocating signatures — same arithmetic, same operation order —
+// which the WorkspaceParity test suites assert element by element.
+//
+// Ownership rules (see README "Serving at scale"):
+//  * one Workspace per stream: StreamingExtractor (and therefore every
+//    engine::PatientSession) owns one, so shard workers never share one;
+//  * a Workspace is NOT thread-safe — never call workspace overloads on
+//    the same instance from two threads concurrently;
+//  * result slots (psd, decomposition, energy, spectrum) stay valid until
+//    the next workspace call that writes the same slot — copy them out
+//    if you need two results of the same kind alive at once;
+//  * scratch members may alias nothing passed into a workspace overload
+//    except the documented result slots.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/spectrum.hpp"
+#include "dsp/wavelet.hpp"
+#include "dsp/window.hpp"
+
+namespace esl::dsp {
+
+class Workspace {
+ public:
+  Workspace() = default;
+
+  // Workspaces are per-stream scratch; copying one would duplicate warm
+  // buffers for no benefit and invites accidental sharing, so only moves
+  // are allowed (vector-of-sessions storage still works).
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+  Workspace(Workspace&&) = default;
+  Workspace& operator=(Workspace&&) = default;
+
+  // ------------------------------------------------------------- results
+  // Standard result slots the feature layer reads after a workspace call.
+  // Each is also accepted as the explicit `out` argument of the matching
+  // `*_into` overload (out may be a result slot, never internal scratch).
+
+  /// rfft/fft/ifft workspace overloads write here; periodogram clobbers it.
+  ComplexVector spectrum;
+  /// periodogram_into / welch_into result storage.
+  Psd psd;
+  /// wavedec_into result storage (per-level detail buffers reused).
+  WaveletDecomposition decomposition;
+  /// wavelet_energy_distribution_into result storage.
+  RealVector energy;
+
+  // ----------------------------------------------- feature-layer scratch
+  // General-purpose buffers for scratch-aware overloads outside dsp::
+  // (stats::quantile_from_sorted sorting, stats::hjorth_parameters
+  // derivative series, entropy histogram/ordinal-pattern counting).
+  // Contents are unspecified between calls.
+
+  /// Order-statistics scratch: copy + sort a window here (IQR feature).
+  RealVector sorted;
+  /// First/second discrete-derivative series for Hjorth parameters.
+  RealVector derivative_a;
+  RealVector derivative_b;
+  /// Histogram / ordinal-pattern count scratch (entropy overloads).
+  std::vector<std::size_t> counts;
+  /// Histogram probability-mass scratch (entropy overloads).
+  RealVector probabilities;
+
+  // -------------------------------------------------- dsp-layer internals
+  // Scratch owned by the dsp `*_into` implementations. Treat as opaque:
+  // contents and sizes are unspecified between calls.
+
+  /// Real-to-complex staging buffer for rfft_into.
+  ComplexVector time_scratch;
+  /// Bluestein chirp, cached by (length, direction) — the chirp for a
+  /// given size is deterministic, so reuse is bit-identical.
+  ComplexVector chirp;
+  std::size_t chirp_length = 0;
+  bool chirp_inverse = false;
+  /// Bluestein convolution operands (padded to the fft size m).
+  ComplexVector conv_a;
+  ComplexVector conv_b;
+  /// Taper coefficients cached by (kind, length) plus their power sum.
+  RealVector window_coeffs;
+  std::size_t window_length = 0;
+  WindowKind window_kind = WindowKind::kRectangular;
+  Real window_power_sum = 0.0;
+  /// Tapered copy of the periodogram input.
+  RealVector tapered;
+  /// Welch per-segment PSD accumulator input.
+  Psd segment_psd;
+  /// Odd-length periodization pad for the periodic DWT.
+  RealVector padded;
+  /// wavedec approximation ping-pong buffers.
+  RealVector approx_ping;
+  RealVector approx_pong;
+
+  /// Returns the cached taper for (kind, n), rebuilding it (and the cached
+  /// power sum) only when the key changes. Values match make_window()
+  /// exactly.
+  const RealVector& window_cache(WindowKind kind, std::size_t n);
+};
+
+}  // namespace esl::dsp

@@ -4,7 +4,11 @@
 // packet, a file reader, a socket — the engine does not care), runs the
 // incremental sliding-window extractor over per-channel ring buffers, and
 // parks the resulting raw e-Glass feature rows in a pending matrix that
-// the Engine drains into batched inference. It also owns the per-patient
+// the Engine drains into batched inference. The session's streaming
+// extractor owns one dsp::Workspace, so a warm ingest -> extract ->
+// pending -> clear_pending cycle performs zero heap allocations end to
+// end (see the engine ZeroAllocation suite); sessions never share
+// scratch, which keeps shard workers data-race-free by construction. It also owns the per-patient
 // post-processing state (consecutive-positive alarm runs) and, optionally,
 // a retrospective raw-signal history ring so a patient button press can
 // reconstruct the "last hour of signal" for a-posteriori labeling.

@@ -11,14 +11,21 @@ namespace {
 
 void check_probabilities(std::span<const Real> probabilities,
                          const char* where) {
-  expects(!probabilities.empty(), std::string(where) + ": empty distribution");
+  // Failure messages are concatenated only in the throwing branch so the
+  // passing path stays allocation-free (renyi runs per streamed window).
+  if (probabilities.empty()) {
+    throw InvalidArgument(std::string(where) + ": empty distribution");
+  }
   Real sum = 0.0;
   for (const Real p : probabilities) {
-    expects(p >= 0.0, std::string(where) + ": negative probability");
+    if (p < 0.0) {
+      throw InvalidArgument(std::string(where) + ": negative probability");
+    }
     sum += p;
   }
-  expects(std::abs(sum - 1.0) < 1e-6,
-          std::string(where) + ": probabilities must sum to 1");
+  if (!(std::abs(sum - 1.0) < 1e-6)) {
+    throw InvalidArgument(std::string(where) + ": probabilities must sum to 1");
+  }
 }
 
 }  // namespace
@@ -61,8 +68,23 @@ Real tsallis(std::span<const Real> probabilities, Real q) {
 
 Real renyi_of_signal(std::span<const Real> signal, Real alpha,
                      std::size_t bins) {
-  const Histogram histogram(signal, bins);
-  const RealVector p = histogram.probabilities();
+  std::vector<std::size_t> counts;
+  RealVector probabilities;
+  return renyi_of_signal(signal, alpha, bins, counts, probabilities);
+}
+
+Real renyi_of_signal(std::span<const Real> signal, Real alpha,
+                     std::size_t bins,
+                     std::vector<std::size_t>& count_scratch,
+                     RealVector& probability_scratch) {
+  // Same binning core as the Histogram class, counting into reused scratch.
+  histogram_counts_into(signal, bins, count_scratch);
+  const std::size_t total = signal.size();
+  RealVector& p = probability_scratch;
+  p.resize(bins);
+  for (std::size_t i = 0; i < bins; ++i) {
+    p[i] = static_cast<Real>(count_scratch[i]) / static_cast<Real>(total);
+  }
   return renyi(p, alpha);
 }
 

@@ -5,7 +5,9 @@
 // level of electrode F8T4 (§III-A).
 #pragma once
 
+#include <cstddef>
 #include <span>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -26,6 +28,14 @@ Real tsallis(std::span<const Real> probabilities, Real q);
 /// This is the "Rényi entropy of level-k DWT coefficients" feature.
 Real renyi_of_signal(std::span<const Real> signal, Real alpha,
                      std::size_t bins = 16);
+
+/// renyi_of_signal() with caller-owned histogram scratch (bin counts and
+/// probability mass; resized, capacity retained) — bit-identical results
+/// with zero steady-state allocation.
+Real renyi_of_signal(std::span<const Real> signal, Real alpha,
+                     std::size_t bins,
+                     std::vector<std::size_t>& count_scratch,
+                     RealVector& probability_scratch);
 
 /// Shannon entropy of a signal via histogram binning.
 Real shannon_of_signal(std::span<const Real> signal, std::size_t bins = 16);

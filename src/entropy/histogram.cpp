@@ -6,24 +6,33 @@
 
 namespace esl::entropy {
 
-Histogram::Histogram(std::span<const Real> values, std::size_t bins) {
+HistogramRange histogram_counts_into(std::span<const Real> values,
+                                     std::size_t bins,
+                                     std::vector<std::size_t>& counts) {
   expects(bins >= 1, "Histogram: need at least one bin");
   expects(!values.empty(), "Histogram: empty input");
   const auto [lo_it, hi_it] = std::minmax_element(values.begin(), values.end());
-  low_ = *lo_it;
-  high_ = *hi_it;
-  counts_.assign(bins, 0);
-  total_ = values.size();
-  if (low_ == high_) {
-    counts_[0] = total_;
-    return;
+  const Real low = *lo_it;
+  const Real high = *hi_it;
+  counts.assign(bins, 0);
+  if (low == high) {
+    counts[0] = values.size();
+    return {low, high};
   }
-  const Real width = (high_ - low_) / static_cast<Real>(bins);
+  const Real width = (high - low) / static_cast<Real>(bins);
   for (const Real v : values) {
-    auto bin = static_cast<std::size_t>((v - low_) / width);
+    auto bin = static_cast<std::size_t>((v - low) / width);
     bin = std::min(bin, bins - 1);  // max value lands in the last bin
-    ++counts_[bin];
+    ++counts[bin];
   }
+  return {low, high};
+}
+
+Histogram::Histogram(std::span<const Real> values, std::size_t bins) {
+  const HistogramRange range = histogram_counts_into(values, bins, counts_);
+  low_ = range.low;
+  high_ = range.high;
+  total_ = values.size();
 }
 
 RealVector Histogram::probabilities() const {

@@ -9,6 +9,22 @@
 
 namespace esl::entropy {
 
+/// Value range covered by a histogram.
+struct HistogramRange {
+  Real low = 0.0;
+  Real high = 0.0;
+};
+
+/// Shared binning core: counts `values` into `counts` (assigned to `bins`
+/// zeros, capacity retained) over equal-width bins spanning
+/// [min(values), max(values)]; a constant signal collapses into bin 0.
+/// Returns the covered range. Both the Histogram class and the
+/// scratch-based entropy overloads delegate here, so the binning
+/// convention cannot drift between them.
+HistogramRange histogram_counts_into(std::span<const Real> values,
+                                     std::size_t bins,
+                                     std::vector<std::size_t>& counts);
+
 /// Histogram over [min(values), max(values)] with `bins` equal-width bins.
 /// A constant signal collapses into one occupied bin.
 class Histogram {

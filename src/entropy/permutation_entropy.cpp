@@ -62,7 +62,7 @@ RealVector ordinal_pattern_distribution(std::span<const Real> signal,
 
   const std::size_t patterns = factorial(order);
   const std::size_t windows = signal.size() - span_length + 1;
-  std::vector<Real> embedding(order);
+  std::array<Real, k_max_permutation_order> embedding{};
 
   RealVector p(patterns, 0.0);
   std::vector<std::size_t> counts(patterns, 0);
@@ -70,7 +70,8 @@ RealVector ordinal_pattern_distribution(std::span<const Real> signal,
     for (std::size_t k = 0; k < order; ++k) {
       embedding[k] = signal[t + k * delay];
     }
-    ++counts[ordinal_pattern_index(embedding)];
+    ++counts[ordinal_pattern_index(
+        std::span<const Real>(embedding.data(), order))];
   }
   for (std::size_t i = 0; i < patterns; ++i) {
     p[i] = static_cast<Real>(counts[i]) / static_cast<Real>(windows);
@@ -80,6 +81,13 @@ RealVector ordinal_pattern_distribution(std::span<const Real> signal,
 
 Real permutation_entropy(std::span<const Real> signal, std::size_t order,
                          std::size_t delay) {
+  std::vector<std::size_t> counts;
+  return permutation_entropy(signal, order, delay, counts);
+}
+
+Real permutation_entropy(std::span<const Real> signal, std::size_t order,
+                         std::size_t delay,
+                         std::vector<std::size_t>& count_scratch) {
   expects(order >= 2 && order <= k_max_permutation_order,
           "permutation_entropy: order must lie in [2, 10]");
   expects(delay >= 1, "permutation_entropy: delay must be >= 1");
@@ -89,20 +97,22 @@ Real permutation_entropy(std::span<const Real> signal, std::size_t order,
   }
   const std::size_t windows = signal.size() - span_length + 1;
   const std::size_t patterns = factorial(order);
-  std::vector<Real> embedding(order);
+  std::array<Real, k_max_permutation_order> embedding{};
+  const std::span<const Real> pattern(embedding.data(), order);
 
   if (windows * 8 < patterns) {
     // Sparse path: for high orders on short signals (e.g. n = 7 on an
     // 8-coefficient DWT level) almost every one of the order! bins is
     // empty; counting sorted pattern indices avoids allocating and
     // scanning the full histogram. Exactly equivalent to the dense path.
-    std::vector<std::size_t> indices;
+    std::vector<std::size_t>& indices = count_scratch;
+    indices.clear();
     indices.reserve(windows);
     for (std::size_t t = 0; t < windows; ++t) {
       for (std::size_t k = 0; k < order; ++k) {
         embedding[k] = signal[t + k * delay];
       }
-      indices.push_back(ordinal_pattern_index(embedding));
+      indices.push_back(ordinal_pattern_index(pattern));
     }
     std::sort(indices.begin(), indices.end());
     Real h = 0.0;
@@ -118,9 +128,20 @@ Real permutation_entropy(std::span<const Real> signal, std::size_t order,
     return h;
   }
 
-  const RealVector p = ordinal_pattern_distribution(signal, order, delay);
+  // Dense path: histogram over all order! bins in the count scratch; each
+  // occupied bin contributes exactly the probability the allocating
+  // ordinal_pattern_distribution() would have produced.
+  std::vector<std::size_t>& counts = count_scratch;
+  counts.assign(patterns, 0);
+  for (std::size_t t = 0; t < windows; ++t) {
+    for (std::size_t k = 0; k < order; ++k) {
+      embedding[k] = signal[t + k * delay];
+    }
+    ++counts[ordinal_pattern_index(pattern)];
+  }
   Real h = 0.0;
-  for (const Real v : p) {
+  for (const std::size_t count : counts) {
+    const Real v = static_cast<Real>(count) / static_cast<Real>(windows);
     if (v > 0.0) {
       h -= v * std::log(v);
     }

@@ -32,6 +32,13 @@ RealVector ordinal_pattern_distribution(std::span<const Real> signal,
 Real permutation_entropy(std::span<const Real> signal, std::size_t order,
                          std::size_t delay = 1);
 
+/// permutation_entropy() with caller-owned count scratch (pattern indices
+/// on the sparse path, histogram bins on the dense path; resized, capacity
+/// retained) — bit-identical results with zero steady-state allocation.
+Real permutation_entropy(std::span<const Real> signal, std::size_t order,
+                         std::size_t delay,
+                         std::vector<std::size_t>& count_scratch);
+
 /// PE normalized by log(order!), in [0, 1].
 Real permutation_entropy_normalized(std::span<const Real> signal,
                                     std::size_t order, std::size_t delay = 1);

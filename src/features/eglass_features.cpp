@@ -1,11 +1,13 @@
 #include "features/eglass_features.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
 #include "common/statistics.hpp"
 #include "dsp/spectrum.hpp"
 #include "dsp/wavelet.hpp"
+#include "dsp/workspace.hpp"
 
 namespace esl::features {
 
@@ -14,7 +16,8 @@ namespace {
 constexpr std::size_t k_dwt_levels = 7;
 
 /// Appends the 12 time-domain statistics of one window.
-void append_time_features(std::span<const Real> x, RealVector& out) {
+void append_time_features(std::span<const Real> x, RealVector& out,
+                          dsp::Workspace& ws) {
   const Real mu = stats::mean(x);
   out.push_back(mu);
   out.push_back(stats::variance(x));
@@ -23,7 +26,8 @@ void append_time_features(std::span<const Real> x, RealVector& out) {
   out.push_back(stats::rms(x));
   out.push_back(stats::line_length(x));
   out.push_back(static_cast<Real>(stats::zero_crossings(x)));
-  const stats::Hjorth hjorth = stats::hjorth_parameters(x);
+  const stats::Hjorth hjorth =
+      stats::hjorth_parameters(x, ws.derivative_a, ws.derivative_b);
   out.push_back(hjorth.mobility);
   out.push_back(hjorth.complexity);
   out.push_back(stats::max(x) - stats::min(x));  // peak-to-peak
@@ -32,13 +36,19 @@ void append_time_features(std::span<const Real> x, RealVector& out) {
     mean_abs += std::abs(v - mu);
   }
   out.push_back(mean_abs / static_cast<Real>(x.size()));
-  out.push_back(stats::quantile(x, 0.75) - stats::quantile(x, 0.25));  // IQR
+  // IQR: sort once into the workspace and read both quartiles from it
+  // (bit-identical to two independent stats::quantile calls).
+  ws.sorted.assign(x.begin(), x.end());
+  std::sort(ws.sorted.begin(), ws.sorted.end());
+  out.push_back(stats::quantile_from_sorted(ws.sorted, 0.75) -
+                stats::quantile_from_sorted(ws.sorted, 0.25));
 }
 
 /// Appends the 14 spectral descriptors of one window.
 void append_spectral_features(std::span<const Real> x, Real sample_rate_hz,
-                              RealVector& out) {
-  const dsp::Psd psd = dsp::periodogram(x, sample_rate_hz);
+                              RealVector& out, dsp::Workspace& ws) {
+  dsp::periodogram_into(x, sample_rate_hz, ws, ws.psd);
+  const dsp::Psd& psd = ws.psd;
   out.push_back(dsp::total_power(psd));
   out.push_back(dsp::band_power(psd, dsp::bands::kDelta));
   out.push_back(dsp::band_power(psd, dsp::bands::kTheta));
@@ -56,11 +66,13 @@ void append_spectral_features(std::span<const Real> x, Real sample_rate_hz,
 }
 
 /// Appends 4 statistics for each of the 7 db4 DWT detail levels.
-void append_wavelet_features(std::span<const Real> x, RealVector& out) {
-  const dsp::Wavelet db4 = dsp::Wavelet::daubechies(4);
-  const dsp::WaveletDecomposition dec =
-      dsp::wavedec(x, db4, k_dwt_levels, dsp::ExtensionMode::kPeriodic);
-  const RealVector energy = dsp::wavelet_energy_distribution(dec);
+void append_wavelet_features(std::span<const Real> x, const dsp::Wavelet& db4,
+                             RealVector& out, dsp::Workspace& ws) {
+  dsp::wavedec_into(x, db4, k_dwt_levels, ws, ws.decomposition,
+                    dsp::ExtensionMode::kPeriodic);
+  const dsp::WaveletDecomposition& dec = ws.decomposition;
+  dsp::wavelet_energy_distribution_into(dec, ws.energy);
+  const RealVector& energy = ws.energy;
   for (std::size_t level = 1; level <= k_dwt_levels; ++level) {
     const RealVector& d = dec.detail_at_level(level);
     Real mean_abs = 0.0;
@@ -78,7 +90,7 @@ void append_wavelet_features(std::span<const Real> x, RealVector& out) {
 }  // namespace
 
 EglassFeatureExtractor::EglassFeatureExtractor(std::size_t channels)
-    : channels_(channels) {
+    : channels_(channels), db4_(dsp::Wavelet::daubechies(4)) {
   expects(channels >= 1, "EglassFeatureExtractor: need at least one channel");
 }
 
@@ -127,6 +139,13 @@ RealVector EglassFeatureExtractor::extract(
 void EglassFeatureExtractor::extract_into(
     const std::vector<std::span<const Real>>& channels, Real sample_rate_hz,
     RealVector& out) const {
+  dsp::Workspace workspace;
+  extract_into(channels, sample_rate_hz, out, workspace);
+}
+
+void EglassFeatureExtractor::extract_into(
+    const std::vector<std::span<const Real>>& channels, Real sample_rate_hz,
+    RealVector& out, dsp::Workspace& workspace) const {
   expects(channels.size() >= channels_,
           "EglassFeatureExtractor: too few channel windows");
   out.clear();
@@ -134,9 +153,9 @@ void EglassFeatureExtractor::extract_into(
   for (std::size_t c = 0; c < channels_; ++c) {
     expects(channels[c].size() >= 16,
             "EglassFeatureExtractor: window too short");
-    append_time_features(channels[c], out);
-    append_spectral_features(channels[c], sample_rate_hz, out);
-    append_wavelet_features(channels[c], out);
+    append_time_features(channels[c], out, workspace);
+    append_spectral_features(channels[c], sample_rate_hz, out, workspace);
+    append_wavelet_features(channels[c], db4_, out, workspace);
   }
   ensures(out.size() == channels_ * k_eglass_features_per_channel,
           "EglassFeatureExtractor: feature width drifted");

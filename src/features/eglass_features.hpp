@@ -10,6 +10,7 @@
 // Total: 54 per electrode pair, 108 for the two-channel wearable montage.
 #pragma once
 
+#include "dsp/wavelet.hpp"
 #include "features/extractor.hpp"
 
 namespace esl::features {
@@ -28,15 +29,26 @@ class EglassFeatureExtractor final : public WindowFeatureExtractor {
   RealVector extract(const std::vector<std::span<const Real>>& channels,
                      Real sample_rate_hz) const override;
   /// Streaming hot path: appends into the caller's reused row buffer
-  /// instead of allocating a fresh vector per window.
+  /// instead of allocating a fresh vector per window (DSP temporaries
+  /// come from a per-call workspace; use the overload below to reuse one).
   void extract_into(const std::vector<std::span<const Real>>& channels,
                     Real sample_rate_hz, RealVector& out) const override;
+  /// Zero-allocation hot path: all 54 features per channel computed from
+  /// the caller-owned workspace — after the first window of a given
+  /// geometry, no heap allocation at all. Bit-identical to the overloads
+  /// above.
+  void extract_into(const std::vector<std::span<const Real>>& channels,
+                    Real sample_rate_hz, RealVector& out,
+                    dsp::Workspace& workspace) const override;
 
   /// The 54 per-channel names without the channel prefix.
   static std::vector<std::string> per_channel_names();
 
  private:
   std::size_t channels_;
+  /// db4 filter bank cached at construction; building it per window used
+  /// to heap-allocate two filter vectors on every call.
+  dsp::Wavelet db4_;
 };
 
 }  // namespace esl::features

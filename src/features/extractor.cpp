@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "dsp/workspace.hpp"
 #include "signal/sliding_window.hpp"
 
 namespace esl::features {
@@ -50,11 +51,13 @@ WindowedFeatures extract_windowed_features(const signal::EegRecord& record,
 
   std::vector<std::span<const Real>> window_views(channels_needed);
   RealVector row;
+  dsp::Workspace workspace;  // shared across windows: one warm-up, then 0 allocs
   for (std::size_t w = 0; w < plan.count(); ++w) {
     for (std::size_t c = 0; c < channels_needed; ++c) {
       window_views[c] = plan.view(record.channel(c).samples, w);
     }
-    extractor.extract_into(window_views, record.sample_rate_hz(), row);
+    extractor.extract_into(window_views, record.sample_rate_hz(), row,
+                           workspace);
     ensures(row.size() == feature_count,
             "extract_windowed_features: extractor returned wrong width");
     std::copy(row.begin(), row.end(), out.features.row(w).begin());

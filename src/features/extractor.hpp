@@ -16,6 +16,10 @@
 #include "common/types.hpp"
 #include "signal/eeg_record.hpp"
 
+namespace esl::dsp {
+class Workspace;
+}  // namespace esl::dsp
+
 namespace esl::features {
 
 /// Computes one feature row from synchronized windows of every channel.
@@ -42,6 +46,21 @@ class WindowFeatureExtractor {
   virtual void extract_into(const std::vector<std::span<const Real>>& channels,
                             Real sample_rate_hz, RealVector& out) const {
     out = extract(channels, sample_rate_hz);
+  }
+
+  /// Workspace-threaded variant: like extract_into above, but all DSP and
+  /// statistics temporaries come from the caller-owned `workspace`, so a
+  /// warm (extractor, window-geometry, workspace) triple computes the row
+  /// with zero heap allocations. Results are bit-identical to the
+  /// workspace-free overloads. One workspace per stream — never share one
+  /// across threads (see dsp/workspace.hpp). The default ignores the
+  /// workspace and delegates, so extractors without a zero-alloc path
+  /// keep working behind the same seam.
+  virtual void extract_into(const std::vector<std::span<const Real>>& channels,
+                            Real sample_rate_hz, RealVector& out,
+                            dsp::Workspace& workspace) const {
+    (void)workspace;
+    extract_into(channels, sample_rate_hz, out);
   }
 
   /// Number of output features (== feature_names().size()).

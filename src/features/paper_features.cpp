@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "dsp/spectrum.hpp"
 #include "dsp/wavelet.hpp"
+#include "dsp/workspace.hpp"
 #include "entropy/entropy.hpp"
 #include "entropy/permutation_entropy.hpp"
 #include "entropy/sample_entropy.hpp"
@@ -12,7 +13,7 @@
 namespace esl::features {
 
 PaperFeatureExtractor::PaperFeatureExtractor(PaperFeatureConfig config)
-    : config_(config) {
+    : config_(config), db4_(dsp::Wavelet::daubechies(4)) {
   expects(config_.dwt_levels >= 7,
           "PaperFeatureExtractor: needs at least 7 DWT levels");
 }
@@ -29,6 +30,21 @@ std::vector<std::string> PaperFeatureExtractor::feature_names() const {
 RealVector PaperFeatureExtractor::extract(
     const std::vector<std::span<const Real>>& channels,
     Real sample_rate_hz) const {
+  RealVector out;
+  extract_into(channels, sample_rate_hz, out);
+  return out;
+}
+
+void PaperFeatureExtractor::extract_into(
+    const std::vector<std::span<const Real>>& channels, Real sample_rate_hz,
+    RealVector& out) const {
+  dsp::Workspace workspace;
+  extract_into(channels, sample_rate_hz, out, workspace);
+}
+
+void PaperFeatureExtractor::extract_into(
+    const std::vector<std::span<const Real>>& channels, Real sample_rate_hz,
+    RealVector& out, dsp::Workspace& ws) const {
   expects(channels.size() >= 2,
           "PaperFeatureExtractor: needs F7-T3 and F8-T4 windows");
   const auto& f7t3 = channels[0];
@@ -36,34 +52,35 @@ RealVector PaperFeatureExtractor::extract(
   expects(f7t3.size() == f8t4.size(),
           "PaperFeatureExtractor: channel window length mismatch");
 
-  RealVector out(k_feature_count, 0.0);
+  out.assign(k_feature_count, 0.0);
 
-  // Spectral features.
-  const dsp::Psd psd_left = dsp::periodogram(f7t3, sample_rate_hz);
-  const dsp::Psd psd_right = dsp::periodogram(f8t4, sample_rate_hz);
-  out[0] = dsp::band_power(psd_left, dsp::bands::kTheta);
-  out[1] = dsp::relative_band_power(psd_left, dsp::bands::kTheta);
-  out[2] = dsp::band_power(psd_left, dsp::bands::kDelta);
-  out[3] = dsp::relative_band_power(psd_right, dsp::bands::kTheta);
+  // Spectral features. The single workspace PSD slot is read per channel
+  // before it is overwritten; the values match the two-PSD path exactly.
+  dsp::periodogram_into(f7t3, sample_rate_hz, ws, ws.psd);
+  out[0] = dsp::band_power(ws.psd, dsp::bands::kTheta);
+  out[1] = dsp::relative_band_power(ws.psd, dsp::bands::kTheta);
+  out[2] = dsp::band_power(ws.psd, dsp::bands::kDelta);
+  dsp::periodogram_into(f8t4, sample_rate_hz, ws, ws.psd);
+  out[3] = dsp::relative_band_power(ws.psd, dsp::bands::kTheta);
 
   // Nonlinear features of the F8-T4 DWT decomposition (db4, level 7).
-  const dsp::Wavelet db4 = dsp::Wavelet::daubechies(4);
-  const dsp::WaveletDecomposition dec =
-      dsp::wavedec(f8t4, db4, config_.dwt_levels, dsp::ExtensionMode::kPeriodic);
+  dsp::wavedec_into(f8t4, db4_, config_.dwt_levels, ws, ws.decomposition,
+                    dsp::ExtensionMode::kPeriodic);
+  const dsp::WaveletDecomposition& dec = ws.decomposition;
   const RealVector& level7 = dec.detail_at_level(7);
   const RealVector& level6 = dec.detail_at_level(6);
   const RealVector& level3 = dec.detail_at_level(3);
 
-  out[4] = entropy::permutation_entropy(level7, 5);
-  out[5] = entropy::permutation_entropy(level7, 7);
-  out[6] = entropy::permutation_entropy(level6, 7);
+  out[4] = entropy::permutation_entropy(level7, 5, 1, ws.counts);
+  out[5] = entropy::permutation_entropy(level7, 7, 1, ws.counts);
+  out[6] = entropy::permutation_entropy(level6, 7, 1, ws.counts);
   out[7] = entropy::renyi_of_signal(level3, config_.renyi_alpha,
-                                    config_.renyi_bins);
+                                    config_.renyi_bins, ws.counts,
+                                    ws.probabilities);
   out[8] = entropy::sample_entropy_relative(level6, config_.sample_entropy_m,
                                             0.2);
   out[9] = entropy::sample_entropy_relative(level6, config_.sample_entropy_m,
                                             0.35);
-  return out;
 }
 
 }  // namespace esl::features

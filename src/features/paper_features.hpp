@@ -11,6 +11,7 @@
 // DWT: Daubechies-4, 7 levels.
 #pragma once
 
+#include "dsp/wavelet.hpp"
 #include "features/extractor.hpp"
 
 namespace esl::features {
@@ -33,12 +34,22 @@ class PaperFeatureExtractor final : public WindowFeatureExtractor {
   std::size_t required_channels() const override { return 2; }
   RealVector extract(const std::vector<std::span<const Real>>& channels,
                      Real sample_rate_hz) const override;
+  /// Row-buffer variant (workspace created per call).
+  void extract_into(const std::vector<std::span<const Real>>& channels,
+                    Real sample_rate_hz, RealVector& out) const override;
+  /// Zero-allocation variant: PSD/DWT/entropy scratch comes from the
+  /// caller-owned workspace. Bit-identical to extract().
+  void extract_into(const std::vector<std::span<const Real>>& channels,
+                    Real sample_rate_hz, RealVector& out,
+                    dsp::Workspace& workspace) const override;
 
   /// Number of features (10).
   static constexpr std::size_t k_feature_count = 10;
 
  private:
   PaperFeatureConfig config_;
+  /// db4 filter bank cached at construction (the paper's basis).
+  dsp::Wavelet db4_;
 };
 
 }  // namespace esl::features

@@ -83,7 +83,7 @@ std::size_t StreamingExtractor::push(
     for (std::size_t c = 0; c < rings_.size(); ++c) {
       rings_[c].copy_front(window_length_, window_scratch_[c]);
     }
-    extractor_.extract_into(views_, sample_rate_hz_, row_scratch_);
+    extractor_.extract_into(views_, sample_rate_hz_, row_scratch_, workspace_);
     sink.on_window(emitted_,
                    static_cast<Seconds>(emitted_ * hop_) / sample_rate_hz_,
                    row_scratch_);

@@ -7,13 +7,15 @@
 // extract_windowed_features() output (verified by tests).
 //
 // The buffering is a per-channel fixed-capacity SampleRing plus reused
-// linearization/row scratch buffers: after warm-up the per-window path
-// performs no allocations of its own (DSP internals inside the feature
-// extractor may still allocate; see ROADMAP open items).
+// linearization/row scratch buffers and one dsp::Workspace owned by the
+// stream: after warm-up the per-window path — windowing, DSP internals
+// and feature row included — performs zero heap allocations (asserted by
+// the ZeroAllocation test suites).
 #pragma once
 
 #include <vector>
 
+#include "dsp/workspace.hpp"
 #include "features/extractor.hpp"
 #include "signal/sample_ring.hpp"
 
@@ -82,10 +84,13 @@ class StreamingExtractor {
   std::size_t hop_;
   std::size_t feature_count_;
   std::vector<signal::SampleRing> rings_;  // one per channel
-  // Reused scratch: linearized windows, their views, and the feature row.
+  // Reused scratch: linearized windows, their views, the feature row, and
+  // the DSP workspace handed to the extractor (one per stream, so shard
+  // workers driving different sessions never share scratch).
   std::vector<RealVector> window_scratch_;
   std::vector<std::span<const Real>> views_;
   RealVector row_scratch_;
+  dsp::Workspace workspace_;
   std::size_t emitted_ = 0;
 };
 

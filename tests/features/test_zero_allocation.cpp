@@ -1,0 +1,116 @@
+// Steady-state allocation regression suite for the feature hot path.
+//
+// The e-Glass wearable runs the extractor continuously on battery: per
+// window heap churn costs energy and latency, so the warm streaming path
+// must perform zero heap allocations (ISSUE 4 / ROADMAP "Zero-alloc DSP
+// internals"). A counting operator new (test-only, see
+// tests/support/alloc_counter.hpp) asserts exactly that: after warm-up,
+// extract_into with a reused workspace and StreamingExtractor::push do
+// not allocate at all — for power-of-two, even and odd window lengths,
+// so both the radix-2 and Bluestein FFT paths and the odd-length DWT
+// periodization are covered.
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "../support/alloc_counter.hpp"
+#include "common/random.hpp"
+#include "dsp/workspace.hpp"
+#include "features/eglass_features.hpp"
+#include "features/paper_features.hpp"
+#include "features/streaming.hpp"
+
+ESL_DEFINE_COUNTING_ALLOCATOR();
+
+namespace esl::features {
+namespace {
+
+RealVector noise(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  RealVector x(n);
+  for (auto& v : x) {
+    v = rng.normal();
+  }
+  return x;
+}
+
+/// Allocations performed by `fn()` after `warm_up` priming calls.
+template <typename Fn>
+std::size_t warm_allocations(Fn&& fn, int warm_up = 3, int measured = 10) {
+  for (int i = 0; i < warm_up; ++i) {
+    fn();
+  }
+  const std::size_t before = esl::testing::allocation_count();
+  for (int i = 0; i < measured; ++i) {
+    fn();
+  }
+  return esl::testing::allocation_count() - before;
+}
+
+class NullSink final : public WindowSink {
+ public:
+  void on_window(std::size_t, Seconds, std::span<const Real>) override {
+    ++windows;
+  }
+  std::size_t windows = 0;
+};
+
+TEST(ZeroAllocation, EglassExtractIntoIsAllocationFreeWhenWarm) {
+  const EglassFeatureExtractor extractor(2);
+  // 1024 = radix-2 FFT; 1000 = Bluestein FFT + odd-length DWT
+  // periodization at deeper levels; 768 = even but not a power of two.
+  for (const std::size_t length : {1024u, 1000u, 768u}) {
+    const RealVector a = noise(length, 2 * length);
+    const RealVector b = noise(length, 2 * length + 1);
+    const std::vector<std::span<const Real>> window = {a, b};
+    dsp::Workspace workspace;
+    RealVector row;
+    const std::size_t allocs = warm_allocations([&] {
+      extractor.extract_into(window, 256.0, row, workspace);
+    });
+    EXPECT_EQ(allocs, 0u) << "window length " << length;
+    EXPECT_EQ(row.size(), 2 * k_eglass_features_per_channel);
+  }
+}
+
+TEST(ZeroAllocation, PaperExtractIntoIsAllocationFreeWhenWarm) {
+  const PaperFeatureExtractor extractor;
+  for (const std::size_t length : {1024u, 1000u}) {
+    const RealVector a = noise(length, 3 * length);
+    const RealVector b = noise(length, 3 * length + 1);
+    const std::vector<std::span<const Real>> window = {a, b};
+    dsp::Workspace workspace;
+    RealVector row;
+    const std::size_t allocs = warm_allocations([&] {
+      extractor.extract_into(window, 256.0, row, workspace);
+    });
+    EXPECT_EQ(allocs, 0u) << "window length " << length;
+    EXPECT_EQ(row.size(), PaperFeatureExtractor::k_feature_count);
+  }
+}
+
+TEST(ZeroAllocation, StreamingPushIsAllocationFreeWhenWarm) {
+  const EglassFeatureExtractor extractor(2);
+  StreamingExtractor streaming(extractor, 256.0);  // 4 s window, 1 s hop
+  const RealVector a = noise(256, 11);
+  const RealVector b = noise(256, 12);
+  const std::vector<std::span<const Real>> chunk = {a, b};
+  NullSink sink;
+  // Warm-up: fill the first 4 s window and emit a few hops so every ring,
+  // scratch row and workspace buffer has reached its steady-state size.
+  for (int i = 0; i < 8; ++i) {
+    streaming.push(chunk, sink);
+  }
+  const std::size_t emitted_before = sink.windows;
+  const std::size_t before = esl::testing::allocation_count();
+  for (int i = 0; i < 16; ++i) {
+    streaming.push(chunk, sink);
+  }
+  EXPECT_EQ(esl::testing::allocation_count() - before, 0u);
+  EXPECT_EQ(sink.windows - emitted_before, 16u)  // one window per 1 s chunk
+      << "measured region must actually emit windows";
+}
+
+}  // namespace
+}  // namespace esl::features

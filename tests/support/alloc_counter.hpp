@@ -1,0 +1,61 @@
+// Test-only global allocation counter.
+//
+// The zero-allocation regression suites (and the --json micro benches)
+// need to prove that a warm hot-path call performs no heap allocation.
+// C++ gives no portable hook short of replacing the global allocation
+// functions, and replacement functions must be defined exactly once per
+// binary and must not be inline — so this header declares the counting
+// API and provides ESL_DEFINE_COUNTING_ALLOCATOR(), which each consuming
+// binary invokes in exactly one translation unit.
+//
+// Counting covers the default-aligned operator new/new[] (everything a
+// std::vector<Real/Complex/size_t> or std::string does in this codebase);
+// the counter is atomic so multi-threaded binaries stay TSan-clean.
+#pragma once
+
+#include <atomic>   // used by the macro expansion
+#include <cstddef>
+#include <cstdlib>  // std::malloc / std::free
+#include <new>      // std::bad_alloc
+
+namespace esl::testing {
+
+/// Number of operator new / operator new[] calls since process start.
+/// Only meaningful in binaries that invoked ESL_DEFINE_COUNTING_ALLOCATOR.
+std::size_t allocation_count();
+
+}  // namespace esl::testing
+
+// NOLINTBEGIN — replacement allocation functions, intentionally global.
+// The mismatched-new-delete diagnostic is a false positive here: the
+// replaced operator new returns malloc'd memory, so operator delete
+// correctly frees it with std::free.
+#define ESL_DEFINE_COUNTING_ALLOCATOR()                                    \
+  _Pragma("GCC diagnostic push")                                           \
+  _Pragma("GCC diagnostic ignored \"-Wmismatched-new-delete\"")            \
+  namespace esl::testing {                                                 \
+  std::atomic<std::size_t> g_allocation_count{0};                          \
+  std::size_t allocation_count() {                                         \
+    return g_allocation_count.load(std::memory_order_relaxed);             \
+  }                                                                        \
+  }                                                                        \
+  void* operator new(std::size_t size) {                                   \
+    esl::testing::g_allocation_count.fetch_add(1,                          \
+                                               std::memory_order_relaxed); \
+    if (void* p = std::malloc(size == 0 ? 1 : size)) {                     \
+      return p;                                                            \
+    }                                                                      \
+    throw std::bad_alloc();                                                \
+  }                                                                        \
+  void* operator new[](std::size_t size) { return ::operator new(size); }  \
+  void operator delete(void* ptr) noexcept { std::free(ptr); }             \
+  void operator delete[](void* ptr) noexcept { std::free(ptr); }           \
+  void operator delete(void* ptr, std::size_t) noexcept {                  \
+    std::free(ptr);                                                        \
+  }                                                                        \
+  void operator delete[](void* ptr, std::size_t) noexcept {                \
+    std::free(ptr);                                                        \
+  }                                                                        \
+  _Pragma("GCC diagnostic pop")                                            \
+  static_assert(true, "require a trailing semicolon")
+// NOLINTEND
