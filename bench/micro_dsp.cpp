@@ -15,6 +15,7 @@
 
 #include "alloc_compare.hpp"
 #include "common/random.hpp"
+#include "common/simd.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/spectrum.hpp"
 #include "dsp/wavelet.hpp"
@@ -210,6 +211,47 @@ int run_json_mode(const std::string& path) {
            },
            50000)});
 
+  // Scalar-vs-SIMD rows: the same workspace path measured twice, with
+  // the kernels:: dispatch forced to scalar for "before" and back to the
+  // host's widest level for "after" (outputs are bit-identical either
+  // way — see the dsp.SimdParity suites — so this isolates pure kernel
+  // speedup on the hot loops).
+  const kernels::SimdLevel widest = kernels::detected_level();
+  auto measure_at_level = [&](kernels::SimdLevel level, auto&& fn,
+                              std::size_t iterations) {
+    kernels::set_active_level(level);
+    const bench::PathResult result = measure(fn, iterations);
+    kernels::set_active_level(widest);
+    return result;
+  };
+  auto periodogram_window = [&] {
+    dsp::periodogram_into(x1024, 256.0, ws, ws.psd);
+    benchmark::DoNotOptimize(ws.psd.density.data());
+  };
+  auto rfft_window = [&] {
+    dsp::rfft_into(x1024, ws, ws.spectrum);
+    benchmark::DoNotOptimize(ws.spectrum.data());
+  };
+  auto wavedec_window = [&] {
+    dsp::wavedec_into(x1024, db4, 7, ws, ws.decomposition);
+    benchmark::DoNotOptimize(ws.decomposition.approx.data());
+  };
+  comparisons.push_back(
+      {"periodogram_1024_scalar_vs_simd",
+       measure_at_level(kernels::SimdLevel::kScalar, periodogram_window, 20000),
+       measure_at_level(widest, periodogram_window, 20000)});
+  comparisons.push_back(
+      {"rfft_1024_scalar_vs_simd",
+       measure_at_level(kernels::SimdLevel::kScalar, rfft_window, 50000),
+       measure_at_level(widest, rfft_window, 50000)});
+  comparisons.push_back(
+      {"wavedec_db4_level7_1024_scalar_vs_simd",
+       measure_at_level(kernels::SimdLevel::kScalar, wavedec_window, 20000),
+       measure_at_level(widest, wavedec_window, 20000)});
+
+  std::printf("simd level: %s (detected %s)\n",
+              kernels::level_name(kernels::active_level()),
+              kernels::level_name(widest));
   bench::print_comparison_table("transform", comparisons);
   return bench::write_comparison_json(path, "micro_dsp", comparisons);
 }

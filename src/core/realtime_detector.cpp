@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "features/extractor.hpp"
+#include "ml/simd_forest.hpp"
 
 namespace esl::core {
 
@@ -74,6 +75,15 @@ void RealtimeDetector::fit(const ml::Dataset& train, std::uint64_t seed) {
 std::shared_ptr<const ml::CompiledForest> RealtimeDetector::compile() const {
   expects(is_fitted(), "RealtimeDetector::compile: not fitted");
   return std::make_shared<const ml::CompiledForest>(*forest_, row_scaler_);
+}
+
+std::shared_ptr<const ml::InferenceModel> RealtimeDetector::compile(
+    ml::InferenceBackend backend) const {
+  std::shared_ptr<const ml::CompiledForest> flat = compile();
+  if (backend == ml::InferenceBackend::kSimd) {
+    return std::make_shared<const ml::SimdForest>(std::move(flat));
+  }
+  return flat;
 }
 
 void RealtimeDetector::scale_rows_in_place(Matrix& raw_rows) const {

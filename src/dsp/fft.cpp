@@ -4,6 +4,7 @@
 #include <numbers>
 
 #include "common/error.hpp"
+#include "common/simd.hpp"
 #include "dsp/workspace.hpp"
 
 namespace esl::dsp {
@@ -24,6 +25,30 @@ void bit_reverse_permute(std::span<Complex> data) {
     j |= bit;
     if (i < j) {
       std::swap(data[i], data[j]);
+    }
+  }
+}
+
+/// Radix-2 FFT over workspace-cached per-stage twiddle tables, each
+/// stage dispatched through the vectorized kernels:: seam. Twiddles come
+/// from the same w *= wlen recurrence the historical scalar loop ran, so
+/// results are bit-identical to it at every SIMD level.
+void radix2_with_workspace(std::span<Complex> data, bool inverse,
+                           Workspace& ws) {
+  const std::size_t n = data.size();
+  expects(is_power_of_two(n), "fft_radix2_inplace: size must be a power of two");
+  if (n == 1) {
+    return;
+  }
+  bit_reverse_permute(data);
+  const ComplexVector& twiddles = ws.twiddle_cache(n, inverse);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    // The stage of span len owns twiddle entries [len/2 - 1, len - 1).
+    kernels::fft_stage(data.data(), n, len, twiddles.data() + len / 2 - 1);
+  }
+  if (inverse) {
+    for (auto& v : data) {
+      v /= static_cast<Real>(n);
     }
   }
 }
@@ -66,12 +91,12 @@ void bluestein_into(std::span<const Complex> input, bool inverse,
     b[m - k] = std::conj(chirp[k]);
   }
 
-  fft_radix2_inplace(a, false);
-  fft_radix2_inplace(b, false);
+  radix2_with_workspace(a, false, ws);
+  radix2_with_workspace(b, false, ws);
   for (std::size_t k = 0; k < m; ++k) {
     a[k] *= b[k];
   }
-  fft_radix2_inplace(a, true);
+  radix2_with_workspace(a, true, ws);
 
   out.resize(n);
   for (std::size_t k = 0; k < n; ++k) {
@@ -91,6 +116,33 @@ ComplexVector bluestein(std::span<const Complex> input, bool inverse) {
   return out;
 }
 
+/// Even-length real FFT via one half-length complex FFT: z[m] =
+/// x[2m] + i*x[2m+1] is transformed (radix-2 when n/2 is a power of two,
+/// Bluestein otherwise) and the n/2 + 1 non-redundant bins are recovered
+/// by the vectorized unpack kernel — the classic split that stops a real
+/// window from paying for the redundant conjugate half.
+void rfft_even_into(std::span<const Real> input, Workspace& ws,
+                    ComplexVector& out) {
+  const std::size_t n = input.size();
+  const std::size_t half = n / 2;
+  ComplexVector& staged = ws.time_scratch;
+  staged.resize(half);
+  for (std::size_t m = 0; m < half; ++m) {
+    staged[m] = Complex(input[2 * m], input[2 * m + 1]);
+  }
+  const Complex* half_spectrum = nullptr;
+  if (is_power_of_two(half)) {
+    radix2_with_workspace(staged, false, ws);
+    half_spectrum = staged.data();
+  } else {
+    bluestein_into(staged, false, ws, ws.half_spectrum);
+    half_spectrum = ws.half_spectrum.data();
+  }
+  const ComplexVector& twiddles = ws.rfft_twiddle_cache(n);
+  out.resize(half + 1);
+  kernels::rfft_unpack(half_spectrum, half, twiddles.data(), out.data());
+}
+
 }  // namespace
 
 bool is_power_of_two(std::size_t n) {
@@ -107,6 +159,10 @@ std::size_t next_power_of_two(std::size_t n) {
 }
 
 void fft_radix2_inplace(std::span<Complex> data, bool inverse) {
+  // Allocation-free public primitive: twiddles come from the historical
+  // in-register w *= wlen recurrence. The workspace overloads cache the
+  // same values as per-stage tables and run the vectorized kernels, and
+  // reproduce this loop bit for bit (WorkspaceParity/SimdParity suites).
   const std::size_t n = data.size();
   expects(is_power_of_two(n), "fft_radix2_inplace: size must be a power of two");
   if (n == 1) {
@@ -156,13 +212,10 @@ ComplexVector ifft(std::span<const Complex> input) {
 
 ComplexVector rfft(std::span<const Real> input) {
   expects(!input.empty(), "rfft: empty input");
-  ComplexVector data(input.size());
-  for (std::size_t i = 0; i < input.size(); ++i) {
-    data[i] = Complex(input[i], 0.0);
-  }
-  ComplexVector full = fft(data);
-  full.resize(input.size() / 2 + 1);
-  return full;
+  Workspace workspace;
+  ComplexVector out;
+  rfft_into(input, workspace, out);
+  return out;
 }
 
 void fft_into(std::span<const Complex> input, Workspace& workspace,
@@ -170,7 +223,7 @@ void fft_into(std::span<const Complex> input, Workspace& workspace,
   expects(!input.empty(), "fft_into: empty input");
   if (is_power_of_two(input.size())) {
     out.assign(input.begin(), input.end());
-    fft_radix2_inplace(out, false);
+    radix2_with_workspace(out, false, workspace);
     return;
   }
   bluestein_into(input, false, workspace, out);
@@ -181,7 +234,7 @@ void ifft_into(std::span<const Complex> input, Workspace& workspace,
   expects(!input.empty(), "ifft_into: empty input");
   if (is_power_of_two(input.size())) {
     out.assign(input.begin(), input.end());
-    fft_radix2_inplace(out, true);
+    radix2_with_workspace(out, true, workspace);
     return;
   }
   bluestein_into(input, true, workspace, out);
@@ -191,22 +244,23 @@ void rfft_into(std::span<const Real> input, Workspace& workspace,
                ComplexVector& out) {
   expects(!input.empty(), "rfft_into: empty input");
   const std::size_t n = input.size();
-  if (is_power_of_two(n)) {
-    // Stage the real signal directly in the output and transform in place.
-    out.resize(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      out[i] = Complex(input[i], 0.0);
-    }
-    fft_radix2_inplace(out, false);
-    out.resize(n / 2 + 1);
+  if (n % 2 == 0) {
+    rfft_even_into(input, workspace, out);
     return;
   }
+  // Odd length: full complex transform, truncated to the n/2 + 1
+  // non-redundant bins.
   ComplexVector& staged = workspace.time_scratch;
   staged.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     staged[i] = Complex(input[i], 0.0);
   }
-  bluestein_into(staged, false, workspace, out);
+  if (is_power_of_two(n)) {  // n == 1: size-one transform is the identity
+    out.assign(staged.begin(), staged.end());
+    radix2_with_workspace(out, false, workspace);
+  } else {
+    bluestein_into(staged, false, workspace, out);
+  }
   out.resize(n / 2 + 1);
 }
 

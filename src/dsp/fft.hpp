@@ -25,7 +25,9 @@ bool is_power_of_two(std::size_t n);
 /// Smallest power of two >= n (n >= 1).
 std::size_t next_power_of_two(std::size_t n);
 
-/// In-place radix-2 FFT. Requires power-of-two size.
+/// In-place radix-2 FFT. Requires power-of-two size. Allocation-free
+/// scalar primitive; the workspace overloads below are bit-identical
+/// and run the vectorized kernel stages over cached twiddle tables.
 /// `inverse` selects the conjugate transform and applies the 1/N scale.
 void fft_radix2_inplace(std::span<Complex> data, bool inverse);
 
@@ -36,6 +38,9 @@ ComplexVector fft(std::span<const Complex> input);
 ComplexVector ifft(std::span<const Complex> input);
 
 /// Forward FFT of a real signal; returns the n/2+1 non-redundant bins.
+/// Even lengths use the half-complex specialization: one n/2-point
+/// complex FFT of z[m] = x[2m] + i*x[2m+1] plus a Hermitian unpack, so a
+/// real window never pays for the redundant conjugate half.
 ComplexVector rfft(std::span<const Real> input);
 
 /// Naive O(n^2) DFT used as a test oracle.
@@ -55,7 +60,8 @@ void fft_into(std::span<const Complex> input, Workspace& workspace,
 void ifft_into(std::span<const Complex> input, Workspace& workspace,
                ComplexVector& out);
 
-/// rfft() into a caller-owned buffer (n/2+1 non-redundant bins).
+/// rfft() into a caller-owned buffer (n/2+1 non-redundant bins), with
+/// the same even-length half-complex specialization.
 void rfft_into(std::span<const Real> input, Workspace& workspace,
                ComplexVector& out);
 

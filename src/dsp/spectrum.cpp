@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/simd.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/workspace.hpp"
 
@@ -18,9 +19,7 @@ void periodogram_into(std::span<const Real> signal, Real sample_rate_hz,
   const RealVector& w = workspace.window_cache(window, n);
   RealVector& tapered = workspace.tapered;
   tapered.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    tapered[i] = signal[i] * w[i];
-  }
+  kernels::taper_multiply(signal.data(), w.data(), tapered.data(), n);
 
   rfft_into(tapered, workspace, workspace.spectrum);
   const ComplexVector& spectrum = workspace.spectrum;
@@ -31,15 +30,11 @@ void periodogram_into(std::span<const Real> signal, Real sample_rate_hz,
   for (std::size_t k = 0; k < spectrum.size(); ++k) {
     out.frequency[k] =
         static_cast<Real>(k) * sample_rate_hz / static_cast<Real>(n);
-    Real value = std::norm(spectrum[k]) * scale;
-    // One-sided doubling: all bins except DC and (for even n) Nyquist.
-    const bool is_dc = (k == 0);
-    const bool is_nyquist = (n % 2 == 0) && (k == spectrum.size() - 1);
-    if (!is_dc && !is_nyquist) {
-      value *= 2.0;
-    }
-    out.density[k] = value;
   }
+  // |X|^2 * scale with one-sided doubling (all bins except DC and, for
+  // even n, Nyquist) — the vectorized kernel keeps the scalar op order.
+  kernels::power_density(spectrum.data(), spectrum.size(), scale, n % 2 == 0,
+                         out.density.data());
 }
 
 Psd periodogram(std::span<const Real> signal, Real sample_rate_hz,

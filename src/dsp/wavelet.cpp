@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/simd.hpp"
 #include "dsp/workspace.hpp"
 
 namespace esl::dsp {
@@ -83,19 +84,14 @@ void dwt_single_buffers(std::span<const Real> signal, const Wavelet& wavelet,
     }
     const std::size_t n = x.size();
     const std::size_t half = n / 2;
-    approx.assign(half, 0.0);
-    detail.assign(half, 0.0);
-    for (std::size_t i = 0; i < half; ++i) {
-      Real a = 0.0;
-      Real d = 0.0;
-      for (std::size_t k = 0; k < filter_length; ++k) {
-        const Real v = x[(2 * i + k) % n];
-        a += h[k] * v;
-        d += g[k] * v;
-      }
-      approx[i] = a;
-      detail[i] = d;
-    }
+    approx.resize(half);
+    detail.resize(half);
+    // Filter correlation through the vectorized kernel seam: wrap-free
+    // interior outputs advance in packs, the wrap tail stays scalar,
+    // and both accumulate taps in the same order as the historical loop.
+    kernels::dwt_periodic_analysis(x.data(), n, h.data(), g.data(),
+                                   filter_length, approx.data(),
+                                   detail.data());
     return;
   }
 

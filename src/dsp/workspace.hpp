@@ -80,6 +80,25 @@ class Workspace {
 
   /// Real-to-complex staging buffer for rfft_into.
   ComplexVector time_scratch;
+  /// Half-length spectrum staging for the even-length rfft split (the
+  /// Bluestein half path cannot transform time_scratch in place).
+  ComplexVector half_spectrum;
+  /// Radix-2 per-stage twiddle tables, cached per direction by
+  /// transform length: the stage of span `len` owns entries
+  /// [len/2 - 1, len - 1). Directions cache independently so a
+  /// forward-only caller never builds the inverse table, while
+  /// Bluestein (which mixes both at one size) still fills each exactly
+  /// once. Values come from the exact w *= wlen recurrence the scalar
+  /// butterflies used, so the cached tables are bit-identical to the
+  /// historical running twiddle.
+  ComplexVector twiddle_forward;
+  ComplexVector twiddle_inverse;
+  std::size_t twiddle_forward_length = 0;
+  std::size_t twiddle_inverse_length = 0;
+  /// Even-length rfft unpack twiddles exp(-2*pi*i*k/n), k = 0..n/2,
+  /// cached by n.
+  ComplexVector rfft_twiddle;
+  std::size_t rfft_twiddle_length = 0;
   /// Bluestein chirp, cached by (length, direction) — the chirp for a
   /// given size is deterministic, so reuse is bit-identical.
   ComplexVector chirp;
@@ -107,6 +126,15 @@ class Workspace {
   /// power sum) only when the key changes. Values match make_window()
   /// exactly.
   const RealVector& window_cache(WindowKind kind, std::size_t n);
+
+  /// Returns the cached per-stage radix-2 twiddle table for length-n
+  /// transforms in the requested direction, rebuilding both directions
+  /// only when n changes (n must be a power of two).
+  const ComplexVector& twiddle_cache(std::size_t n, bool inverse);
+
+  /// Returns the cached rfft unpack twiddles for even length n
+  /// (n/2 + 1 entries), rebuilding only when n changes.
+  const ComplexVector& rfft_twiddle_cache(std::size_t n);
 };
 
 }  // namespace esl::dsp

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "ml/inference_model.hpp"
@@ -50,6 +51,20 @@ class CompiledForest final : public InferenceModel {
   /// Decision threshold on the averaged tree probability.
   Real decision_threshold() const { return decision_threshold_; }
   const RowScaler& scaler() const { return scaler_; }
+  /// Widest feature index any split reads (rows must be wider).
+  std::uint32_t max_feature() const { return max_feature_; }
+
+  // Read-only views of the flat arrays, in flattening order. This is the
+  // seam other execution strategies build on (ml::SimdForest's pack
+  // traversal today, serialization for cross-process distribution next):
+  // one flattening pass, many traversals.
+  std::span<const std::uint32_t> features() const { return feature_; }
+  std::span<const Real> thresholds() const { return threshold_; }
+  std::span<const std::uint32_t> left_children() const { return left_; }
+  std::span<const std::uint32_t> right_children() const { return right_; }
+  std::span<const Real> leaf_values() const { return leaf_value_; }
+  std::span<const std::uint32_t> tree_roots() const { return tree_root_; }
+  std::span<const std::uint32_t> tree_depths() const { return tree_depth_; }
 
  private:
   RowScaler scaler_;

@@ -35,6 +35,15 @@ struct RowScaler {
   void apply_row(std::span<const Real> raw, std::span<Real> out) const;
 };
 
+/// Execution strategy for a deployable artifact built from a fitted
+/// forest (RealtimeDetector::compile picks the implementation):
+///  * kCompiled — CompiledForest's flat batch-major traversal, relying
+///    on the compiler's auto-vectorization (ESL_NATIVE=ON);
+///  * kSimd — SimdForest's explicit pack traversal through the runtime-
+///    dispatched kernels:: seam (AVX2 hardware gathers when available).
+/// Both are bit-identical to the node-hopping interpreter.
+enum class InferenceBackend { kCompiled, kSimd };
+
 /// Immutable deployable model — the only interface the engine calls for
 /// prediction. Implementations hold no mutable state, so a fitted model
 /// may be shared read-only across shards and their worker threads.

@@ -1,0 +1,64 @@
+#include "ml/simd_forest.hpp"
+
+#include "common/error.hpp"
+#include "common/simd.hpp"
+
+namespace esl::ml {
+
+SimdForest::SimdForest(std::shared_ptr<const CompiledForest> compiled)
+    : compiled_(std::move(compiled)) {
+  expects(compiled_ != nullptr, "SimdForest: null compiled forest");
+  // The AVX2 flavor gathers with signed 32-bit indices over node ids and
+  // child pairs (2 * node + 1), so the flat forest must stay below 2^30
+  // nodes — far above any real ensemble, checked up front.
+  expects(compiled_->node_count() < (std::size_t{1} << 30),
+          "SimdForest: forest exceeds 30-bit node addressing");
+  const auto left = compiled_->left_children();
+  const auto right = compiled_->right_children();
+  children_.resize(2 * left.size());
+  for (std::size_t n = 0; n < left.size(); ++n) {
+    children_[2 * n] = left[n];
+    children_[2 * n + 1] = right[n];
+  }
+}
+
+SimdForest::SimdForest(const RandomForest& forest, RowScaler scaler)
+    : SimdForest(
+          std::make_shared<const CompiledForest>(forest, std::move(scaler))) {}
+
+void SimdForest::predict_into(Matrix& raw_rows, RealVector& proba,
+                              std::vector<int>& labels) const {
+  const std::size_t rows = raw_rows.rows();
+  expects(rows == 0 || compiled_->max_feature() < raw_rows.cols(),
+          "SimdForest::predict_into: rows too narrow");
+  // Block-relative 32-bit gather indices reach 31 * stride + feature in
+  // the widest (32-row block) flavor; keep them in signed range.
+  expects(32 * raw_rows.cols() + compiled_->max_feature() <
+              (std::size_t{1} << 31),
+          "SimdForest::predict_into: row stride too wide for 32-bit gathers");
+  compiled_->scaler().apply(raw_rows);
+  proba.assign(rows, 0.0);
+  labels.resize(rows);
+  if (rows == 0) {
+    return;
+  }
+
+  const kernels::ForestView view{
+      compiled_->features().data(),   compiled_->thresholds().data(),
+      children_.data(),               compiled_->leaf_values().data(),
+      compiled_->tree_roots().data(), compiled_->tree_depths().data(),
+      compiled_->tree_count()};
+  kernels::forest_accumulate(view, raw_rows.data().data(), rows,
+                             raw_rows.cols(), proba.data());
+
+  // Same final division and thresholding as CompiledForest/RandomForest,
+  // so probabilities and labels stay bit-identical.
+  const auto tree_count_real = static_cast<Real>(compiled_->tree_count());
+  const Real threshold = compiled_->decision_threshold();
+  for (std::size_t r = 0; r < rows; ++r) {
+    proba[r] /= tree_count_real;
+    labels[r] = proba[r] >= threshold ? 1 : 0;
+  }
+}
+
+}  // namespace esl::ml

@@ -1,0 +1,58 @@
+// Explicit-SIMD inference over a CompiledForest's flat arrays.
+//
+// CompiledForest flattens the ensemble once; SimdForest is a second
+// execution strategy over the same immutable arrays: a row-block-major
+// traversal (blocks of rows through every tree, then the next block)
+// whose branch-free level advance runs through the kernels:: dispatch
+// seam — pack compares with gather-lite lane loads on the 128-bit
+// flavor, hardware vgatherdpd/vpgatherdd on AVX2 hosts. The only extra
+// state it builds is an interleaved [left, right] child-pair array so
+// the per-level child pick is one gather of children[2*node + go_right]
+// instead of two gathers plus a blend.
+//
+// Parity contract: traversal decides with the same value <= threshold
+// compare (NaN goes right) and accumulates leaf values per row in
+// ensemble order, so predict_into is bit-identical to CompiledForest's
+// and to the node-hopping interpreter (tests/ml/test_simd_forest.cpp
+// asserts this at every SIMD level the host supports).
+//
+// Like every InferenceModel, the artifact is immutable after
+// construction: it shares the CompiledForest read-only and may be
+// deployed to live sessions through Engine::swap_model /
+// DetectionService::swap_model without pausing ingest.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ml/compiled_forest.hpp"
+#include "ml/inference_model.hpp"
+
+namespace esl::ml {
+
+class SimdForest final : public InferenceModel {
+ public:
+  /// Wraps an existing compiled artifact (shared read-only; the scaler
+  /// baked into it is reused).
+  explicit SimdForest(std::shared_ptr<const CompiledForest> compiled);
+
+  /// Convenience: flattens `forest` first, exactly like
+  /// CompiledForest(forest, scaler).
+  explicit SimdForest(const RandomForest& forest, RowScaler scaler = {});
+
+  const char* name() const override { return "simd"; }
+  std::size_t tree_count() const override { return compiled_->tree_count(); }
+  void predict_into(Matrix& raw_rows, RealVector& proba,
+                    std::vector<int>& labels) const override;
+
+  /// The flat artifact this model traverses.
+  const CompiledForest& compiled() const { return *compiled_; }
+
+ private:
+  std::shared_ptr<const CompiledForest> compiled_;
+  /// children_[2*node + 0] = left, children_[2*node + 1] = right.
+  std::vector<std::uint32_t> children_;
+};
+
+}  // namespace esl::ml

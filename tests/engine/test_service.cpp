@@ -544,19 +544,23 @@ TEST_F(ServiceTest, HotSwapUnderContinuousIngestPreservesParity) {
     handles.push_back(service.create_session(s, SessionConfig{}));
   }
 
-  const std::shared_ptr<const ml::CompiledForest> compiled =
-      (*fleet_)->compile();
+  // Rotate through every execution strategy: the flat compiled artifact,
+  // its explicit-SIMD pack traversal, and nullptr (back to the fleet
+  // ForestModel). All three classify bit-identically, so parity must
+  // survive any interleaving of deploys.
+  const std::vector<std::shared_ptr<const ml::InferenceModel>> deploys = {
+      (*fleet_)->compile(),
+      (*fleet_)->compile(ml::InferenceBackend::kSimd),
+      nullptr,
+  };
   std::atomic<bool> stop_swapping{false};
   std::thread swapper([&] {
-    bool deploy_compiled = true;
+    std::size_t next = 0;
     while (!stop_swapping.load()) {
       for (const SessionHandle& handle : handles) {
-        service.swap_model(
-            handle, deploy_compiled
-                        ? std::shared_ptr<const ml::InferenceModel>(compiled)
-                        : nullptr);
+        service.swap_model(handle, deploys[next % deploys.size()]);
+        ++next;
       }
-      deploy_compiled = !deploy_compiled;
     }
   });
 

@@ -15,7 +15,9 @@
 #include <vector>
 
 #include "../support/alloc_counter.hpp"
+#include "../support/simd_level.hpp"
 #include "common/random.hpp"
+#include "common/simd.hpp"
 #include "dsp/workspace.hpp"
 #include "features/eglass_features.hpp"
 #include "features/paper_features.hpp"
@@ -87,6 +89,37 @@ TEST(ZeroAllocation, PaperExtractIntoIsAllocationFreeWhenWarm) {
     });
     EXPECT_EQ(allocs, 0u) << "window length " << length;
     EXPECT_EQ(row.size(), PaperFeatureExtractor::k_feature_count);
+  }
+}
+
+TEST(ZeroAllocation, ExtractIntoStaysAllocationFreeAtEverySimdLevel) {
+  // The SIMD kernel flavors draw from the same workspace buffers (incl.
+  // the cached twiddle tables the vectorized FFT stages read), so the
+  // warm extract path must stay at zero allocations per window whichever
+  // dispatch level is active — scalar fallback through AVX2.
+  const EglassFeatureExtractor eglass(2);
+  const PaperFeatureExtractor paper;
+  const esl::testing::SimdLevelGuard guard;
+  for (const kernels::SimdLevel level : esl::testing::supported_simd_levels()) {
+    kernels::set_active_level(level);
+    // 1024 = radix-2 half-complex rfft; 1000 = Bluestein half path.
+    for (const std::size_t length : {1024u, 1000u}) {
+      SCOPED_TRACE(std::string(kernels::level_name(level)) + " length " +
+                   std::to_string(length));
+      const RealVector a = noise(length, 4 * length);
+      const RealVector b = noise(length, 4 * length + 1);
+      const std::vector<std::span<const Real>> window = {a, b};
+      dsp::Workspace workspace;
+      RealVector row;
+      EXPECT_EQ(warm_allocations([&] {
+                  eglass.extract_into(window, 256.0, row, workspace);
+                }),
+                0u);
+      EXPECT_EQ(warm_allocations([&] {
+                  paper.extract_into(window, 256.0, row, workspace);
+                }),
+                0u);
+    }
   }
 }
 

@@ -1,0 +1,226 @@
+// SimdForest parity and steady-state allocation suites.
+//
+// SimdForest is a second execution strategy over CompiledForest's flat
+// arrays; its contract is bit-identical probabilities and labels at
+// every SIMD dispatch level the host supports — including the AVX2
+// hardware-gather traversal — for bushy forests, degenerate single-leaf
+// and constant-feature ensembles, and batch sizes straddling the
+// traversal block. The warm predict_into path must also allocate
+// nothing, since the engine drives it per polled batch on battery-bound
+// deployments.
+#include "ml/simd_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "../support/alloc_counter.hpp"
+#include "../support/simd_level.hpp"
+#include "common/error.hpp"
+#include "common/simd.hpp"
+#include "ml/dataset.hpp"
+
+ESL_DEFINE_COUNTING_ALLOCATOR();
+
+namespace esl::ml {
+namespace {
+
+using kernels::SimdLevel;
+using LevelGuard = esl::testing::SimdLevelGuard;
+using esl::testing::supported_simd_levels;
+
+std::vector<SimdLevel> supported_levels() { return supported_simd_levels(); }
+
+/// Noisy labels and tied feature values grow bushy trees with duplicate
+/// thresholds and no-split leaves at many depths.
+Dataset noisy(std::size_t size, std::uint64_t seed, std::size_t features = 10) {
+  Rng rng(seed);
+  Dataset data;
+  for (std::size_t i = 0; i < size; ++i) {
+    RealVector row;
+    for (std::size_t f = 0; f < features; ++f) {
+      row.push_back(std::round(rng.normal() * 4.0) / 4.0);
+    }
+    data.push_back(row, rng.uniform_index(2) == 0 ? 0 : 1);
+  }
+  return data;
+}
+
+/// Asserts SimdForest reproduces CompiledForest (and therefore the
+/// node-hop interpreter) bit for bit on `rows` at every dispatch level.
+void expect_parity(const RandomForest& forest, const Matrix& rows) {
+  LevelGuard guard;
+  RealVector proba_interpreter;
+  std::vector<int> labels_interpreter;
+  forest.predict_all_into(rows, proba_interpreter, labels_interpreter);
+
+  const CompiledForest compiled(forest);
+  Matrix compiled_scratch = rows;  // empty scaler: left untouched
+  RealVector proba_compiled;
+  std::vector<int> labels_compiled;
+  compiled.predict_into(compiled_scratch, proba_compiled, labels_compiled);
+  ASSERT_EQ(proba_compiled, proba_interpreter);
+
+  const SimdForest simd(forest);
+  for (const SimdLevel level : supported_levels()) {
+    SCOPED_TRACE(kernels::level_name(level));
+    kernels::set_active_level(level);
+    Matrix scratch = rows;
+    RealVector proba;
+    std::vector<int> labels;
+    simd.predict_into(scratch, proba, labels);
+    EXPECT_EQ(proba, proba_interpreter);  // bit-identical, no tolerance
+    EXPECT_EQ(labels, labels_interpreter);
+    EXPECT_EQ(scratch, rows);
+  }
+}
+
+TEST(SimdForest, RandomizedParityAcrossBlockBoundaryBatches) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    RandomForest forest;  // default config: 32 trees, depth 16
+    forest.fit(noisy(300, seed), seed);
+    // Batch sizes straddling both the 16-row template block and the
+    // 32-row AVX2 gather block: partial packs, partial blocks, exact
+    // blocks, and a large multi-block batch.
+    for (const std::size_t rows : {1u, 15u, 16u, 17u, 31u, 32u, 33u, 1024u}) {
+      SCOPED_TRACE("rows " + std::to_string(rows));
+      expect_parity(forest, noisy(rows, seed + 100).x);
+    }
+  }
+}
+
+TEST(SimdForest, DepthSweepStaysBitIdentical) {
+  for (const std::size_t depth : {1u, 2u, 4u, 8u, 16u}) {
+    SCOPED_TRACE("max_depth " + std::to_string(depth));
+    ForestConfig config;
+    config.tree.max_depth = depth;
+    RandomForest forest(config);
+    forest.fit(noisy(250, depth + 7), 9);
+    expect_parity(forest, noisy(100, depth + 50).x);
+  }
+}
+
+TEST(SimdForest, SingleLeafDegenerateForestParksOnRoot) {
+  // Pure labels: every tree is a single self-looping leaf (depth 0).
+  Dataset pure;
+  Rng rng(3);
+  for (std::size_t i = 0; i < 32; ++i) {
+    const RealVector row = {rng.normal(), rng.normal()};
+    pure.push_back(row, 1);
+  }
+  ForestConfig config;
+  config.tree_count = 4;
+  RandomForest forest(config);
+  forest.fit(pure, 5);
+  const SimdForest simd(forest);
+  EXPECT_EQ(simd.compiled().max_depth(), 0u);
+
+  Matrix rows = noisy(40, 11, 2).x;
+  RealVector proba;
+  std::vector<int> labels;
+  simd.predict_into(rows, proba, labels);
+  for (std::size_t r = 0; r < rows.rows(); ++r) {
+    EXPECT_EQ(proba[r], 1.0);
+    EXPECT_EQ(labels[r], 1);
+  }
+  expect_parity(forest, rows);
+}
+
+TEST(SimdForest, ConstantFeaturesYieldLeafOnlyForest) {
+  Dataset flat;
+  const RealVector constant_row = {1.0, 2.0, 3.0};
+  for (std::size_t i = 0; i < 40; ++i) {
+    flat.push_back(constant_row, i % 2 == 0 ? 1 : 0);
+  }
+  RandomForest forest;
+  forest.fit(flat, 11);
+  expect_parity(forest, flat.x);
+}
+
+TEST(SimdForest, BakedScalerMatchesCompiledForest) {
+  const Dataset train = noisy(300, 21);
+  RandomForest forest;
+  forest.fit(train, 13);
+
+  RowScaler scaler;
+  for (std::size_t f = 0; f < train.feature_count(); ++f) {
+    scaler.mean.push_back(0.25 * static_cast<Real>(f));
+    scaler.stddev.push_back(1.0 + 0.1 * static_cast<Real>(f));
+  }
+  scaler.stddev.back() = 0.0;  // degenerate column: centered-to-zero path
+
+  const Matrix raw = noisy(64, 22).x;
+  const auto compiled =
+      std::make_shared<const CompiledForest>(forest, scaler);
+  Matrix compiled_scratch = raw;
+  RealVector proba_compiled;
+  std::vector<int> labels_compiled;
+  compiled->predict_into(compiled_scratch, proba_compiled, labels_compiled);
+
+  const SimdForest simd(compiled);
+  Matrix scratch = raw;
+  RealVector proba;
+  std::vector<int> labels;
+  simd.predict_into(scratch, proba, labels);
+  EXPECT_EQ(proba, proba_compiled);
+  EXPECT_EQ(labels, labels_compiled);
+  EXPECT_EQ(scratch, compiled_scratch);  // rows were z-scored in place
+}
+
+TEST(SimdForest, IntrospectionAndSharedArtifact) {
+  RandomForest forest;
+  forest.fit(noisy(120, 31), 17);
+  const auto compiled = std::make_shared<const CompiledForest>(forest);
+  const SimdForest simd(compiled);
+  EXPECT_STREQ(simd.name(), "simd");
+  EXPECT_EQ(simd.tree_count(), forest.tree_count());
+  EXPECT_EQ(&simd.compiled(), compiled.get());  // shared, not copied
+}
+
+TEST(SimdForest, EmptyBatchAndErrorPaths) {
+  RandomForest forest;
+  forest.fit(noisy(60, 41), 1);
+  const SimdForest simd(forest);
+
+  Matrix empty;
+  RealVector proba = {1.0, 2.0};  // stale scratch must be overwritten
+  std::vector<int> labels = {1, 0, 1};
+  simd.predict_into(empty, proba, labels);
+  EXPECT_TRUE(proba.empty());
+  EXPECT_TRUE(labels.empty());
+
+  Matrix narrow(4, 1, 0.5);
+  EXPECT_THROW(simd.predict_into(narrow, proba, labels), InvalidArgument);
+  EXPECT_THROW(SimdForest(nullptr), InvalidArgument);
+}
+
+TEST(SimdForest, WarmPredictIntoIsAllocationFree) {
+  // The engine polls predict_into once per batch on the streaming hot
+  // path: after the first (sizing) call, repeated predictions on reused
+  // scratch must not touch the heap at any dispatch level.
+  LevelGuard guard;
+  RandomForest forest;
+  forest.fit(noisy(200, 51), 3);
+  const SimdForest simd(forest);
+  const Matrix rows = noisy(64, 52).x;
+  Matrix scratch = rows;
+  RealVector proba;
+  std::vector<int> labels;
+  for (const SimdLevel level : supported_levels()) {
+    SCOPED_TRACE(kernels::level_name(level));
+    kernels::set_active_level(level);
+    for (int warm = 0; warm < 3; ++warm) {
+      simd.predict_into(scratch, proba, labels);
+    }
+    const std::size_t before = esl::testing::allocation_count();
+    for (int i = 0; i < 10; ++i) {
+      simd.predict_into(scratch, proba, labels);
+    }
+    EXPECT_EQ(esl::testing::allocation_count() - before, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace esl::ml

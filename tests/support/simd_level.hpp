@@ -1,0 +1,37 @@
+// Test-only helpers for iterating the SIMD dispatch levels.
+//
+// The kernel parity and zero-allocation suites force each flavor the
+// host supports and compare against the scalar reference. The dispatch
+// level is process-global state, so every test that touches it holds a
+// LevelGuard: the host's detected level is restored on scope exit even
+// when an assertion throws mid-loop.
+#pragma once
+
+#include <vector>
+
+#include "common/simd.hpp"
+
+namespace esl::testing {
+
+/// Restores the dispatch level to the host default on destruction.
+class SimdLevelGuard {
+ public:
+  SimdLevelGuard() = default;
+  ~SimdLevelGuard() { kernels::set_active_level(kernels::detected_level()); }
+  SimdLevelGuard(const SimdLevelGuard&) = delete;
+  SimdLevelGuard& operator=(const SimdLevelGuard&) = delete;
+};
+
+/// Every dispatch level this host can execute, scalar first.
+inline std::vector<kernels::SimdLevel> supported_simd_levels() {
+  std::vector<kernels::SimdLevel> levels = {kernels::SimdLevel::kScalar};
+  if (kernels::detected_level() >= kernels::SimdLevel::kSse2) {
+    levels.push_back(kernels::SimdLevel::kSse2);
+  }
+  if (kernels::detected_level() >= kernels::SimdLevel::kAvx2) {
+    levels.push_back(kernels::SimdLevel::kAvx2);
+  }
+  return levels;
+}
+
+}  // namespace esl::testing
