@@ -20,16 +20,24 @@
 // Usage:
 //   engine_throughput [--json PATH] [--sessions N] [--seconds S]
 //                     [--shards CSV] [--backend inline|threads|both]
-//                     [--model forest|compiled]
+//                     [--model forest|compiled] [--artifact-dir DIR]
 //
 // --model selects the artifact the end-to-end engine/service runs deploy
 // to every session (compiled = swap_model with the compiled fleet
 // artifact; detections are bit-identical either way).
 //
+// --artifact-dir enables the model-artifact stage in DIR: save latency,
+// cold-mmap vs registry-cached load latency, mapped-model serving
+// throughput (both traversal flavors, parity-checked against the
+// in-memory compiled artifact), and the fleet redeploy numbers —
+// swap-from-disk latency plus time to the first window classified after
+// the swap, measured under live ThreadPoolBackend ingest.
+//
 // --json writes the backend x shard-count matrix (plus the inference
-// numbers, including the compiled-vs-baseline speedup) as
-// machine-readable JSON, e.g. BENCH_engine.json, so the perf trajectory
-// can be tracked across commits.
+// numbers, including the compiled-vs-baseline speedup, and the artifact
+// stage when enabled) as machine-readable JSON, e.g. BENCH_engine.json,
+// so the perf trajectory can be tracked across commits.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -39,7 +47,9 @@
 
 #include "bench_util.hpp"
 #include "core/realtime_detector.hpp"
+#include "engine/model_registry.hpp"
 #include "engine/service.hpp"
+#include "ml/artifact.hpp"
 #include "ml/dataset.hpp"
 #include "sim/cohort.hpp"
 
@@ -217,6 +227,163 @@ struct ServiceResult {
   double windows_per_s;
 };
 
+// ------------------------------------------------- model artifact stage
+
+struct ArtifactResult {
+  double save_ms = 0.0;
+  double cold_open_ms = 0.0;    // fresh mmap + header validation
+  double cached_open_ms = 0.0;  // registry LRU hit
+  double compiled_wps = 0.0;    // in-memory baseline, same batch loop
+  double mapped_wps = 0.0;
+  double mapped_simd_wps = 0.0;
+  bool parity = false;
+  double swap_cold_ms = 0.0;  // replaced file: stat + mmap + deploy
+  double swap_warm_ms = 0.0;  // cached mapping: stat + deploy
+  double first_window_after_swap_ms = 0.0;
+};
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Records the delay from arm() to the first delivered window of the
+/// armed session — the observable redeploy-to-serving latency.
+class SwapLatencySink final : public engine::DetectionSink {
+ public:
+  void arm(std::uint64_t session_id) {
+    target_ = session_id;
+    start_ = Clock::now();
+    armed_.store(true, std::memory_order_release);
+  }
+  void on_detections(std::span<const engine::Detection> detections) override {
+    if (!armed_.load(std::memory_order_acquire)) {
+      return;
+    }
+    for (const engine::Detection& d : detections) {
+      if (d.session_id == target_) {
+        latency_ms_.store(ms_since(start_), std::memory_order_relaxed);
+        armed_.store(false, std::memory_order_release);
+        return;
+      }
+    }
+  }
+  double latency_ms() const {
+    return latency_ms_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> armed_{false};
+  std::uint64_t target_ = 0;  // written before armed_ release, read after acquire
+  Clock::time_point start_;
+  std::atomic<double> latency_ms_{0.0};
+};
+
+/// Per-model serving throughput on the inference_stage batch loop.
+double serving_wps(const ml::InferenceModel& model, const Matrix& rows,
+                   std::size_t target_windows) {
+  const std::size_t n = rows.rows();
+  const std::size_t reps = std::max<std::size_t>(1, target_windows / n);
+  Matrix batch;
+  batch.reserve_rows(n, rows.cols());
+  RealVector proba;
+  std::vector<int> labels;
+  const auto start = Clock::now();
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    batch.clear_rows();
+    for (std::size_t r = 0; r < n; ++r) {
+      batch.append_row(rows.row(r));
+    }
+    model.predict_into(batch, proba, labels);
+  }
+  return static_cast<double>(reps * n) / seconds_since(start);
+}
+
+ArtifactResult artifact_stage(
+    const std::shared_ptr<const core::RealtimeDetector>& det,
+    const signal::EegRecord& record, const Matrix& rows,
+    const std::string& dir) {
+  ArtifactResult result;
+  const std::shared_ptr<const ml::CompiledForest> compiled = det->compile();
+  const std::string path = dir + "/bench_fleet.eslm";
+
+  auto start = Clock::now();
+  ml::save_artifact(path, *compiled);
+  result.save_ms = ms_since(start);
+
+  start = Clock::now();
+  const auto mapped = ml::load_artifact(path);
+  result.cold_open_ms = ms_since(start);
+
+  engine::RegistryConfig registry_config;
+  registry_config.directory = dir;
+  const engine::ModelRegistry registry(registry_config);
+  (void)registry.open("bench_fleet");  // populate the cache
+  start = Clock::now();
+  const auto cached = registry.open("bench_fleet");
+  result.cached_open_ms = ms_since(start);
+
+  // Serving throughput + parity: mapped models must match the in-memory
+  // compiled artifact bit for bit while serving straight from the file.
+  const auto mapped_simd =
+      ml::load_artifact(path, ml::InferenceBackend::kSimd);
+  result.compiled_wps = serving_wps(*compiled, rows, 100000);
+  result.mapped_wps = serving_wps(*mapped, rows, 100000);
+  result.mapped_simd_wps = serving_wps(*mapped_simd, rows, 100000);
+  {
+    Matrix batch = rows;
+    RealVector proba_compiled;
+    std::vector<int> labels_compiled;
+    compiled->predict_into(batch, proba_compiled, labels_compiled);
+    batch = rows;
+    RealVector proba_mapped;
+    std::vector<int> labels_mapped;
+    mapped->predict_into(batch, proba_mapped, labels_mapped);
+    result.parity =
+        proba_mapped == proba_compiled && labels_mapped == labels_compiled;
+  }
+
+  // Fleet redeploy under live ingest: sessions stream on worker threads
+  // while a replaced artifact is swapped in from disk.
+  engine::ServiceConfig config;
+  config.shards = 2;
+  engine::DetectionService service(
+      det, config, std::make_unique<engine::ThreadPoolBackend>());
+  SwapLatencySink sink;
+  service.set_detection_sink(&sink);
+  constexpr std::size_t k_swap_sessions = 8;
+  std::vector<engine::SessionHandle> handles;
+  for (std::size_t s = 0; s < k_swap_sessions; ++s) {
+    handles.push_back(service.create_session(s, engine::SessionConfig{}));
+  }
+  const auto chunk = static_cast<std::size_t>(record.sample_rate_hz());
+  const std::size_t length = record.length_samples();
+  const std::size_t rounds = 20;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    if (round == rounds / 2) {
+      // Trainer redeploys: replace the file (atomic rename), drop the
+      // stale mapping, then deploy cold (remap) and warm (cache hit).
+      ml::save_artifact(path, *compiled);
+      registry.refresh();
+      sink.arm(handles[0].value);
+      start = Clock::now();
+      service.swap_model(handles[0], registry, "bench_fleet");
+      result.swap_cold_ms = ms_since(start);
+      start = Clock::now();
+      service.swap_model(handles[1], registry, "bench_fleet");
+      result.swap_warm_ms = ms_since(start);
+    }
+    for (std::size_t s = 0; s < k_swap_sessions; ++s) {
+      const std::size_t offset = ((round + s * 37) * chunk) % (length - chunk);
+      service.ingest(handles[s], chunk_views(record, offset, chunk));
+    }
+  }
+  service.flush();
+  service.stop();
+  result.first_window_after_swap_ms = sink.latency_ms();
+  return result;
+}
+
 struct Options {
   std::string json_path;
   std::size_t sessions = 32;
@@ -228,6 +395,9 @@ struct Options {
   /// ("forest") or the compiled flat artifact via swap_model
   /// ("compiled").
   std::string model = "forest";
+  /// When non-empty, run the model-artifact stage in this directory
+  /// (save/load latency, mapped serving throughput, swap-from-disk).
+  std::string artifact_dir;
 };
 
 Options parse_options(int argc, char** argv) {
@@ -267,6 +437,8 @@ Options parse_options(int argc, char** argv) {
         std::fprintf(stderr, "unknown --model %s\n", opts.model.c_str());
         std::exit(2);
       }
+    } else if (arg == "--artifact-dir") {
+      opts.artifact_dir = value();
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       std::exit(2);
@@ -279,7 +451,8 @@ void write_json(
     const Options& opts,
     const std::vector<std::pair<std::size_t, InferenceResult>>& inference,
     const std::vector<std::pair<std::size_t, double>>& engine,
-    const std::vector<ServiceResult>& services) {
+    const std::vector<ServiceResult>& services,
+    const ArtifactResult* artifact) {
   std::FILE* f = std::fopen(opts.json_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", opts.json_path.c_str());
@@ -318,7 +491,26 @@ void write_json(
                  services[i].windows_per_s,
                  i + 1 < services.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  if (artifact == nullptr) {
+    std::fprintf(f, "  ]\n}\n");
+  } else {
+    std::fprintf(f, "  ],\n  \"artifact\": {\n");
+    std::fprintf(f, "    \"save_ms\": %.3f,\n", artifact->save_ms);
+    std::fprintf(f, "    \"cold_open_ms\": %.3f,\n", artifact->cold_open_ms);
+    std::fprintf(f, "    \"cached_open_ms\": %.3f,\n",
+                 artifact->cached_open_ms);
+    std::fprintf(f, "    \"compiled_wps\": %.1f,\n", artifact->compiled_wps);
+    std::fprintf(f, "    \"mapped_wps\": %.1f,\n", artifact->mapped_wps);
+    std::fprintf(f, "    \"mapped_simd_wps\": %.1f,\n",
+                 artifact->mapped_simd_wps);
+    std::fprintf(f, "    \"parity\": %s,\n",
+                 artifact->parity ? "true" : "false");
+    std::fprintf(f, "    \"swap_cold_ms\": %.3f,\n", artifact->swap_cold_ms);
+    std::fprintf(f, "    \"swap_warm_ms\": %.3f,\n", artifact->swap_warm_ms);
+    std::fprintf(f, "    \"first_window_after_swap_ms\": %.3f\n",
+                 artifact->first_window_after_swap_ms);
+    std::fprintf(f, "  }\n}\n");
+  }
   std::fclose(f);
   std::printf("\nwrote %s\n", opts.json_path.c_str());
 }
@@ -409,6 +601,34 @@ int main(int argc, char** argv) {
     }
   }
 
+  ArtifactResult artifact;
+  bool have_artifact = false;
+  if (!opts.artifact_dir.empty()) {
+    Matrix rows(64, windowed.features.cols());
+    for (std::size_t r = 0; r < rows.rows(); ++r) {
+      const auto src = windowed.features.row(r % windowed.count());
+      std::copy(src.begin(), src.end(), rows.row(r).begin());
+    }
+    artifact =
+        artifact_stage(detector, stream_record, rows, opts.artifact_dir);
+    have_artifact = true;
+    std::printf("\n-- model artifact stage (%s) --\n",
+                opts.artifact_dir.c_str());
+    std::printf("save                 %10.3f ms\n", artifact.save_ms);
+    std::printf("cold open (mmap)     %10.3f ms\n", artifact.cold_open_ms);
+    std::printf("cached open          %10.3f ms\n", artifact.cached_open_ms);
+    std::printf("compiled serving     %10.0f w/s\n", artifact.compiled_wps);
+    std::printf("mapped serving       %10.0f w/s  (parity %s)\n",
+                artifact.mapped_wps, artifact.parity ? "ok" : "FAILED");
+    std::printf("mapped+simd serving  %10.0f w/s\n", artifact.mapped_simd_wps);
+    std::printf("swap from disk cold  %10.3f ms   (replaced file, remap)\n",
+                artifact.swap_cold_ms);
+    std::printf("swap from disk warm  %10.3f ms   (registry cache hit)\n",
+                artifact.swap_warm_ms);
+    std::printf("first window after swap %7.3f ms  (live threads ingest)\n",
+                artifact.first_window_after_swap_ms);
+  }
+
   std::printf(
       "\nsingle   = per-window RealtimeDetector::predict_row loop\n"
       "batched  = engine path: gather + in-place z-score + tree-major forest\n"
@@ -420,7 +640,8 @@ int main(int argc, char** argv) {
       "           with cores, inline shows the single-thread baseline\n");
 
   if (!opts.json_path.empty()) {
-    write_json(opts, inference, engine, services);
+    write_json(opts, inference, engine, services,
+               have_artifact ? &artifact : nullptr);
   }
   return 0;
 }

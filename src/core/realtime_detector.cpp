@@ -79,11 +79,11 @@ std::shared_ptr<const ml::CompiledForest> RealtimeDetector::compile() const {
 
 std::shared_ptr<const ml::InferenceModel> RealtimeDetector::compile(
     ml::InferenceBackend backend) const {
-  std::shared_ptr<const ml::CompiledForest> flat = compile();
-  if (backend == ml::InferenceBackend::kSimd) {
-    return std::make_shared<const ml::SimdForest>(std::move(flat));
-  }
-  return flat;
+  expects(is_fitted(), "RealtimeDetector::compile: not fitted");
+  // Delegates to the one factory seam every backend-picking caller
+  // shares (ml::compile), so detector deploys and registry-mapped loads
+  // choose flavor through the same enum.
+  return ml::compile(*forest_, row_scaler_, backend);
 }
 
 void RealtimeDetector::scale_rows_in_place(Matrix& raw_rows) const {

@@ -88,11 +88,12 @@ class RealtimeDetector {
   /// a fresh artifact from the current fit.
   std::shared_ptr<const ml::CompiledForest> compile() const;
 
-  /// Backend-selecting overload: kCompiled returns the flat artifact
-  /// above, kSimd wraps it in the explicit-SIMD traversal
-  /// (ml/simd_forest.hpp). All backends classify bit-identically, so the
-  /// choice is purely an execution-speed decision and the artifacts are
-  /// hot-swappable for each other mid-stream.
+  /// Backend-selecting overload, delegating to the ml::compile factory
+  /// seam: kCompiled returns the flat artifact above, kSimd wraps it in
+  /// the explicit-SIMD traversal (ml/simd_forest.hpp). All backends
+  /// classify bit-identically, so the choice is purely an
+  /// execution-speed decision and the artifacts are hot-swappable for
+  /// each other mid-stream.
   std::shared_ptr<const ml::InferenceModel> compile(
       ml::InferenceBackend backend) const;
 

@@ -1,6 +1,7 @@
 #include "engine/service.hpp"
 
 #include "common/error.hpp"
+#include "engine/model_registry.hpp"
 
 namespace esl::engine {
 
@@ -221,6 +222,14 @@ void DetectionService::swap_model(
   // mid-batch with a dangling model.
   std::lock_guard<std::mutex> lock(shard.mutex);
   shard.engine->swap_model(handle.local_id(), std::move(model));
+}
+
+void DetectionService::swap_model(SessionHandle handle,
+                                  const ModelRegistry& registry,
+                                  std::string_view patient_key) {
+  // Map (or reuse the cached mapping) outside the shard lock — opening
+  // may hit the filesystem — then deploy with the plain swap.
+  swap_model(handle, registry.open(patient_key));
 }
 
 std::shared_ptr<const ml::InferenceModel> DetectionService::session_model(

@@ -30,6 +30,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "engine/backend.hpp"
@@ -37,6 +38,8 @@
 #include "ml/inference_model.hpp"
 
 namespace esl::engine {
+
+class ModelRegistry;
 
 struct ServiceConfig {
   /// Number of shards (Engines). Sessions are hash-partitioned across
@@ -129,6 +132,14 @@ class DetectionService {
   /// RealtimeDetector::compile() -> swap_model, all mid-stream.
   void swap_model(SessionHandle handle,
                   std::shared_ptr<const ml::InferenceModel> model);
+  /// Swap-from-disk: deploys the registry's mapped artifact for
+  /// `patient_key` (engine/model_registry.hpp) — the fleet redeploy
+  /// path, where personalized models arrive as files from a separate
+  /// training process instead of an in-process fit. Equivalent to
+  /// swap_model(handle, registry.open(patient_key)); same mid-stream
+  /// guarantees, on any backend.
+  void swap_model(SessionHandle handle, const ModelRegistry& registry,
+                  std::string_view patient_key);
   /// The model currently classifying one session's windows (snapshot
   /// under the shard lock; nullptr while the session is cold).
   std::shared_ptr<const ml::InferenceModel> session_model(

@@ -1,0 +1,178 @@
+// Versioned on-disk model artifacts: CompiledForest serialized as one
+// flat binary that serving processes mmap and traverse with zero
+// deserialization.
+//
+// The paper's premise is per-patient personalized models; at fleet scale
+// training and serving are separate processes, and a personalized model
+// is a *file* — trained anywhere, dropped into a registry directory,
+// mapped by every shard that serves the patient. CompiledForest is
+// already flat structure-of-arrays storage (see the layout contract in
+// ml/compiled_forest.hpp), so the wire format is simply a fixed header
+// followed by those arrays back-to-back, each 64-byte aligned:
+//
+//   ArtifactHeader      magic "ESLFRST1", version, endianness tag,
+//                       element widths, counts, decision threshold
+//   ----- 64-byte aligned payload, arrays in this order -----
+//   feature      u32[node_count]
+//   threshold    Real[node_count]
+//   left         u32[node_count]
+//   right        u32[node_count]
+//   children     u32[2*node_count]   interleaved [left,right] pairs,
+//                                    pre-built so the SIMD traversal is
+//                                    also zero-copy from the mapping
+//   leaf_value   Real[node_count]
+//   tree_root    u32[tree_count]
+//   tree_depth   u32[tree_count]
+//   scaler_mean  Real[scaler_width]  baked z-score (absent when 0)
+//   scaler_stddev Real[scaler_width]
+//
+// save_artifact writes the file (to a temp name, then rename, so a
+// registry replace is atomic); MappedModel mmaps it (platform/
+// mmap_file.hpp) and serves predict_into straight from the mapping —
+// bit-identical to the in-memory CompiledForest/SimdForest over the
+// same fitted forest, with zero steady-state allocations per call and
+// pages faulting in lazily on first traversal.
+//
+// Trust model: validate(ArtifactHeader) rejects truncated, foreign, or
+// version-skewed files before any array is touched, but payload *values*
+// (child indices, roots) are trusted — artifacts come from this
+// library's own save_artifact in your training pipeline, not from
+// untrusted input.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "ml/compiled_forest.hpp"
+#include "ml/inference_model.hpp"
+#include "platform/mmap_file.hpp"
+
+namespace esl::ml {
+
+/// First 8 bytes of every artifact: "ESLFRST1" (little-endian u64).
+inline constexpr std::uint64_t k_artifact_magic = 0x31545352464C5345ull;
+/// Bumped on any layout change; readers reject other versions.
+inline constexpr std::uint32_t k_artifact_version = 1;
+/// Byte-order tag as written by the producing host. A foreign-endian
+/// reader sees it permuted and rejects the file instead of mis-reading
+/// every array (artifacts are distributed, not converted).
+inline constexpr std::uint32_t k_artifact_endianness = 0x01020304u;
+/// Every payload array starts on a 64-byte boundary (cache-line sized;
+/// mmap bases are page-aligned, so alignment survives the mapping).
+inline constexpr std::size_t k_artifact_alignment = 64;
+
+/// Fixed-size artifact prologue. Plain trivially-copyable scalars only —
+/// the header is memcpy'd out of the mapping, never pointer-cast.
+struct ArtifactHeader {
+  std::uint64_t magic = k_artifact_magic;
+  std::uint32_t version = k_artifact_version;
+  std::uint32_t endianness = k_artifact_endianness;
+  std::uint32_t real_bytes = sizeof(Real);           // element widths are
+  std::uint32_t index_bytes = sizeof(std::uint32_t); // part of the format
+  std::uint64_t node_count = 0;
+  std::uint64_t tree_count = 0;
+  /// Baked RowScaler width; 0 = rows arrive pre-scaled.
+  std::uint64_t scaler_width = 0;
+  /// Exact file size implied by the counts; a mismatch against the real
+  /// file length means truncation or trailing garbage.
+  std::uint64_t file_bytes = 0;
+  Real decision_threshold = 0.5;
+  std::uint64_t max_depth = 0;
+  std::uint32_t max_feature = 0;
+  std::uint32_t reserved = 0;
+};
+static_assert(sizeof(ArtifactHeader) == 80, "artifact header layout drifted");
+
+/// Byte offset of each payload array (and the total file size) implied
+/// by the header counts. Writer and mapper both derive the layout from
+/// this one function — there is no second copy of the format.
+struct ArtifactLayout {
+  std::size_t feature = 0;
+  std::size_t threshold = 0;
+  std::size_t left = 0;
+  std::size_t right = 0;
+  std::size_t children = 0;
+  std::size_t leaf_value = 0;
+  std::size_t tree_root = 0;
+  std::size_t tree_depth = 0;
+  std::size_t scaler_mean = 0;
+  std::size_t scaler_stddev = 0;
+  std::size_t total_bytes = 0;
+};
+ArtifactLayout artifact_layout(std::uint64_t node_count,
+                               std::uint64_t tree_count,
+                               std::uint64_t scaler_width);
+
+/// Header sanity, in the style of validate(SessionConfig) /
+/// validate(ForestConfig): magic, version, endianness, element widths,
+/// count bounds, and internal size consistency. Throws InvalidArgument
+/// (literal messages only — no heap) before any array is touched.
+void validate(const ArtifactHeader& header);
+/// Additionally rejects a file whose real length disagrees with the
+/// header (truncated download, partial write, trailing garbage).
+void validate(const ArtifactHeader& header, std::size_t file_bytes);
+
+/// Serializes `forest` (arrays + baked scaler) to `path` as one flat
+/// artifact. Writes path + ".tmp" first and renames over `path`, so
+/// replacing a live artifact is atomic on POSIX — a concurrent
+/// ModelRegistry::open never sees a half-written file. Throws DataError
+/// on I/O failure.
+void save_artifact(const std::string& path, const CompiledForest& forest);
+
+/// Zero-copy deployable model over an mmap'd artifact file.
+///
+/// Construction maps the file, validates the header, and aims the
+/// FlatForest spans into the mapping; no array is copied or even
+/// touched, so "loading" a model is O(header) and pages fault in lazily
+/// as traversal first needs them. predict_into is bit-identical to the
+/// in-memory CompiledForest (kCompiled) or SimdForest (kSimd) built
+/// from the same fitted forest, and allocates nothing once the caller's
+/// scratch is warm.
+///
+/// Lifetime: the mapping lives inside this object. Sessions holding the
+/// model via shared_ptr (Engine slots, ModelRegistry cache) keep the
+/// mapping alive; the file on disk may be replaced (rename) or deleted
+/// while mapped — the old pages stay valid until the last holder drops.
+class MappedModel final : public InferenceModel {
+ public:
+  /// Maps `path` read-only. `backend` picks the traversal flavor over
+  /// the mapped arrays — the same enum RealtimeDetector::compile /
+  /// ml::compile use, so callers choose flavor in exactly one place.
+  explicit MappedModel(const std::string& path,
+                       InferenceBackend backend = InferenceBackend::kCompiled);
+
+  const char* name() const override {
+    return backend_ == InferenceBackend::kSimd ? "mapped+simd" : "mapped";
+  }
+  std::size_t tree_count() const override { return header_.tree_count; }
+  void predict_into(Matrix& raw_rows, RealVector& proba,
+                    std::vector<int>& labels) const override;
+
+  const ArtifactHeader& header() const { return header_; }
+  const std::string& path() const { return path_; }
+  InferenceBackend backend() const { return backend_; }
+  std::size_t node_count() const { return header_.node_count; }
+  /// Borrowed views straight into the mapping (valid while *this lives).
+  const FlatForest& flat() const { return flat_; }
+  std::span<const Real> scaler_mean() const { return mean_; }
+  std::span<const Real> scaler_stddev() const { return stddev_; }
+
+ private:
+  std::string path_;
+  InferenceBackend backend_;
+  platform::MappedFile file_;
+  ArtifactHeader header_;
+  FlatForest flat_;  // spans into file_.bytes()
+  std::span<const Real> mean_;
+  std::span<const Real> stddev_;
+};
+
+/// Convenience: map `path` behind the InferenceModel seam (what
+/// ModelRegistry::open returns).
+std::shared_ptr<const InferenceModel> load_artifact(
+    const std::string& path,
+    InferenceBackend backend = InferenceBackend::kCompiled);
+
+}  // namespace esl::ml

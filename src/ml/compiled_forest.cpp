@@ -65,30 +65,49 @@ CompiledForest::CompiledForest(const RandomForest& forest, RowScaler scaler)
   }
 }
 
+FlatForest CompiledForest::view() const {
+  FlatForest view;
+  view.feature = feature_;
+  view.threshold = threshold_;
+  view.left = left_;
+  view.right = right_;
+  view.leaf_value = leaf_value_;
+  view.tree_root = tree_root_;
+  view.tree_depth = tree_depth_;
+  view.decision_threshold = decision_threshold_;
+  view.max_feature = max_feature_;
+  return view;
+}
+
 void CompiledForest::predict_into(Matrix& raw_rows, RealVector& proba,
                                   std::vector<int>& labels) const {
-  const std::size_t rows = raw_rows.rows();
-  expects(rows == 0 || max_feature_ < raw_rows.cols(),
-          "CompiledForest::predict_into: rows too narrow");
   scaler_.apply(raw_rows);
+  predict_flat_compiled(view(), raw_rows, proba, labels);
+}
+
+void predict_flat_compiled(const FlatForest& forest, const Matrix& rows_in,
+                           RealVector& proba, std::vector<int>& labels) {
+  const std::size_t rows = rows_in.rows();
+  expects(rows == 0 || forest.max_feature < rows_in.cols(),
+          "predict_flat_compiled: rows too narrow");
   proba.assign(rows, 0.0);
   labels.resize(rows);
   if (rows == 0) {
     return;
   }
 
-  const Real* data = raw_rows.data().data();
-  const std::size_t stride = raw_rows.cols();
-  const std::uint32_t* feature = feature_.data();
-  const Real* threshold = threshold_.data();
-  const std::uint32_t* left = left_.data();
-  const std::uint32_t* right = right_.data();
-  const Real* leaf_value = leaf_value_.data();
+  const Real* data = rows_in.data().data();
+  const std::size_t stride = rows_in.cols();
+  const std::uint32_t* feature = forest.feature.data();
+  const Real* threshold = forest.threshold.data();
+  const std::uint32_t* left = forest.left.data();
+  const std::uint32_t* right = forest.right.data();
+  const Real* leaf_value = forest.leaf_value.data();
 
   std::uint32_t node[k_block];
-  for (std::size_t t = 0; t < tree_root_.size(); ++t) {
-    const std::uint32_t root = tree_root_[t];
-    const std::uint32_t depth = tree_depth_[t];
+  for (std::size_t t = 0; t < forest.tree_root.size(); ++t) {
+    const std::uint32_t root = forest.tree_root[t];
+    const std::uint32_t depth = forest.tree_depth[t];
     for (std::size_t r0 = 0; r0 < rows; r0 += k_block) {
       const std::size_t block = std::min(k_block, rows - r0);
       for (std::size_t i = 0; i < block; ++i) {
@@ -113,10 +132,10 @@ void CompiledForest::predict_into(Matrix& raw_rows, RealVector& proba,
 
   // Per row the trees accumulated in ensemble order; divide once, exactly
   // like RandomForest::predict_all_into, so labels stay bit-identical.
-  const auto tree_count_real = static_cast<Real>(tree_root_.size());
+  const auto tree_count_real = static_cast<Real>(forest.tree_root.size());
   for (std::size_t r = 0; r < rows; ++r) {
     proba[r] /= tree_count_real;
-    labels[r] = proba[r] >= decision_threshold_ ? 1 : 0;
+    labels[r] = proba[r] >= forest.decision_threshold ? 1 : 0;
   }
 }
 

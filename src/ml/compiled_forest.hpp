@@ -22,6 +22,23 @@
 // The artifact is immutable after construction and holds no mutable
 // state, which is what makes DetectionService::swap_model safe: deploys
 // are a shared_ptr swap under the shard lock, never an in-place retrain.
+//
+// Layout contract (the single source of truth shared with the on-disk
+// artifact writer/mapper in ml/artifact.hpp):
+//   * one entry per node, all trees back-to-back in ensemble order;
+//     children are absolute node indices into the same arrays;
+//   * leaves self-loop (left == right == self, feature 0, threshold
+//     +inf), so traversal runs a fixed per-tree level count with no
+//     is_leaf branch, and NaN feature values go right (compare false);
+//   * leaf_value[n] holds every node's positive fraction but is only
+//     read once a row parks on a leaf;
+//   * tree_root[t] is the absolute index of tree t's root, tree_depth[t]
+//     the level count traversal runs for it (0 for a single-leaf tree);
+//   * node indices are uint32 (the constructor rejects ensembles past
+//     2^32 nodes), thresholds/leaf values are Real (double);
+//   * every accessor returns a std::span view — no accessor copies, so
+//     a serializer can stream the arrays straight out and a mapper can
+//     serve traversal straight from the bytes it loaded.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +49,47 @@
 #include "ml/random_forest.hpp"
 
 namespace esl::ml {
+
+/// Borrowed view of one flattened ensemble — the traversal contract all
+/// execution strategies share. CompiledForest::view() borrows from its
+/// owned vectors, SimdForest adds its interleaved child pairs, and
+/// MappedModel (ml/artifact.hpp) points every span straight into an
+/// mmap'd artifact; predict_flat_compiled / predict_flat_simd then run
+/// identically over any of them. The view owns nothing: whoever holds
+/// the arrays must outlive it.
+struct FlatForest {
+  std::span<const std::uint32_t> feature;
+  std::span<const Real> threshold;
+  std::span<const std::uint32_t> left;
+  std::span<const std::uint32_t> right;
+  /// Interleaved pairs: children[2*n + 0] = left, children[2*n + 1] =
+  /// right. Required by predict_flat_simd (one gather instead of two +
+  /// blend); empty when only the compiled traversal will run.
+  std::span<const std::uint32_t> children;
+  std::span<const Real> leaf_value;
+  std::span<const std::uint32_t> tree_root;
+  std::span<const std::uint32_t> tree_depth;
+  Real decision_threshold = 0.5;
+  std::uint32_t max_feature = 0;
+
+  std::size_t node_count() const { return feature.size(); }
+  std::size_t tree_count() const { return tree_root.size(); }
+};
+
+/// Batch-major blocked scalar traversal (CompiledForest's strategy) over
+/// any flat view: `rows` must already be z-scored. Overwrites
+/// `proba`/`labels` (resized; reused scratch allocates nothing warm).
+/// Per row, trees accumulate in ensemble order with one final division
+/// by tree_count, so outputs are bit-identical to
+/// RandomForest::predict_all_into on the source ensemble.
+void predict_flat_compiled(const FlatForest& forest, const Matrix& rows,
+                           RealVector& proba, std::vector<int>& labels);
+
+/// Explicit-SIMD traversal (SimdForest's strategy) through the
+/// kernels:: dispatch seam; requires `forest.children`. Bit-identical to
+/// predict_flat_compiled at every dispatch level.
+void predict_flat_simd(const FlatForest& forest, const Matrix& rows,
+                       RealVector& proba, std::vector<int>& labels);
 
 class CompiledForest final : public InferenceModel {
  public:
@@ -54,10 +112,14 @@ class CompiledForest final : public InferenceModel {
   /// Widest feature index any split reads (rows must be wider).
   std::uint32_t max_feature() const { return max_feature_; }
 
+  /// The borrowed traversal view over this artifact's arrays (children
+  /// left empty — build them only when the SIMD traversal needs them).
+  FlatForest view() const;
+
   // Read-only views of the flat arrays, in flattening order. This is the
   // seam other execution strategies build on (ml::SimdForest's pack
-  // traversal today, serialization for cross-process distribution next):
-  // one flattening pass, many traversals.
+  // traversal, ml/artifact.hpp's on-disk serialization): one flattening
+  // pass, many traversals. All accessors return spans — never copies.
   std::span<const std::uint32_t> features() const { return feature_; }
   std::span<const Real> thresholds() const { return threshold_; }
   std::span<const std::uint32_t> left_children() const { return left_; }

@@ -1,21 +1,32 @@
 #include "ml/inference_model.hpp"
 
 #include "common/error.hpp"
+#include "ml/compiled_forest.hpp"
+#include "ml/simd_forest.hpp"
 
 namespace esl::ml {
 
-void RowScaler::apply(Matrix& raw_rows) const {
-  if (empty()) {
+void scale_rows(std::span<const Real> mean, std::span<const Real> stddev,
+                Matrix& raw_rows) {
+  if (mean.empty()) {
     return;
   }
   expects(stddev.size() == mean.size(),
-          "RowScaler::apply: mean/stddev size mismatch");
-  expects(raw_rows.cols() == mean.size(),
-          "RowScaler::apply: row width mismatch");
+          "scale_rows: mean/stddev size mismatch");
+  expects(raw_rows.cols() == mean.size(), "scale_rows: row width mismatch");
+  const Real* m = mean.data();
+  const Real* s = stddev.data();
   for (std::size_t r = 0; r < raw_rows.rows(); ++r) {
     const auto row = raw_rows.row(r);
-    apply_row(row, row);
+    for (std::size_t f = 0; f < row.size(); ++f) {
+      const Real centered = row[f] - m[f];
+      row[f] = s[f] > 0.0 ? centered / s[f] : 0.0;
+    }
   }
+}
+
+void RowScaler::apply(Matrix& raw_rows) const {
+  scale_rows(mean, stddev, raw_rows);
 }
 
 void RowScaler::apply_row(std::span<const Real> raw,
@@ -26,6 +37,17 @@ void RowScaler::apply_row(std::span<const Real> raw,
     const Real centered = raw[f] - m[f];
     out[f] = s[f] > 0.0 ? centered / s[f] : 0.0;
   }
+}
+
+std::shared_ptr<const InferenceModel> compile(const RandomForest& forest,
+                                              RowScaler scaler,
+                                              InferenceBackend backend) {
+  auto flat =
+      std::make_shared<const CompiledForest>(forest, std::move(scaler));
+  if (backend == InferenceBackend::kSimd) {
+    return std::make_shared<const SimdForest>(std::move(flat));
+  }
+  return flat;
 }
 
 ForestModel::ForestModel(std::shared_ptr<const RandomForest> forest,

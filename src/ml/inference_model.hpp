@@ -35,6 +35,14 @@ struct RowScaler {
   void apply_row(std::span<const Real> raw, std::span<Real> out) const;
 };
 
+/// z-scores raw feature rows in place from borrowed per-feature
+/// mean/stddev spans (no-op when `mean` is empty). This is the one
+/// row-major scaling loop: RowScaler::apply delegates here, and the
+/// mmap'd artifacts (ml/artifact.hpp) call it with spans pointing
+/// straight into the mapping — no RowScaler copy, no allocation.
+void scale_rows(std::span<const Real> mean, std::span<const Real> stddev,
+                Matrix& raw_rows);
+
 /// Execution strategy for a deployable artifact built from a fitted
 /// forest (RealtimeDetector::compile picks the implementation):
 ///  * kCompiled — CompiledForest's flat batch-major traversal, relying
@@ -62,6 +70,17 @@ class InferenceModel {
   virtual void predict_into(Matrix& raw_rows, RealVector& proba,
                             std::vector<int>& labels) const = 0;
 };
+
+/// The one factory seam for deployable artifacts built from a fitted
+/// forest: flattens `forest` once (scaler baked in) and wraps it in the
+/// chosen execution strategy — kCompiled returns the flat CompiledForest
+/// itself, kSimd wraps it in SimdForest's pack traversal. Every caller
+/// that picks a flavor (RealtimeDetector::compile, the on-disk
+/// ModelRegistry's mapped loads, benches) routes through this enum in
+/// exactly one place; all backends classify bit-identically.
+std::shared_ptr<const InferenceModel> compile(const RandomForest& forest,
+                                              RowScaler scaler,
+                                              InferenceBackend backend);
 
 /// Thin adapter: an InferenceModel over a fitted RandomForest (shared,
 /// immutable) plus the scaler it was trained with. This is the baseline

@@ -28,15 +28,28 @@ SimdForest::SimdForest(const RandomForest& forest, RowScaler scaler)
 
 void SimdForest::predict_into(Matrix& raw_rows, RealVector& proba,
                               std::vector<int>& labels) const {
-  const std::size_t rows = raw_rows.rows();
-  expects(rows == 0 || compiled_->max_feature() < raw_rows.cols(),
-          "SimdForest::predict_into: rows too narrow");
+  compiled_->scaler().apply(raw_rows);
+  FlatForest view = compiled_->view();
+  view.children = children_;
+  predict_flat_simd(view, raw_rows, proba, labels);
+}
+
+void predict_flat_simd(const FlatForest& forest, const Matrix& rows_in,
+                       RealVector& proba, std::vector<int>& labels) {
+  const std::size_t rows = rows_in.rows();
+  expects(forest.children.size() == 2 * forest.node_count(),
+          "predict_flat_simd: missing interleaved child pairs");
+  // The AVX2 flavor gathers with signed 32-bit indices over node ids and
+  // child pairs (2 * node + 1), so the flat forest must stay below 2^30
+  // nodes — far above any real ensemble.
+  expects(forest.node_count() < (std::size_t{1} << 30),
+          "predict_flat_simd: forest exceeds 30-bit node addressing");
+  expects(rows == 0 || forest.max_feature < rows_in.cols(),
+          "predict_flat_simd: rows too narrow");
   // Block-relative 32-bit gather indices reach 31 * stride + feature in
   // the widest (32-row block) flavor; keep them in signed range.
-  expects(32 * raw_rows.cols() + compiled_->max_feature() <
-              (std::size_t{1} << 31),
-          "SimdForest::predict_into: row stride too wide for 32-bit gathers");
-  compiled_->scaler().apply(raw_rows);
+  expects(32 * rows_in.cols() + forest.max_feature < (std::size_t{1} << 31),
+          "predict_flat_simd: row stride too wide for 32-bit gathers");
   proba.assign(rows, 0.0);
   labels.resize(rows);
   if (rows == 0) {
@@ -44,20 +57,19 @@ void SimdForest::predict_into(Matrix& raw_rows, RealVector& proba,
   }
 
   const kernels::ForestView view{
-      compiled_->features().data(),   compiled_->thresholds().data(),
-      children_.data(),               compiled_->leaf_values().data(),
-      compiled_->tree_roots().data(), compiled_->tree_depths().data(),
-      compiled_->tree_count()};
-  kernels::forest_accumulate(view, raw_rows.data().data(), rows,
-                             raw_rows.cols(), proba.data());
+      forest.feature.data(),   forest.threshold.data(),
+      forest.children.data(),  forest.leaf_value.data(),
+      forest.tree_root.data(), forest.tree_depth.data(),
+      forest.tree_count()};
+  kernels::forest_accumulate(view, rows_in.data().data(), rows,
+                             rows_in.cols(), proba.data());
 
   // Same final division and thresholding as CompiledForest/RandomForest,
   // so probabilities and labels stay bit-identical.
-  const auto tree_count_real = static_cast<Real>(compiled_->tree_count());
-  const Real threshold = compiled_->decision_threshold();
+  const auto tree_count_real = static_cast<Real>(forest.tree_count());
   for (std::size_t r = 0; r < rows; ++r) {
     proba[r] /= tree_count_real;
-    labels[r] = proba[r] >= threshold ? 1 : 0;
+    labels[r] = proba[r] >= forest.decision_threshold ? 1 : 0;
   }
 }
 

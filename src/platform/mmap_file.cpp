@@ -1,0 +1,119 @@
+#include "platform/mmap_file.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define ESL_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define ESL_HAVE_MMAP 0
+#include <cstdio>
+#endif
+
+namespace esl::platform {
+
+#if ESL_HAVE_MMAP
+
+MappedFile::MappedFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw DataError("MappedFile: cannot open " + path);
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw DataError("MappedFile: cannot stat " + path);
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ > 0) {
+    // Read-only shared mapping: pages fault in on first touch, the OS
+    // page cache shares them across every process mapping the same
+    // artifact, and nothing is ever written back.
+    void* mapped = ::mmap(nullptr, size_, PROT_READ, MAP_SHARED, fd, 0);
+    if (mapped == MAP_FAILED) {
+      ::close(fd);
+      throw DataError("MappedFile: mmap failed for " + path);
+    }
+    data_ = mapped;
+  }
+  // The mapping keeps its own reference to the file; the descriptor is
+  // no longer needed.
+  ::close(fd);
+  open_ = true;
+}
+
+void MappedFile::reset() noexcept {
+  if (data_ != nullptr) {
+    ::munmap(data_, size_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+  open_ = false;
+}
+
+#else  // portable fallback: one read into a heap buffer
+
+MappedFile::MappedFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw DataError("MappedFile: cannot open " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long end = std::ftell(f);
+  if (end < 0) {
+    std::fclose(f);
+    throw DataError("MappedFile: cannot stat " + path);
+  }
+  std::fseek(f, 0, SEEK_SET);
+  size_ = static_cast<std::size_t>(end);
+  if (size_ > 0) {
+    auto* buffer = new std::byte[size_];
+    if (std::fread(buffer, 1, size_, f) != size_) {
+      delete[] buffer;
+      std::fclose(f);
+      throw DataError("MappedFile: short read from " + path);
+    }
+    data_ = buffer;
+    heap_ = true;
+  }
+  std::fclose(f);
+  open_ = true;
+}
+
+void MappedFile::reset() noexcept {
+  if (data_ != nullptr && heap_) {
+    delete[] static_cast<std::byte*>(data_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+  open_ = false;
+  heap_ = false;
+}
+
+#endif  // ESL_HAVE_MMAP
+
+MappedFile::~MappedFile() { reset(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      open_(std::exchange(other.open_, false)),
+      heap_(std::exchange(other.heap_, false)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    open_ = std::exchange(other.open_, false);
+    heap_ = std::exchange(other.heap_, false);
+  }
+  return *this;
+}
+
+}  // namespace esl::platform
