@@ -33,7 +33,7 @@ void InlineBackend::stop() {
 
 void InlineBackend::ingest(Shard& shard, std::uint64_t local_id,
                            const std::vector<std::span<const Real>>& chunk) {
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   shard.engine->ingest(local_id, chunk);
 }
 
@@ -42,7 +42,7 @@ void InlineBackend::flush() {
   for (const auto& shard : *shards_) {
     scratch_.clear();
     {
-      std::lock_guard<std::mutex> lock(shard->mutex);
+      MutexLock lock(shard->mutex);
       shard->engine->poll_into(scratch_);
     }
     translate_ids(shard->index, scratch_);
@@ -80,6 +80,10 @@ void ThreadPoolBackend::start(std::vector<std::unique_ptr<Shard>>& shards,
     auto worker = std::make_unique<Worker>();
     worker->queue = std::make_unique<IngestQueue>(config_.queue_capacity);
     workers_.push_back(std::move(worker));
+  }
+  {
+    MutexLock lock(flush_mutex_);
+    progress_.assign(workers_.size(), WorkerProgress{});
   }
   for (std::size_t i = 0; i < workers_.size(); ++i) {
     workers_[i]->thread = std::thread([this, i] { run_worker(i); });
@@ -131,31 +135,35 @@ void ThreadPoolBackend::flush_barrier() {
   }
   std::uint64_t target = 0;
   {
-    std::lock_guard<std::mutex> lock(flush_mutex_);
+    MutexLock lock(flush_mutex_);
     target = ++flush_epoch_;
     // Snapshot how much each queue has ever received: the barrier only
     // waits for *those* chunks, so it completes even while producers
     // keep streaming new ones past it. Overlapping flushes monotonically
     // raise the watermark, which at worst makes an earlier waiter wait
     // for the later flush's (finite) snapshot too.
-    for (const auto& worker : workers_) {
-      worker->flush_watermark = worker->queue->pushed();
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      progress_[i].flush_watermark = workers_[i]->queue->pushed();
     }
   }
   for (const auto& worker : workers_) {
     worker->queue->wake();
   }
-  std::unique_lock<std::mutex> lock(flush_mutex_);
-  flush_cv_.wait(lock, [this, target] {
-    return std::all_of(workers_.begin(), workers_.end(),
-                       [target](const std::unique_ptr<Worker>& w) {
-                         return w->done_epoch >= target;
-                       });
-  });
+  MutexLock lock(flush_mutex_);
+  while (!flush_done(target)) {
+    flush_cv_.wait(lock);
+  }
+}
+
+bool ThreadPoolBackend::flush_done(std::uint64_t target) const {
+  return std::all_of(progress_.begin(), progress_.end(),
+                     [target](const WorkerProgress& progress) {
+                       return progress.done_epoch >= target;
+                     });
 }
 
 void ThreadPoolBackend::rethrow_worker_error() {
-  std::lock_guard<std::mutex> lock(error_mutex_);
+  MutexLock lock(error_mutex_);
   if (worker_error_ != nullptr) {
     std::exception_ptr error = worker_error_;
     worker_error_ = nullptr;
@@ -179,7 +187,7 @@ void ThreadPoolBackend::run_worker(std::size_t index) {
       try {
         detections.clear();
         {
-          std::lock_guard<std::mutex> lock(shard.mutex);
+          MutexLock lock(shard.mutex);
           for (const IngestChunk& chunk : chunks) {
             views.clear();
             for (const RealVector& channel : chunk.channels) {
@@ -194,7 +202,7 @@ void ThreadPoolBackend::run_worker(std::size_t index) {
           sink_->on_detections(detections);
         }
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex_);
+        MutexLock lock(error_mutex_);
         if (worker_error_ == nullptr) {
           worker_error_ = std::current_exception();
         }
@@ -209,10 +217,11 @@ void ThreadPoolBackend::run_worker(std::size_t index) {
     // producers have already pushed newer chunks behind it.
     bool notify = false;
     {
-      std::lock_guard<std::mutex> lock(flush_mutex_);
-      if (worker.done_epoch < flush_epoch_ &&
-          worker.queue->popped() >= worker.flush_watermark) {
-        worker.done_epoch = flush_epoch_;
+      MutexLock lock(flush_mutex_);
+      WorkerProgress& progress = progress_[index];
+      if (progress.done_epoch < flush_epoch_ &&
+          worker.queue->popped() >= progress.flush_watermark) {
+        progress.done_epoch = flush_epoch_;
         notify = true;
       }
     }

@@ -23,15 +23,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "engine/engine.hpp"
 #include "engine/ingest_queue.hpp"
 
@@ -74,10 +73,17 @@ class DetectionSink {
 /// One service shard: an Engine plus the mutex that serializes worker
 /// data-plane access with control-plane calls (create_session,
 /// patient_trigger, stats) arriving on other threads.
+///
+/// The Engine itself is single-threaded by design and carries no lock of
+/// its own; `engine` is the one concurrent doorway to it, so the pointee
+/// annotation below is what makes every Engine member — session slots,
+/// hook functions, poll scratch — statically lock-checked: under Clang,
+/// dereferencing `engine` without holding `mutex` is a build break.
 struct Shard {
   std::uint32_t index = 0;
-  Engine* engine = nullptr;  // owned by the DetectionService
-  mutable std::mutex mutex;
+  /// Owned by the DetectionService; only dereference with `mutex` held.
+  Engine* engine ESL_PT_GUARDED_BY(mutex) = nullptr;
+  mutable Mutex mutex;
 };
 
 /// How shards execute. The service calls start() once before any
@@ -150,9 +156,16 @@ class ThreadPoolBackend final : public ExecutionBackend {
   struct Worker {
     std::unique_ptr<IngestQueue> queue;
     std::thread thread;
-    // Guarded by flush_mutex_. A flush captures queue->pushed() as the
-    // watermark; the worker completes the epoch once queue->popped()
-    // reaches it, so barriers finish even under continuous ingest.
+  };
+
+  /// Flush-barrier bookkeeping for one worker (progress_[i] belongs to
+  /// workers_[i]; kept out of Worker so the guarded_by annotation can
+  /// name flush_mutex_ — Clang's analysis cannot tie an inner-struct
+  /// member to an outer-class mutex). A flush captures queue->pushed()
+  /// as the watermark; the worker completes the epoch once
+  /// queue->popped() reaches it, so barriers finish even under
+  /// continuous ingest.
+  struct WorkerProgress {
     std::uint64_t done_epoch = 0;
     std::uint64_t flush_watermark = 0;
   };
@@ -160,6 +173,8 @@ class ThreadPoolBackend final : public ExecutionBackend {
   void run_worker(std::size_t index);
   /// flush() without the worker-error rethrow (stop() must join first).
   void flush_barrier();
+  /// True once every worker's done_epoch reached `target`.
+  bool flush_done(std::uint64_t target) const ESL_REQUIRES(flush_mutex_);
   /// Rethrows the first captured worker exception, if any.
   void rethrow_worker_error();
 
@@ -168,15 +183,16 @@ class ThreadPoolBackend final : public ExecutionBackend {
   DetectionSink* sink_ = nullptr;
   std::vector<std::unique_ptr<Worker>> workers_;
 
-  std::mutex flush_mutex_;  // guards flush_epoch_ and Worker::done_epoch
-  std::condition_variable flush_cv_;
-  std::uint64_t flush_epoch_ = 0;
+  mutable Mutex flush_mutex_;
+  CondVar flush_cv_;
+  std::uint64_t flush_epoch_ ESL_GUARDED_BY(flush_mutex_) = 0;
+  std::vector<WorkerProgress> progress_ ESL_GUARDED_BY(flush_mutex_);
   std::atomic<bool> stopping_{false};
 
   // First exception thrown on a worker thread (engine precondition
   // violations surface on the caller's thread at the next flush/stop).
-  std::mutex error_mutex_;
-  std::exception_ptr worker_error_;
+  Mutex error_mutex_;
+  std::exception_ptr worker_error_ ESL_GUARDED_BY(error_mutex_);
 };
 
 }  // namespace esl::engine

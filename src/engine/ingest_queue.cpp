@@ -16,9 +16,10 @@ bool IngestQueue::push(std::uint64_t session_id,
                        const std::vector<std::span<const Real>>& chunk) {
   IngestChunk slot;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock,
-                   [this] { return items_.size() < capacity_ || closed_; });
+    MutexLock lock(mutex_);
+    while (items_.size() >= capacity_ && !closed_) {
+      not_full_.wait(lock);
+    }
     if (closed_) {
       return false;
     }
@@ -42,7 +43,7 @@ bool IngestQueue::push(std::uint64_t session_id,
 }
 
 std::size_t IngestQueue::pop_all(std::vector<IngestChunk>& out) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const std::size_t moved = items_.size();
   for (IngestChunk& item : items_) {
     out.push_back(std::move(item));
@@ -56,7 +57,7 @@ std::size_t IngestQueue::pop_all(std::vector<IngestChunk>& out) {
 }
 
 void IngestQueue::recycle(std::vector<IngestChunk>& consumed) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (IngestChunk& chunk : consumed) {
     if (pool_.size() >= capacity_) {
       break;  // keep the pool bounded; the rest just deallocates
@@ -67,16 +68,16 @@ void IngestQueue::recycle(std::vector<IngestChunk>& consumed) {
 }
 
 void IngestQueue::wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  consumer_.wait(lock, [this] {
-    return !items_.empty() || wake_pending_ || closed_;
-  });
+  MutexLock lock(mutex_);
+  while (items_.empty() && !wake_pending_ && !closed_) {
+    consumer_.wait(lock);
+  }
   wake_pending_ = false;
 }
 
 void IngestQueue::wake() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     wake_pending_ = true;
   }
   consumer_.notify_all();
@@ -84,7 +85,7 @@ void IngestQueue::wake() {
 
 void IngestQueue::close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     closed_ = true;
   }
   not_full_.notify_all();
@@ -92,17 +93,17 @@ void IngestQueue::close() {
 }
 
 std::size_t IngestQueue::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return items_.size();
 }
 
 std::uint64_t IngestQueue::pushed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return pushed_;
 }
 
 std::uint64_t IngestQueue::popped() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return popped_;
 }
 

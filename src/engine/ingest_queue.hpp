@@ -14,12 +14,11 @@
 // single-threaded Engine — hold under the ThreadPoolBackend.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/types.hpp"
 
 namespace esl::engine {
@@ -76,15 +75,17 @@ class IngestQueue {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_full_;   // producers waiting for room
-  std::condition_variable consumer_;   // the worker waiting for chunks
-  std::vector<IngestChunk> items_;     // FIFO, front at index 0
-  std::vector<IngestChunk> pool_;      // recycled chunk storage
-  std::uint64_t pushed_ = 0;
-  std::uint64_t popped_ = 0;
-  bool wake_pending_ = false;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar not_full_;  // producers waiting for room
+  CondVar consumer_;  // the worker waiting for chunks
+  /// FIFO, front at index 0.
+  std::vector<IngestChunk> items_ ESL_GUARDED_BY(mutex_);
+  /// Recycled chunk storage.
+  std::vector<IngestChunk> pool_ ESL_GUARDED_BY(mutex_);
+  std::uint64_t pushed_ ESL_GUARDED_BY(mutex_) = 0;
+  std::uint64_t popped_ ESL_GUARDED_BY(mutex_) = 0;
+  bool wake_pending_ ESL_GUARDED_BY(mutex_) = false;
+  bool closed_ ESL_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace esl::engine

@@ -79,7 +79,7 @@ std::shared_ptr<const ml::InferenceModel> ModelRegistry::open(
     throw DataError("ModelRegistry::open: no artifact at " + path);
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const std::string key(patient_key);
   auto it = cache_.find(key);
   if (it != cache_.end() && it->second.file_bytes == file_bytes &&
@@ -108,7 +108,7 @@ bool ModelRegistry::contains(std::string_view patient_key) const {
 }
 
 std::size_t ModelRegistry::refresh() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::size_t dropped = 0;
   for (auto it = cache_.begin(); it != cache_.end();) {
     std::uint64_t file_bytes = 0;
@@ -128,7 +128,7 @@ std::size_t ModelRegistry::refresh() const {
 }
 
 std::size_t ModelRegistry::cached_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return cache_.size();
 }
 

@@ -25,11 +25,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
+#include "common/annotations.hpp"
 #include "ml/artifact.hpp"
 #include "ml/inference_model.hpp"
 
@@ -95,12 +95,13 @@ class ModelRegistry {
   /// stat() the file; false when it does not exist.
   bool stat_artifact(const std::string& path, std::uint64_t* file_bytes,
                      std::int64_t* mtime_ns) const;
-  void evict_lru_locked() const;
+  void evict_lru_locked() const ESL_REQUIRES(mutex_);
 
   RegistryConfig config_;
-  mutable std::mutex mutex_;
-  mutable std::unordered_map<std::string, Entry> cache_;
-  mutable std::uint64_t tick_ = 0;
+  mutable Mutex mutex_;
+  mutable std::unordered_map<std::string, Entry> cache_
+      ESL_GUARDED_BY(mutex_);
+  mutable std::uint64_t tick_ ESL_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace esl::engine

@@ -20,12 +20,12 @@ std::uint64_t mix64(std::uint64_t x) {
 
 void DetectionService::Collector::on_detections(
     std::span<const Detection> detections) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   buffer_.insert(buffer_.end(), detections.begin(), detections.end());
 }
 
 std::size_t DetectionService::Collector::drain(std::vector<Detection>& out) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const std::size_t count = buffer_.size();
   for (Detection& d : buffer_) {
     out.push_back(d);
@@ -100,7 +100,7 @@ SessionHandle DetectionService::create_on_shard(std::uint32_t shard_index,
   Shard& shard = *shards_[shard_index];
   std::uint64_t local = 0;
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     local = shard.engine->add_session(config);
     // Published under the shard mutex: concurrent creates on one shard
     // must not let a stale (smaller) count overwrite a newer one.
@@ -168,7 +168,7 @@ void DetectionService::set_alarm_hook(
   auto shared = std::make_shared<std::function<void(const Detection&)>>(
       std::move(hook));
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     const std::uint32_t index = shard->index;
     shard->engine->set_alarm_hook([shared, index](const Detection& d) {
       Detection translated = d;
@@ -185,7 +185,7 @@ void DetectionService::set_label_hook(
       std::function<void(SessionHandle, const signal::Interval&)>>(
       std::move(hook));
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     const std::uint32_t index = shard->index;
     shard->engine->set_label_hook(
         [shared, index](std::uint64_t local_id, const signal::Interval& label) {
@@ -197,19 +197,19 @@ void DetectionService::set_label_hook(
 void DetectionService::attach_self_learning(
     SessionHandle handle, const core::SelfLearningConfig& config) {
   Shard& shard = shard_for(handle);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   shard.engine->attach_self_learning(handle.local_id(), config);
 }
 
 bool DetectionService::has_self_learning(SessionHandle handle) const {
   const Shard& shard = shard_for(handle);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   return shard.engine->has_self_learning(handle.local_id());
 }
 
 signal::Interval DetectionService::patient_trigger(SessionHandle handle) {
   Shard& shard = shard_for(handle);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   return shard.engine->patient_trigger(handle.local_id());
 }
 
@@ -220,7 +220,7 @@ void DetectionService::swap_model(
   // cycle: the worker is either before the poll (new model classifies
   // this round) or past it (new model from the next round) — never
   // mid-batch with a dangling model.
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   shard.engine->swap_model(handle.local_id(), std::move(model));
 }
 
@@ -235,26 +235,26 @@ void DetectionService::swap_model(SessionHandle handle,
 std::shared_ptr<const ml::InferenceModel> DetectionService::session_model(
     SessionHandle handle) const {
   const Shard& shard = shard_for(handle);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   return shard.engine->session_model(handle.local_id());
 }
 
 std::size_t DetectionService::session_alarms(SessionHandle handle) const {
   const Shard& shard = shard_for(handle);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   return shard.engine->session(handle.local_id()).alarms();
 }
 
 const PatientSession& DetectionService::session(SessionHandle handle) const {
   const Shard& shard = shard_for(handle);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   return shard.engine->session(handle.local_id());
 }
 
 EngineStats DetectionService::stats() const {
   EngineStats total;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     const EngineStats& s = shard->engine->stats();
     total.windows_classified += s.windows_classified;
     total.forest_windows += s.forest_windows;

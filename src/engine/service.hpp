@@ -28,11 +28,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string_view>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "engine/backend.hpp"
 #include "engine/engine.hpp"
 #include "ml/inference_model.hpp"
@@ -167,8 +167,8 @@ class DetectionService {
     std::size_t drain(std::vector<Detection>& out);
 
    private:
-    std::mutex mutex_;
-    std::vector<Detection> buffer_;
+    Mutex mutex_;
+    std::vector<Detection> buffer_ ESL_GUARDED_BY(mutex_);
   };
 
   /// The sink handed to the backend: forwards to the user sink when one
