@@ -280,7 +280,13 @@ class ArtifactCorruption : public ::testing::Test {
   void SetUp() override {
     RandomForest forest;
     forest.fit(noisy(150, 61), 3);
-    path_ = temp_path("corrupt.eslm");
+    // Unique file per test: ctest runs each test as its own process, and
+    // write_file truncates in place — sharing one name would let one
+    // test truncate a file another has mmap'd (SIGBUS).
+    path_ = temp_path(
+        std::string("corrupt_") +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+        ".eslm");
     save_artifact(path_, CompiledForest(forest));
   }
 
@@ -341,6 +347,7 @@ TEST_F(ArtifactCorruption, MissingFileThrowsDataError) {
   EXPECT_THROW(MappedModel{path_ + ".does-not-exist"}, DataError);
   EXPECT_THROW(load_artifact(path_ + ".does-not-exist"), DataError);
 }
+
 
 // ------------------------------------------------------- serving profile
 
