@@ -82,6 +82,76 @@ void validate(const ArtifactHeader& header, std::size_t file_bytes) {
           "artifact: file length mismatch (truncated or trailing bytes)");
 }
 
+void validate_payload(const ArtifactHeader& header,
+                      const FlatForest& forest) {
+  const auto n = static_cast<std::uint32_t>(header.node_count);
+  for (std::size_t t = 0; t < forest.tree_root.size(); ++t) {
+    expects(forest.tree_root[t] < n,
+            "artifact: tree root outside the node arrays");
+    expects(forest.tree_depth[t] <= header.max_depth,
+            "artifact: tree depth exceeds the declared maximum");
+  }
+  for (std::size_t i = 0; i < forest.feature.size(); ++i) {
+    expects(forest.left[i] < n, "artifact: left child outside the node arrays");
+    expects(forest.right[i] < n,
+            "artifact: right child outside the node arrays");
+    // The SIMD traversal gathers through the interleaved pairs; a
+    // mismatch against left/right would silently diverge the two
+    // backends (same bytes, different detections), so it is malformed.
+    expects(forest.children[2 * i] == forest.left[i] &&
+                forest.children[2 * i + 1] == forest.right[i],
+            "artifact: interleaved children disagree with left/right");
+    // predict_flat_* bound row width against header.max_feature; a
+    // feature id past it would gather outside the batch rows.
+    expects(forest.feature[i] <= header.max_feature,
+            "artifact: feature id exceeds the declared maximum");
+  }
+}
+
+ArtifactView bind_artifact(std::span<const std::byte> bytes) {
+  expects(bytes.size() >= sizeof(ArtifactHeader),
+          "artifact: too short for a header");
+  const std::byte* base = bytes.data();
+  expects(reinterpret_cast<std::uintptr_t>(base) % alignof(Real) == 0,
+          "artifact: byte buffer misaligned for Real");
+
+  ArtifactView view;
+  // memcpy, not pointer-cast: the header is read once into owned
+  // storage; only the payload arrays are served from the bytes.
+  std::memcpy(&view.header, base, sizeof(ArtifactHeader));
+  validate(view.header, bytes.size());
+
+  const ArtifactLayout layout =
+      artifact_layout(view.header.node_count, view.header.tree_count,
+                      view.header.scaler_width);
+  const auto n = static_cast<std::size_t>(view.header.node_count);
+  const auto t = static_cast<std::size_t>(view.header.tree_count);
+  const auto w = static_cast<std::size_t>(view.header.scaler_width);
+  const auto u32_at = [base](std::size_t offset, std::size_t count) {
+    return std::span<const std::uint32_t>(
+        reinterpret_cast<const std::uint32_t*>(base + offset), count);
+  };
+  const auto real_at = [base](std::size_t offset, std::size_t count) {
+    return std::span<const Real>(
+        reinterpret_cast<const Real*>(base + offset), count);
+  };
+  view.forest.feature = u32_at(layout.feature, n);
+  view.forest.threshold = real_at(layout.threshold, n);
+  view.forest.left = u32_at(layout.left, n);
+  view.forest.right = u32_at(layout.right, n);
+  view.forest.children = u32_at(layout.children, 2 * n);
+  view.forest.leaf_value = real_at(layout.leaf_value, n);
+  view.forest.tree_root = u32_at(layout.tree_root, t);
+  view.forest.tree_depth = u32_at(layout.tree_depth, t);
+  view.forest.decision_threshold = view.header.decision_threshold;
+  view.forest.max_feature = view.header.max_feature;
+  view.scaler_mean = real_at(layout.scaler_mean, w);
+  view.scaler_stddev = real_at(layout.scaler_stddev, w);
+
+  validate_payload(view.header, view.forest);
+  return view;
+}
+
 void save_artifact(const std::string& path, const CompiledForest& forest) {
   const RowScaler& scaler = forest.scaler();
   ensures(scaler.stddev.size() == scaler.mean.size(),
@@ -167,41 +237,15 @@ void save_artifact(const std::string& path, const CompiledForest& forest) {
 
 MappedModel::MappedModel(const std::string& path, InferenceBackend backend)
     : path_(path), backend_(backend), file_(path) {
-  expects(file_.size() >= sizeof(ArtifactHeader),
-          "MappedModel: file too short for an artifact header");
-  // memcpy, not pointer-cast: the header is read once, the arrays are
-  // the only thing served straight from the mapping.
-  std::memcpy(&header_, file_.bytes().data(), sizeof(ArtifactHeader));
-  validate(header_, file_.size());
-
-  const ArtifactLayout layout = artifact_layout(
-      header_.node_count, header_.tree_count, header_.scaler_width);
-  const std::byte* base = file_.bytes().data();
-  ensures(reinterpret_cast<std::uintptr_t>(base) % alignof(Real) == 0,
-          "MappedModel: mapping base misaligned");
-  const auto n = static_cast<std::size_t>(header_.node_count);
-  const auto t = static_cast<std::size_t>(header_.tree_count);
-  const auto w = static_cast<std::size_t>(header_.scaler_width);
-  const auto u32_at = [base](std::size_t offset, std::size_t count) {
-    return std::span<const std::uint32_t>(
-        reinterpret_cast<const std::uint32_t*>(base + offset), count);
-  };
-  const auto real_at = [base](std::size_t offset, std::size_t count) {
-    return std::span<const Real>(
-        reinterpret_cast<const Real*>(base + offset), count);
-  };
-  flat_.feature = u32_at(layout.feature, n);
-  flat_.threshold = real_at(layout.threshold, n);
-  flat_.left = u32_at(layout.left, n);
-  flat_.right = u32_at(layout.right, n);
-  flat_.children = u32_at(layout.children, 2 * n);
-  flat_.leaf_value = real_at(layout.leaf_value, n);
-  flat_.tree_root = u32_at(layout.tree_root, t);
-  flat_.tree_depth = u32_at(layout.tree_depth, t);
-  flat_.decision_threshold = header_.decision_threshold;
-  flat_.max_feature = header_.max_feature;
-  mean_ = real_at(layout.scaler_mean, w);
-  stddev_ = real_at(layout.scaler_stddev, w);
+  // One shared parsing seam with the fuzz harness: header validation,
+  // span binding, and the structural payload pass all live in
+  // bind_artifact (an mmap base is page-aligned, so the alignment
+  // precondition always holds here).
+  ArtifactView view = bind_artifact(file_.bytes());
+  header_ = view.header;
+  flat_ = view.forest;
+  mean_ = view.scaler_mean;
+  stddev_ = view.scaler_stddev;
 }
 
 void MappedModel::predict_into(Matrix& raw_rows, RealVector& proba,

@@ -33,11 +33,20 @@
 // same fitted forest, with zero steady-state allocations per call and
 // pages faulting in lazily on first traversal.
 //
-// Trust model: validate(ArtifactHeader) rejects truncated, foreign, or
-// version-skewed files before any array is touched, but payload *values*
-// (child indices, roots) are trusted — artifacts come from this
-// library's own save_artifact in your training pipeline, not from
-// untrusted input.
+// Trust model: an artifact file is the boundary between training and
+// serving processes — replicated between hosts, it is partially-trusted
+// *input*, not internal state. Opening therefore validates in two
+// passes before any traversal runs: validate(ArtifactHeader) rejects
+// truncated, foreign, or version-skewed files from the fixed prologue
+// alone, and validate_payload() makes one O(node_count) structural pass
+// over the arrays — every child / root index in range, interleaved
+// children consistent, feature ids within the header's declared bound,
+// per-tree depths within the declared maximum — so a hostile payload
+// behind a well-formed header cannot steer predict_flat_compiled /
+// predict_flat_simd outside the mapping (traversal itself is
+// depth-bounded, so no payload can make it loop forever either). Both
+// passes run inside bind_artifact(), the single parsing seam MappedModel
+// and the fuzz harness (fuzz/fuzz_artifact.cpp) share.
 #pragma once
 
 #include <cstdint>
@@ -113,6 +122,34 @@ void validate(const ArtifactHeader& header);
 /// Additionally rejects a file whose real length disagrees with the
 /// header (truncated download, partial write, trailing garbage).
 void validate(const ArtifactHeader& header, std::size_t file_bytes);
+
+/// Structural validation of the payload arrays behind a valid header:
+/// every tree_root / left / right / children index addresses a real
+/// node, the interleaved children pairs agree with left/right, every
+/// feature id is <= header.max_feature (what the predict entry points
+/// bound row width against), and every tree_depth is <= header.max_depth.
+/// One O(node_count) pass, run once per open — traversal itself stays
+/// check-free. Throws InvalidArgument (literal messages) on violation.
+void validate_payload(const ArtifactHeader& header, const FlatForest& forest);
+
+/// A validated, borrowed view over one artifact's bytes: the header
+/// (copied out — never served from the mapping) plus spans aimed into
+/// the payload arrays. Valid only while the underlying bytes live.
+struct ArtifactView {
+  ArtifactHeader header;
+  FlatForest forest;
+  std::span<const Real> scaler_mean;
+  std::span<const Real> scaler_stddev;
+};
+
+/// Parses `bytes` as a complete artifact: header validation (including
+/// the exact-length check), span binding, and the structural payload
+/// pass — the one place artifact bytes become typed spans. MappedModel
+/// binds its mapping through this, and the fuzz harness drives it
+/// directly on arbitrary blobs with no file in between. `bytes.data()`
+/// must be at least alignof(Real)-aligned (an mmap base always is).
+/// Throws InvalidArgument on any malformed input.
+ArtifactView bind_artifact(std::span<const std::byte> bytes);
 
 /// Serializes `forest` (arrays + baked scaler) to `path` as one flat
 /// artifact. Writes path + ".tmp" first and renames over `path`, so

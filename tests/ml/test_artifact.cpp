@@ -21,6 +21,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <limits>
@@ -348,6 +349,148 @@ TEST_F(ArtifactCorruption, MissingFileThrowsDataError) {
   EXPECT_THROW(load_artifact(path_ + ".does-not-exist"), DataError);
 }
 
+// ------------------------------------------------------ hostile payloads
+//
+// Regression suite for the fuzz finding that motivated
+// validate_payload(): a file with a perfectly well-formed header but
+// hostile *array values* (out-of-range child indices, roots, feature
+// ids) used to pass validation and steer traversal outside the mapping.
+// Every tamper here must be rejected at open time, before any predict.
+
+class ArtifactPayloadTamper : public ArtifactCorruption {
+ protected:
+  /// The layout of the saved file, derived from its own header.
+  ArtifactLayout layout() {
+    const std::vector<char> bytes = read_file();
+    ArtifactHeader header;
+    std::memcpy(&header, bytes.data(), sizeof(header));
+    return artifact_layout(header.node_count, header.tree_count,
+                           header.scaler_width);
+  }
+
+  /// Overwrites the u32 at `byte_offset` with `value` and expects the
+  /// open to reject the file.
+  void expect_rejects_u32(std::size_t byte_offset, std::uint32_t value) {
+    const std::vector<char> original = read_file();
+    std::vector<char> bytes = original;
+    ASSERT_LE(byte_offset + sizeof(value), bytes.size());
+    std::memcpy(bytes.data() + byte_offset, &value, sizeof(value));
+    write_file(bytes);
+    EXPECT_THROW(MappedModel{path_}, InvalidArgument);
+    EXPECT_THROW((MappedModel{path_, InferenceBackend::kSimd}),
+                 InvalidArgument);
+    write_file(original);  // restore for the next tamper
+  }
+
+  std::uint32_t node_count() {
+    const std::vector<char> bytes = read_file();
+    ArtifactHeader header;
+    std::memcpy(&header, bytes.data(), sizeof(header));
+    return static_cast<std::uint32_t>(header.node_count);
+  }
+};
+
+TEST_F(ArtifactPayloadTamper, RejectsTreeRootPastTheNodeArrays) {
+  expect_rejects_u32(layout().tree_root, node_count());
+}
+
+TEST_F(ArtifactPayloadTamper, RejectsChildIndicesPastTheNodeArrays) {
+  // left[0] and right[0] out of range (the interleave-consistency check
+  // also fires, but range is what keeps traversal inside the mapping).
+  expect_rejects_u32(layout().left, node_count());
+  expect_rejects_u32(layout().right, ~std::uint32_t{0});
+}
+
+TEST_F(ArtifactPayloadTamper, RejectsInterleavedChildrenMismatch) {
+  // Valid index, but children[0] no longer mirrors left[0]: the scalar
+  // and SIMD traversals would silently diverge on the same bytes.
+  const std::vector<char> bytes = read_file();
+  std::uint32_t left0 = 0;
+  std::memcpy(&left0, bytes.data() + layout().left, sizeof(left0));
+  expect_rejects_u32(layout().children, left0 + 1 < node_count()
+                                            ? left0 + 1
+                                            : left0 - 1);
+}
+
+TEST_F(ArtifactPayloadTamper, RejectsFeatureIdPastTheDeclaredMaximum) {
+  // predict bounds row width against header.max_feature; a bigger id in
+  // the array would gather outside the batch rows.
+  std::uint32_t max_feature = 0;
+  {
+    const std::vector<char> bytes = read_file();
+    ArtifactHeader header;
+    std::memcpy(&header, bytes.data(), sizeof(header));
+    max_feature = header.max_feature;
+  }
+  expect_rejects_u32(layout().feature, max_feature + 1);
+}
+
+TEST_F(ArtifactPayloadTamper, RejectsTreeDepthPastTheDeclaredMaximum) {
+  const std::vector<char> bytes = read_file();
+  ArtifactHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  expect_rejects_u32(layout().tree_depth,
+                     static_cast<std::uint32_t>(header.max_depth) + 1);
+}
+
+// ------------------------------------------------------- bind_artifact
+
+TEST(BindArtifact, BindsAValidBufferWithoutAFile) {
+  RandomForest forest;
+  forest.fit(noisy(150, 71), 3);
+  const CompiledForest compiled(forest);
+  const std::string path = temp_path("bind.eslm");
+  save_artifact(path, compiled);
+
+  std::ifstream in(path, std::ios::binary);
+  const std::vector<char> raw{std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>()};
+  // bind_artifact requires alignof(Real); Real storage guarantees it.
+  std::vector<Real> aligned((raw.size() + sizeof(Real) - 1) / sizeof(Real));
+  std::memcpy(aligned.data(), raw.data(), raw.size());
+
+  const ArtifactView view = bind_artifact(std::as_bytes(
+      std::span<const Real>(aligned.data(), aligned.size())).first(raw.size()));
+  EXPECT_EQ(view.header.node_count, compiled.node_count());
+  EXPECT_EQ(view.forest.tree_count(), compiled.tree_count());
+  EXPECT_TRUE(std::equal(view.forest.feature.begin(),
+                         view.forest.feature.end(),
+                         compiled.features().begin()));
+
+  // The bound view serves the same predictions as the source artifact.
+  Matrix rows;
+  Rng rng(5);
+  for (std::size_t r = 0; r < 32; ++r) {
+    RealVector row;
+    for (std::size_t f = 0; f < 10; ++f) {
+      row.push_back(rng.normal());
+    }
+    rows.append_row(row);
+  }
+  Matrix reference_rows = rows;
+  RealVector proba_reference;
+  std::vector<int> labels_reference;
+  compiled.predict_into(reference_rows, proba_reference, labels_reference);
+
+  Matrix bound_rows = rows;
+  scale_rows(view.scaler_mean, view.scaler_stddev, bound_rows);
+  RealVector proba;
+  std::vector<int> labels;
+  predict_flat_compiled(view.forest, bound_rows, proba, labels);
+  EXPECT_EQ(proba, proba_reference);
+  EXPECT_EQ(labels, labels_reference);
+}
+
+TEST(BindArtifact, RejectsShortAndEmptyBuffers) {
+  alignas(alignof(Real)) const std::byte empty[1]{};
+  EXPECT_THROW(bind_artifact({static_cast<const std::byte*>(empty), 0}),
+               InvalidArgument);
+  alignas(alignof(Real)) std::byte half_header[sizeof(ArtifactHeader) / 2]{};
+  EXPECT_THROW(
+      bind_artifact({static_cast<const std::byte*>(half_header),
+                     sizeof(half_header)}),
+      InvalidArgument);
+}
 
 // ------------------------------------------------------- serving profile
 
