@@ -21,6 +21,23 @@ void validate(const SessionConfig& config) {
   expects(std::isfinite(config.history_seconds) &&
               config.history_seconds >= 0.0,
           "SessionConfig: history_seconds must be non-negative");
+  // Geometry plausibility bounds (found by fuzz/fuzz_ingest.cpp): the
+  // streaming extractor sizes per-channel rings from
+  // lround(window_seconds * sample_rate_hz), so a hostile config like
+  // sample_rate_hz = 1e30 passed positivity checks and then hit lround
+  // overflow (UB) plus a colossal ring allocation. Products are bounded
+  // *before* any rounding or allocation can see them. The limits are
+  // far beyond any wearable EEG geometry (window cap = 4 s at ~16 MHz;
+  // history cap = one hour at ~1 MHz) but small enough that the rings
+  // they imply are allocatable.
+  constexpr double k_max_window_samples = 67108864.0;     // 2^26
+  constexpr double k_max_history_samples = 4294967296.0;  // 2^32
+  expects(config.window_seconds * config.sample_rate_hz <=
+              k_max_window_samples,
+          "SessionConfig: window sample count implausibly large");
+  expects(config.history_seconds * config.sample_rate_hz <=
+              k_max_history_samples,
+          "SessionConfig: history sample count implausibly large");
 }
 
 namespace {

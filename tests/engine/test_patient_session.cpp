@@ -227,6 +227,29 @@ TEST_F(PatientSessionTest, RejectsInvalidStreamGeometry) {
   EXPECT_THROW(PatientSession(9, extractor, bad), InvalidArgument);
 }
 
+TEST_F(PatientSessionTest, RejectsImplausiblyLargeStreamGeometry) {
+  // Fuzz regression (fuzz/fuzz_ingest.cpp): finite-but-absurd rates used
+  // to pass validation and reach lround(window_seconds * sample_rate_hz)
+  // — long overflow, then a colossal ring allocation. validate() must
+  // bound the products, not just the signs.
+  SessionConfig bad;
+  bad.sample_rate_hz = 1e30;
+  EXPECT_THROW(validate(bad), InvalidArgument);
+  bad = SessionConfig{};
+  bad.window_seconds = 1e18;
+  EXPECT_THROW(validate(bad), InvalidArgument);
+  bad = SessionConfig{};
+  bad.history_seconds = 1e20;
+  EXPECT_THROW(validate(bad), InvalidArgument);
+  // The paper's wearable geometry (and an aggressive-but-real research
+  // rig at 20 kHz) stay accepted.
+  SessionConfig fine;
+  EXPECT_NO_THROW(validate(fine));
+  fine.sample_rate_hz = 20000.0;
+  fine.history_seconds = 3600.0;
+  EXPECT_NO_THROW(validate(fine));
+}
+
 TEST_F(PatientSessionTest, HistoryDisabledByDefault) {
   const features::EglassFeatureExtractor extractor(2);
   PatientSession session(5, extractor, SessionConfig{});
