@@ -14,12 +14,14 @@ namespace {
 
 constexpr Real k_pi = std::numbers::pi_v<Real>;
 
-void check_frequency(Real frequency_hz, Real sample_rate_hz,
-                     const char* where) {
+void check_frequency(Real frequency_hz, Real sample_rate_hz) {
+  // Literal messages (const char* expects overload): the check also
+  // guards per-record pipeline setup, and a std::string build here
+  // allocates even on the passing path.
   expects(sample_rate_hz > 0.0,
-          std::string(where) + ": sample rate must be positive");
+          "filter design: sample rate must be positive");
   expects(frequency_hz > 0.0 && frequency_hz < sample_rate_hz / 2.0,
-          std::string(where) + ": frequency must lie in (0, Nyquist)");
+          "filter design: frequency must lie in (0, Nyquist)");
 }
 
 /// RBJ cookbook low-pass biquad at f0 with quality Q.
@@ -86,7 +88,7 @@ std::vector<Real> butterworth_q(std::size_t order) {
 BiquadCascade butterworth(std::size_t order, Real cutoff_hz,
                           Real sample_rate_hz, bool highpass) {
   expects(order >= 1, "butterworth: order must be >= 1");
-  check_frequency(cutoff_hz, sample_rate_hz, "butterworth");
+  check_frequency(cutoff_hz, sample_rate_hz);
   std::vector<Biquad> sections;
   for (const Real q : butterworth_q(order)) {
     sections.push_back(highpass ? rbj_highpass(cutoff_hz, q, sample_rate_hz)
@@ -174,7 +176,7 @@ BiquadCascade butterworth_bandpass(std::size_t order, Real low_hz, Real high_hz,
 }
 
 Biquad notch(Real center_hz, Real quality, Real sample_rate_hz) {
-  check_frequency(center_hz, sample_rate_hz, "notch");
+  check_frequency(center_hz, sample_rate_hz);
   expects(quality > 0.0, "notch: quality must be positive");
   const Real w0 = 2.0 * k_pi * center_hz / sample_rate_hz;
   const Real alpha = std::sin(w0) / (2.0 * quality);
@@ -204,7 +206,7 @@ namespace {
 RealVector windowed_sinc(std::size_t taps, Real cutoff_hz, Real sample_rate_hz,
                          WindowKind window) {
   expects(taps >= 3, "fir design: need at least 3 taps");
-  check_frequency(cutoff_hz, sample_rate_hz, "fir design");
+  check_frequency(cutoff_hz, sample_rate_hz);
   const Real fc = cutoff_hz / sample_rate_hz;  // normalized (cycles/sample)
   const auto center = static_cast<std::ptrdiff_t>((taps - 1) / 2);
   const RealVector w = make_window(window, taps, /*periodic=*/false);
