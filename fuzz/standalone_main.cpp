@@ -1,0 +1,63 @@
+// Replay driver for toolchains without libFuzzer (GCC, plain CI).
+//
+// Links against the same LLVMFuzzerTestOneInput a Clang build hands to
+// libFuzzer, and replays every file (or every regular file inside every
+// directory) named on the command line. libFuzzer-style flags
+// ("-runs=0", "-max_len=...") are ignored, so the exact ctest command
+// line works for both flavors of the binary. Exit is non-zero when any
+// input could not be read; a harness failure is a crash, as in fuzzing.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+bool replay_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "standalone: cannot read %s\n", path.c_str());
+    return false;
+  }
+  const std::vector<char> bytes{std::istreambuf_iterator<char>(in),
+                                std::istreambuf_iterator<char>()};
+  LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                         bytes.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t replayed = 0;
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!arg.empty() && arg[0] == '-') {
+      continue;  // libFuzzer flag; harmless here
+    }
+    const std::filesystem::path path(arg);
+    if (std::filesystem::is_directory(path)) {
+      for (const auto& entry : std::filesystem::directory_iterator(path)) {
+        if (entry.is_regular_file()) {
+          ok = replay_file(entry.path()) && ok;
+          ++replayed;
+        }
+      }
+    } else if (std::filesystem::exists(path)) {
+      ok = replay_file(path) && ok;
+      ++replayed;
+    } else {
+      std::fprintf(stderr, "standalone: no such input %s\n", path.c_str());
+      ok = false;
+    }
+  }
+  std::printf("standalone: replayed %zu inputs\n", replayed);
+  return ok ? 0 : 1;
+}
