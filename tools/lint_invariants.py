@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Repo-invariant lint: rules clang-tidy cannot express.
+
+Checks (all scoped to src/):
+
+1. hot-contract-messages — expects()/ensures() in the hot-path modules
+   (src/dsp, src/ml, src/engine) must pass a *string literal* message
+   (the const char* overloads in common/error.hpp). Building the message
+   with operator+ / std::to_string allocates on every evaluation, even
+   when the check passes — on the per-window path that is a steady-state
+   allocation the ZeroAllocation suites would flag far less precisely.
+
+2. hot-loop-strings — no std::string construction (std::string(...),
+   std::to_string, std::string locals) inside for/while loop bodies in
+   src/dsp and src/ml, unless the line throws (error paths are cold by
+   definition). Cold setup loops may carry an explicit
+   `// lint: allow-string(<why>)` suppression.
+
+3. lock-discipline — no naked std::mutex / std::condition_variable /
+   std::lock_guard / std::unique_lock / std::scoped_lock outside
+   src/common/annotations.hpp. Everything locks through esl::Mutex /
+   esl::MutexLock / esl::CondVar so Clang's -Wthread-safety analysis
+   sees every acquisition (a naked std::mutex is invisible to it).
+
+Exit status 0 when clean; 1 with file:line diagnostics otherwise.
+Run from anywhere: paths resolve relative to the repo root (parent of
+this script's directory). CI runs this alongside clang-tidy.
+"""
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+HOT_CONTRACT_DIRS = ("dsp", "ml", "engine")
+HOT_LOOP_DIRS = ("dsp", "ml")
+
+ALLOW_STRING = re.compile(r"//\s*lint:\s*allow-string\(")
+CONTRACT_CALL = re.compile(r"\b(expects|ensures)\s*\(")
+STRING_BUILD = re.compile(
+    r"std::to_string\s*\(|std::string\s*[({]|\bstd::string\s+\w+\s*[=;({]"
+)
+LOOP_HEAD = re.compile(r"\b(for|while)\s*\(")
+NAKED_LOCK = re.compile(
+    r"\bstd::(mutex|condition_variable|lock_guard|unique_lock|scoped_lock"
+    r"|recursive_mutex|shared_mutex|timed_mutex)\b"
+)
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Removes // comments and the *contents* of string literals, so
+    pattern hits inside either do not count (quotes are kept as markers)."""
+    out = []
+    i, n = 0, len(line)
+    in_string = False
+    while i < n:
+        c = line[i]
+        if in_string:
+            if c == "\\":
+                i += 2
+                continue
+            if c == '"':
+                in_string = False
+                out.append('"')
+            i += 1
+            continue
+        if c == '"':
+            in_string = True
+            out.append('"')
+            i += 1
+            continue
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def source_files(root: Path) -> list[Path]:
+    return sorted(
+        p for p in root.rglob("*") if p.suffix in {".hpp", ".cpp"}
+    )
+
+
+def balanced_call(lines: list[str], start: int, column: int) -> tuple[str, int]:
+    """The full text of a call whose opening paren is at lines[start][column:],
+    plus the index of the line the call ends on."""
+    depth = 0
+    collected = []
+    for index in range(start, len(lines)):
+        text = strip_comments_and_strings(lines[index])
+        begin = column if index == start else 0
+        for offset in range(begin, len(text)):
+            c = text[offset]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+                if depth == 0:
+                    collected.append(text[begin : offset + 1])
+                    return " ".join(collected), index
+        collected.append(text[begin:])
+    return " ".join(collected), len(lines) - 1
+
+
+def check_hot_contract_messages(violations: list[str]) -> None:
+    for module in HOT_CONTRACT_DIRS:
+        for path in source_files(SRC / module):
+            raw = path.read_text().splitlines()
+            for lineno, line in enumerate(raw, 1):
+                stripped = strip_comments_and_strings(line)
+                match = CONTRACT_CALL.search(stripped)
+                if not match:
+                    continue
+                call, _ = balanced_call(raw, lineno - 1, match.end() - 1)
+                # A `+` only counts when it touches a string literal
+                # (concatenation); bare arithmetic in the condition is
+                # fine.
+                concatenates = re.search(r'"\s*\+|\+\s*"', call)
+                if concatenates or "std::to_string" in call or \
+                        "std::string" in call:
+                    rel = path.relative_to(REPO_ROOT)
+                    violations.append(
+                        f"{rel}:{lineno}: [hot-contract-messages] "
+                        f"{match.group(1)}() message must be a string "
+                        f"literal (const char* overload); building it "
+                        f"allocates on every call"
+                    )
+
+
+def check_hot_loop_strings(violations: list[str]) -> None:
+    for module in HOT_LOOP_DIRS:
+        for path in source_files(SRC / module):
+            loop_depths: list[int] = []  # brace depth at each open loop body
+            brace_depth = 0
+            pending_loop = False
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                stripped = strip_comments_and_strings(line)
+                in_loop = bool(loop_depths)
+                if (
+                    in_loop
+                    and STRING_BUILD.search(stripped)
+                    and "throw" not in stripped
+                    and not ALLOW_STRING.search(line)
+                ):
+                    rel = path.relative_to(REPO_ROOT)
+                    violations.append(
+                        f"{rel}:{lineno}: [hot-loop-strings] std::string "
+                        f"construction inside a loop body (allocates per "
+                        f"iteration); hoist it, throw, or annotate "
+                        f"`// lint: allow-string(<why>)`"
+                    )
+                if LOOP_HEAD.search(stripped):
+                    pending_loop = True
+                for c in stripped:
+                    if c == "{":
+                        if pending_loop:
+                            loop_depths.append(brace_depth)
+                            pending_loop = False
+                        brace_depth += 1
+                    elif c == "}":
+                        brace_depth -= 1
+                        if loop_depths and brace_depth == loop_depths[-1]:
+                            loop_depths.pop()
+                if pending_loop and stripped.rstrip().endswith(";"):
+                    pending_loop = False  # single-statement loop body
+    # (single-statement loop bodies without braces are rare in this
+    # codebase and covered by review; the brace tracker is intentionally
+    # simple rather than a C++ parser)
+
+
+def check_lock_discipline(violations: list[str]) -> None:
+    annotations = SRC / "common" / "annotations.hpp"
+    for path in source_files(SRC):
+        if path == annotations:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            stripped = strip_comments_and_strings(line)
+            match = NAKED_LOCK.search(stripped)
+            if match:
+                rel = path.relative_to(REPO_ROOT)
+                violations.append(
+                    f"{rel}:{lineno}: [lock-discipline] naked std::"
+                    f"{match.group(1)}; use esl::Mutex / esl::MutexLock / "
+                    f"esl::CondVar (common/annotations.hpp) so "
+                    f"-Wthread-safety sees the acquisition"
+                )
+
+
+def main() -> int:
+    violations: list[str] = []
+    check_hot_contract_messages(violations)
+    check_hot_loop_strings(violations)
+    check_lock_discipline(violations)
+    if violations:
+        print(f"lint_invariants: {len(violations)} violation(s)")
+        for v in violations:
+            print(f"  {v}")
+        return 1
+    print("lint_invariants: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
