@@ -21,6 +21,7 @@
 //   engine_throughput [--json PATH] [--sessions N] [--seconds S]
 //                     [--shards CSV] [--backend inline|threads|both]
 //                     [--model forest|compiled] [--artifact-dir DIR]
+//                     [--serve ADDR] [--connect ADDR] [--no-wire]
 //
 // --model selects the artifact the end-to-end engine/service runs deploy
 // to every session (compiled = swap_model with the compiled fleet
@@ -33,16 +34,29 @@
 // swap-from-disk latency plus time to the first window classified after
 // the swap, measured under live ThreadPoolBackend ingest.
 //
+// The wire stage prices the cross-process serving tier: by default a
+// ShardServer is started in-process on a loopback unix socket and the
+// same streaming workload is driven once through a RemoteBackend
+// (every chunk crosses the socket) and once through the in-process
+// ThreadPoolBackend, reporting sessions/sec (open-session round trips)
+// and windows/sec for both. `--serve ADDR` instead runs only the
+// server side and blocks (for cross-machine measurements); `--connect
+// ADDR` runs only the client side against an external server;
+// `--no-wire` skips the stage.
+//
 // --json writes the backend x shard-count matrix (plus the inference
-// numbers, including the compiled-vs-baseline speedup, and the artifact
-// stage when enabled) as machine-readable JSON, e.g. BENCH_engine.json,
-// so the perf trajectory can be tracked across commits.
+// numbers, including the compiled-vs-baseline speedup, the wire
+// section, and the artifact stage when enabled) as machine-readable
+// JSON, e.g. BENCH_engine.json, so the perf trajectory can be tracked
+// across commits.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -51,6 +65,8 @@
 #include "engine/service.hpp"
 #include "ml/artifact.hpp"
 #include "ml/dataset.hpp"
+#include "net/client.hpp"
+#include "net/shard_server.hpp"
 #include "sim/cohort.hpp"
 
 namespace {
@@ -227,6 +243,88 @@ struct ServiceResult {
   double windows_per_s;
 };
 
+// ----------------------------------------------------------- wire stage
+
+struct WireResult {
+  std::size_t shards = 0;
+  double wire_sessions_per_s = 0.0;    // open-session round trips
+  double wire_windows_per_s = 0.0;     // every chunk crosses the socket
+  double inproc_sessions_per_s = 0.0;  // same workload, ThreadPoolBackend
+  double inproc_windows_per_s = 0.0;
+};
+
+constexpr std::size_t k_wire_shards = 2;
+
+/// Drives the service_end_to_end workload through `service`, timing
+/// session creation separately from streaming. `windows` reads the
+/// classified-window counter wherever the compute actually runs (the
+/// remote server for the wire run — the client's mirror Engines never
+/// classify).
+template <typename WindowCount>
+void drive_service(engine::DetectionService& service,
+                   const signal::EegRecord& record, std::size_t sessions,
+                   Seconds stream_seconds, WindowCount&& windows,
+                   double& sessions_per_s, double& windows_per_s) {
+  auto start = Clock::now();
+  std::vector<engine::SessionHandle> handles;
+  for (std::size_t s = 0; s < sessions; ++s) {
+    handles.push_back(service.create_session(s, engine::SessionConfig{}));
+  }
+  sessions_per_s = static_cast<double>(sessions) / seconds_since(start);
+
+  const auto chunk = static_cast<std::size_t>(record.sample_rate_hz());
+  const auto rounds = static_cast<std::size_t>(stream_seconds);
+  const std::size_t length = record.length_samples();
+  const std::uint64_t before = windows();
+  start = Clock::now();
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (std::size_t s = 0; s < sessions; ++s) {
+      const std::size_t offset = ((round + s * 37) * chunk) % (length - chunk);
+      service.ingest(handles[s], chunk_views(record, offset, chunk));
+    }
+    service.flush();
+  }
+  const double elapsed = seconds_since(start);
+  windows_per_s = static_cast<double>(windows() - before) / elapsed;
+}
+
+/// Client side of the wire stage: the streaming workload through a
+/// RemoteBackend (socket) and through the in-process ThreadPoolBackend.
+WireResult wire_client_stage(
+    const std::shared_ptr<const core::RealtimeDetector>& det,
+    const signal::EegRecord& record, std::size_t sessions,
+    Seconds stream_seconds, const platform::SocketAddress& address) {
+  WireResult result;
+  result.shards = k_wire_shards;
+  NullSink sink;
+  {
+    engine::ServiceConfig config;
+    config.shards = k_wire_shards;
+    auto backend = std::make_unique<net::RemoteBackend>(address);
+    net::RemoteBackend* remote = backend.get();
+    engine::DetectionService service(det, config, std::move(backend));
+    service.set_detection_sink(&sink);
+    drive_service(
+        service, record, sessions, stream_seconds,
+        [&] { return remote->remote_stats().windows_classified; },
+        result.wire_sessions_per_s, result.wire_windows_per_s);
+    service.stop();
+  }
+  {
+    engine::ServiceConfig config;
+    config.shards = k_wire_shards;
+    engine::DetectionService service(
+        det, config, std::make_unique<engine::ThreadPoolBackend>());
+    service.set_detection_sink(&sink);
+    drive_service(
+        service, record, sessions, stream_seconds,
+        [&] { return service.stats().windows_classified; },
+        result.inproc_sessions_per_s, result.inproc_windows_per_s);
+    service.stop();
+  }
+  return result;
+}
+
 // ------------------------------------------------- model artifact stage
 
 struct ArtifactResult {
@@ -398,6 +496,13 @@ struct Options {
   /// When non-empty, run the model-artifact stage in this directory
   /// (save/load latency, mapped serving throughput, swap-from-disk).
   std::string artifact_dir;
+  /// --serve: run only the ShardServer side on this address and block.
+  std::string serve_address;
+  /// --connect: run the wire client stage against this external server
+  /// instead of an in-process loopback one.
+  std::string connect_address;
+  /// --no-wire clears this (the wire stage needs POSIX sockets).
+  bool run_wire = true;
 };
 
 Options parse_options(int argc, char** argv) {
@@ -439,6 +544,12 @@ Options parse_options(int argc, char** argv) {
       }
     } else if (arg == "--artifact-dir") {
       opts.artifact_dir = value();
+    } else if (arg == "--serve") {
+      opts.serve_address = value();
+    } else if (arg == "--connect") {
+      opts.connect_address = value();
+    } else if (arg == "--no-wire") {
+      opts.run_wire = false;
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       std::exit(2);
@@ -451,7 +562,7 @@ void write_json(
     const Options& opts,
     const std::vector<std::pair<std::size_t, InferenceResult>>& inference,
     const std::vector<std::pair<std::size_t, double>>& engine,
-    const std::vector<ServiceResult>& services,
+    const std::vector<ServiceResult>& services, const WireResult* wire,
     const ArtifactResult* artifact) {
   std::FILE* f = std::fopen(opts.json_path.c_str(), "w");
   if (f == nullptr) {
@@ -491,10 +602,24 @@ void write_json(
                  services[i].windows_per_s,
                  i + 1 < services.size() ? "," : "");
   }
+  std::fprintf(f, "  ]");
+  if (wire != nullptr) {
+    std::fprintf(f, ",\n  \"wire\": {\n");
+    std::fprintf(f, "    \"shards\": %zu,\n", wire->shards);
+    std::fprintf(f, "    \"wire_sessions_per_s\": %.1f,\n",
+                 wire->wire_sessions_per_s);
+    std::fprintf(f, "    \"wire_windows_per_s\": %.1f,\n",
+                 wire->wire_windows_per_s);
+    std::fprintf(f, "    \"inproc_sessions_per_s\": %.1f,\n",
+                 wire->inproc_sessions_per_s);
+    std::fprintf(f, "    \"inproc_windows_per_s\": %.1f\n",
+                 wire->inproc_windows_per_s);
+    std::fprintf(f, "  }");
+  }
   if (artifact == nullptr) {
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "\n}\n");
   } else {
-    std::fprintf(f, "  ],\n  \"artifact\": {\n");
+    std::fprintf(f, ",\n  \"artifact\": {\n");
     std::fprintf(f, "    \"save_ms\": %.3f,\n", artifact->save_ms);
     std::fprintf(f, "    \"cold_open_ms\": %.3f,\n", artifact->cold_open_ms);
     std::fprintf(f, "    \"cached_open_ms\": %.3f,\n",
@@ -539,6 +664,24 @@ int main(int argc, char** argv) {
   const features::EglassFeatureExtractor extractor(2);
   const features::WindowedFeatures windowed =
       features::extract_windowed_features(stream_record, extractor);
+
+  if (!opts.serve_address.empty()) {
+    // Server-only mode for cross-machine wire measurements: own the
+    // shards here, let a --connect invocation elsewhere drive them.
+    net::ShardServerConfig server_config;
+    server_config.address =
+        platform::SocketAddress::parse(opts.serve_address);
+    server_config.service.shards = k_wire_shards;
+    server_config.threaded_backend = true;
+    net::ShardServer server(detector, server_config);
+    server.start();
+    std::printf("serving %zu shards on %s (ctrl-c to stop)\n", k_wire_shards,
+                server.address().to_string().c_str());
+    while (server.running()) {
+      std::this_thread::sleep_for(std::chrono::seconds(1));
+    }
+    return 0;
+  }
 
   const bool compiled_model = opts.model == "compiled";
   std::printf("\n-- inference stage (isolated), single vs batched vs "
@@ -601,6 +744,48 @@ int main(int argc, char** argv) {
     }
   }
 
+  WireResult wire;
+  bool have_wire = false;
+  if (opts.run_wire && ESL_HAVE_POSIX_SOCKETS) {
+    // Wire stage: the same streaming workload with every chunk crossing
+    // a socket, against an in-process loopback server unless --connect
+    // names an external one.
+    std::unique_ptr<net::ShardServer> server;
+    platform::SocketAddress address;
+    if (opts.connect_address.empty()) {
+      const auto stamp = static_cast<unsigned long long>(
+          Clock::now().time_since_epoch().count());
+      const std::string path =
+          (std::filesystem::temp_directory_path() /
+           ("esl_bench_wire_" + std::to_string(stamp) + ".sock"))
+              .string();
+      address = platform::SocketAddress::parse("unix:" + path);
+      net::ShardServerConfig server_config;
+      server_config.address = address;
+      server_config.service.shards = k_wire_shards;
+      server_config.threaded_backend = true;
+      server = std::make_unique<net::ShardServer>(detector, server_config);
+      server->start();
+    } else {
+      address = platform::SocketAddress::parse(opts.connect_address);
+    }
+    wire = wire_client_stage(detector, stream_record, opts.sessions,
+                             opts.stream_seconds, address);
+    have_wire = true;
+    if (server != nullptr) {
+      server->stop();
+    }
+    std::printf("\n-- wire stage, %zu sessions over %zu shards (%s) --\n",
+                opts.sessions, k_wire_shards,
+                opts.connect_address.empty() ? "loopback unix socket"
+                                             : opts.connect_address.c_str());
+    std::printf("%12s %16s %16s\n", "", "socket", "in-process");
+    std::printf("%12s %16.0f %16.0f\n", "sessions/s", wire.wire_sessions_per_s,
+                wire.inproc_sessions_per_s);
+    std::printf("%12s %16.0f %16.0f\n", "windows/s", wire.wire_windows_per_s,
+                wire.inproc_windows_per_s);
+  }
+
   ArtifactResult artifact;
   bool have_artifact = false;
   if (!opts.artifact_dir.empty()) {
@@ -640,7 +825,7 @@ int main(int argc, char** argv) {
       "           with cores, inline shows the single-thread baseline\n");
 
   if (!opts.json_path.empty()) {
-    write_json(opts, inference, engine, services,
+    write_json(opts, inference, engine, services, have_wire ? &wire : nullptr,
                have_artifact ? &artifact : nullptr);
   }
   return 0;

@@ -23,6 +23,7 @@
 #include "ml/compiled_forest.hpp"
 #include "ml/dataset.hpp"
 #include "ml/random_forest.hpp"
+#include "net/wire.hpp"
 
 namespace {
 
@@ -114,6 +115,67 @@ std::vector<char> ingest_bytes(const RawConfig& raw,
   return bytes;
 }
 
+std::vector<char> as_chars(const std::vector<std::byte>& bytes) {
+  std::vector<char> out(bytes.size());
+  std::memcpy(out.data(), bytes.data(), bytes.size());
+  return out;
+}
+
+/// A representative client->server conversation, framed with the real
+/// encoders so the seeds stay in sync with the wire format.
+std::vector<std::byte> frame_conversation() {
+  namespace net = esl::net;
+  std::vector<std::byte> stream;
+  net::encode_hello(stream, 1, net::HelloPayload{0x65676C617373ull});
+  esl::engine::SessionConfig config;
+  net::encode_open_session(stream, 7, 2, net::make_open_session(42, config));
+  std::vector<Real> ch0(64), ch1(64);
+  for (std::size_t i = 0; i < ch0.size(); ++i) {
+    ch0[i] = std::sin(0.37 * static_cast<double>(i));
+    ch1[i] = std::cos(0.11 * static_cast<double>(i));
+  }
+  net::encode_chunk(stream, 7, 3,
+                    {std::span<const Real>(ch0), std::span<const Real>(ch1)});
+  net::encode_label(stream, 7, 4);
+  net::encode_swap_model(stream, 7, 5, "patient-4");
+  net::encode_stats_request(stream, 6);
+  net::encode_flush(stream, 7);
+  net::encode_close(stream, 8);
+  return stream;
+}
+
+/// The server->client direction: acks, pushed detections, stats, error.
+std::vector<std::byte> frame_replies() {
+  namespace net = esl::net;
+  std::vector<std::byte> stream;
+  net::encode_hello_ack(stream, 1,
+                        net::HelloAckPayload{0x65676C617373ull, 4,
+                                             net::k_hello_flag_registry});
+  net::encode_open_session_ack(stream, 7, 2, net::OpenSessionAckPayload{9});
+  net::WireDetection detections[2];
+  detections[0].session_id = 7;
+  detections[0].window_index = 3;
+  detections[0].window_start_s = 3.0;
+  detections[0].label = 1;
+  detections[0].alarm = 1;
+  detections[1].session_id = 7;
+  detections[1].window_index = 4;
+  detections[1].window_start_s = 4.0;
+  detections[1].screened_out = 1;
+  net::encode_detections(stream, 0, detections);
+  net::encode_label_ack(stream, 7, 4, net::LabelAckPayload{10.0, 22.0});
+  net::encode_swap_model_ack(stream, 7, 5);
+  net::StatsPayload stats;
+  stats.windows_classified = 100;
+  stats.forest_windows = 60;
+  net::encode_stats(stream, 6, stats);
+  net::encode_flush_ack(stream, 7);
+  net::encode_error(stream, 9, net::WireErrorCode::kDataError,
+                    "registry has no artifact for key");
+  net::encode_close_ack(stream, 8);
+  return stream;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -122,8 +184,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   const fs::path root(argv[1]);
-  for (const char* dir : {"corpus/artifact", "corpus/ingest",
-                          "regressions/artifact", "regressions/ingest"}) {
+  for (const char* dir : {"corpus/artifact", "corpus/ingest", "corpus/frame",
+                          "regressions/artifact", "regressions/ingest",
+                          "regressions/frame"}) {
     fs::create_directories(root / dir);
   }
 
@@ -183,5 +246,63 @@ int main(int argc, char** argv) {
   RawConfig absurd{1e30, 4.0, 0.75, 1e20, 3, 1, 2, 0};
   write_bytes(root / "regressions/ingest/unbounded_geometry.bin",
               ingest_bytes(absurd, 64, false));
+
+  // ---------------------------------------------------------- frame seeds
+  // Both wire directions, framed by the real encoders: every frame type
+  // appears at least once, so libFuzzer starts with full type coverage.
+  const std::vector<char> conversation = as_chars(frame_conversation());
+  const std::vector<char> replies = as_chars(frame_replies());
+  write_bytes(root / "corpus/frame/client_conversation.bin", conversation);
+  write_bytes(root / "corpus/frame/server_replies.bin", replies);
+  write_bytes(root / "corpus/frame/truncated_stream.bin",
+              {conversation.begin(),
+               conversation.begin() +
+                   static_cast<long>(conversation.size() / 2)});
+  {
+    std::vector<char> bad = conversation;
+    bad[0] ^= 0x01;  // magic
+    write_bytes(root / "corpus/frame/bad_magic.bin", bad);
+  }
+  {
+    std::vector<char> bad = conversation;
+    bad[8] += 1;  // version (u32 right after the magic)
+    write_bytes(root / "corpus/frame/bad_version.bin", bad);
+  }
+
+  // Permanent regressions: well-formed headers over hostile payloads —
+  // the cases the typed decoders (not validate()) must stop.
+  {
+    // Chunk whose declared geometry multiplies past the payload (and,
+    // at 0xFFFF x 0xFFFF, past 32 bits).
+    std::vector<std::byte> stream;
+    std::vector<Real> samples(8, 1.0);
+    esl::net::encode_chunk(stream, 1, 1, {std::span<const Real>(samples)});
+    std::vector<char> hostile = as_chars(stream);
+    poke_u32(hostile, sizeof(esl::net::FrameHeader), 0xFFFFu);
+    poke_u32(hostile, sizeof(esl::net::FrameHeader) + 4, 0xFFFFu);
+    write_bytes(root / "regressions/frame/chunk_geometry_overflow.bin",
+                hostile);
+  }
+  {
+    // Registry key smuggling a path separator past the length checks.
+    std::vector<std::byte> stream;
+    esl::net::encode_swap_model(stream, 1, 1, "aa.bbbb");
+    std::vector<char> hostile = as_chars(stream);
+    const std::size_t key_at =
+        sizeof(esl::net::FrameHeader) + sizeof(esl::net::SwapModelPayload);
+    hostile[key_at + 2] = '/';
+    write_bytes(root / "regressions/frame/key_path_traversal.bin", hostile);
+  }
+  {
+    // Detections batch declaring one more entry than the payload holds.
+    std::vector<std::byte> stream;
+    esl::net::WireDetection one;
+    one.session_id = 7;
+    esl::net::encode_detections(stream, 0, {&one, 1});
+    std::vector<char> hostile = as_chars(stream);
+    poke_u32(hostile, sizeof(esl::net::FrameHeader), 2);
+    write_bytes(root / "regressions/frame/detections_count_overrun.bin",
+                hostile);
+  }
   return 0;
 }

@@ -108,6 +108,21 @@ class ExecutionBackend {
   virtual void ingest(Shard& shard, std::uint64_t local_id,
                       const std::vector<std::span<const Real>>& chunk) = 0;
 
+  /// Observation hook: the service announces every session it creates,
+  /// after the shard's Engine accepted it. In-process backends ignore
+  /// this (the shard's Engine already owns the session); a remote
+  /// backend mirrors the session to its server with the original
+  /// routing key so both sides of the wire route identically.
+  virtual void on_session_created(std::uint32_t shard_index,
+                                  std::uint64_t local_id,
+                                  std::uint64_t routing_key,
+                                  const SessionConfig& config) {
+    (void)shard_index;
+    (void)local_id;
+    (void)routing_key;
+    (void)config;
+  }
+
   /// Barrier: when it returns, every chunk ingested before the call has
   /// been windowed, classified, and delivered to the sink.
   virtual void flush() = 0;

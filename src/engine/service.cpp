@@ -124,7 +124,13 @@ SessionHandle DetectionService::create_session(std::uint64_t routing_key,
   // geometry) before anything is created on the shard.
   const auto shard_index =
       static_cast<std::uint32_t>(mix64(routing_key) % shards_.size());
-  return create_on_shard(shard_index, config);
+  const SessionHandle handle = create_on_shard(shard_index, config);
+  // Announce after the Engine accepted the config, so a backend that
+  // mirrors sessions remotely never sees one the local validation
+  // rejected.
+  backend_->on_session_created(shard_index, handle.local_id(), routing_key,
+                               config);
+  return handle;
 }
 
 std::size_t DetectionService::session_count() const {

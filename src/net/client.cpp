@@ -1,0 +1,233 @@
+#include "net/client.hpp"
+
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace esl::net {
+
+namespace {
+
+/// Rethrows a server-reported error as the exception type the
+/// equivalent in-process call would have thrown, prefixed so the caller
+/// can tell the failing process apart.
+[[noreturn]] void rethrow_remote(const ErrorView& error) {
+  const std::string what = "remote: " + std::string(error.message);
+  switch (error.code) {
+    case WireErrorCode::kInvalidArgument:
+      throw InvalidArgument(what);
+    case WireErrorCode::kDataError:
+      throw DataError(what);
+    case WireErrorCode::kLogicError:
+      throw LogicError(what);
+    case WireErrorCode::kInternal:
+      break;
+  }
+  throw Error(what);
+}
+
+}  // namespace
+
+void ShardClient::connect(const platform::SocketAddress& address) {
+  expects(!socket_.valid(), "ShardClient: already connected");
+  socket_ = platform::Socket::connect(address);
+  incoming_.clear();
+  pending_.clear();
+  HelloPayload hello;
+  hello.nonce = 0x65676C617373ull;  // "eglass": a fixed probe value
+  outgoing_.clear();
+  const std::uint64_t sequence = next_sequence_++;
+  encode_hello(outgoing_, sequence, hello);
+  send_frame();
+  const FrameView view = await(FrameType::kHelloAck, sequence);
+  const HelloAckPayload ack = decode_hello_ack(view);
+  expects(ack.nonce == hello.nonce,
+          "ShardClient: hello ack nonce does not match");
+  shard_count_ = ack.shard_count;
+  flags_ = ack.flags;
+}
+
+std::uint64_t ShardClient::open_session(std::uint64_t client_id,
+                                        std::uint64_t routing_key,
+                                        const engine::SessionConfig& config) {
+  expects(socket_.valid(), "ShardClient: not connected");
+  outgoing_.clear();
+  const std::uint64_t sequence = next_sequence_++;
+  encode_open_session(outgoing_, client_id, sequence,
+                      make_open_session(routing_key, config));
+  send_frame();
+  return decode_open_session_ack(await(FrameType::kOpenSessionAck, sequence))
+      .server_session;
+}
+
+void ShardClient::ingest(std::uint64_t client_id,
+                         const std::vector<std::span<const Real>>& chunk) {
+  expects(socket_.valid(), "ShardClient: not connected");
+  outgoing_.clear();
+  encode_chunk(outgoing_, client_id, next_sequence_++, chunk);
+  send_frame();
+}
+
+void ShardClient::flush(std::vector<engine::Detection>& out) {
+  expects(socket_.valid(), "ShardClient: not connected");
+  outgoing_.clear();
+  const std::uint64_t sequence = next_sequence_++;
+  encode_flush(outgoing_, sequence);
+  send_frame();
+  await(FrameType::kFlushAck, sequence);
+  // Everything the barrier produced (plus batches collected while
+  // awaiting earlier acks) is in pending_ now.
+  out.insert(out.end(), pending_.begin(), pending_.end());
+  pending_.clear();
+}
+
+engine::EngineStats ShardClient::stats() {
+  expects(socket_.valid(), "ShardClient: not connected");
+  outgoing_.clear();
+  const std::uint64_t sequence = next_sequence_++;
+  encode_stats_request(outgoing_, sequence);
+  send_frame();
+  return from_wire(decode_stats(await(FrameType::kStats, sequence)));
+}
+
+void ShardClient::swap_model(std::uint64_t client_id, std::string_view key) {
+  expects(socket_.valid(), "ShardClient: not connected");
+  outgoing_.clear();
+  const std::uint64_t sequence = next_sequence_++;
+  encode_swap_model(outgoing_, client_id, sequence, key);
+  send_frame();
+  await(FrameType::kSwapModelAck, sequence);
+}
+
+signal::Interval ShardClient::label(std::uint64_t client_id) {
+  expects(socket_.valid(), "ShardClient: not connected");
+  outgoing_.clear();
+  const std::uint64_t sequence = next_sequence_++;
+  encode_label(outgoing_, client_id, sequence);
+  send_frame();
+  const LabelAckPayload ack =
+      decode_label_ack(await(FrameType::kLabelAck, sequence));
+  return signal::Interval{ack.onset_s, ack.offset_s};
+}
+
+void ShardClient::close() {
+  if (!socket_.valid()) {
+    return;
+  }
+  try {
+    outgoing_.clear();
+    const std::uint64_t sequence = next_sequence_++;
+    encode_close(outgoing_, sequence);
+    send_frame();
+    await(FrameType::kCloseAck, sequence);
+  } catch (...) {
+    // A torn goodbye (server already gone) is not an error for close().
+  }
+  socket_.close();
+  incoming_.clear();
+  pending_.clear();
+}
+
+void ShardClient::send_frame() { socket_.send_all(outgoing_); }
+
+FrameView ShardClient::await(FrameType type, std::uint64_t sequence) {
+  std::byte chunk[16384];
+  for (;;) {
+    FrameView view;
+    while (incoming_.next(view)) {
+      const auto got = static_cast<FrameType>(view.header.type);
+      if (got == type && view.header.sequence == sequence) {
+        return view;
+      }
+      if (got == FrameType::kDetections) {
+        for (const WireDetection& wire : decode_detections(view)) {
+          pending_.push_back(from_wire(wire));
+        }
+        continue;
+      }
+      if (got == FrameType::kError) {
+        const ErrorView error = decode_error(view);
+        rethrow_remote(error);
+      }
+      // Anything else is a stale ack: a reply whose request the caller
+      // already abandoned because an error frame overtook it.
+      continue;
+    }
+    const std::size_t got = socket_.recv_some(chunk);
+    if (got == 0) {
+      throw DataError("ShardClient: server closed the connection");
+    }
+    incoming_.append(std::span<const std::byte>(chunk, got));
+  }
+}
+
+RemoteBackend::RemoteBackend(platform::SocketAddress address)
+    : address_(std::move(address)) {}
+
+RemoteBackend::~RemoteBackend() { stop(); }
+
+void RemoteBackend::start(std::vector<std::unique_ptr<engine::Shard>>& shards,
+                          engine::DetectionSink& sink) {
+  (void)shards;  // the mirror Engines validate locally but never classify
+  sink_ = &sink;
+  MutexLock lock(mutex_);
+  client_.connect(address_);
+}
+
+void RemoteBackend::stop() {
+  MutexLock lock(mutex_);
+  client_.close();
+}
+
+void RemoteBackend::on_session_created(std::uint32_t shard_index,
+                                       std::uint64_t local_id,
+                                       std::uint64_t routing_key,
+                                       const engine::SessionConfig& config) {
+  // The packed handle value is the wire session id — the same value the
+  // service's callers hold, so detections come back pre-addressed.
+  const std::uint64_t client_id =
+      engine::SessionHandle::pack(shard_index, local_id).value;
+  MutexLock lock(mutex_);
+  client_.open_session(client_id, routing_key, config);
+}
+
+void RemoteBackend::ingest(engine::Shard& shard, std::uint64_t local_id,
+                           const std::vector<std::span<const Real>>& chunk) {
+  const std::uint64_t client_id =
+      engine::SessionHandle::pack(shard.index, local_id).value;
+  MutexLock lock(mutex_);
+  client_.ingest(client_id, chunk);
+}
+
+void RemoteBackend::flush() {
+  MutexLock lock(mutex_);
+  scratch_.clear();
+  client_.flush(scratch_);
+  if (!scratch_.empty() && sink_ != nullptr) {
+    sink_->on_detections(scratch_);
+  }
+}
+
+engine::EngineStats RemoteBackend::remote_stats() {
+  MutexLock lock(mutex_);
+  return client_.stats();
+}
+
+void RemoteBackend::remote_swap_model(engine::SessionHandle handle,
+                                      std::string_view key) {
+  MutexLock lock(mutex_);
+  client_.swap_model(handle.value, key);
+}
+
+signal::Interval RemoteBackend::remote_trigger(engine::SessionHandle handle) {
+  MutexLock lock(mutex_);
+  return client_.label(handle.value);
+}
+
+bool RemoteBackend::server_has_registry() {
+  MutexLock lock(mutex_);
+  return client_.has_registry();
+}
+
+}  // namespace esl::net

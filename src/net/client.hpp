@@ -1,0 +1,154 @@
+// Client side of the cross-process serving tier.
+//
+// ShardClient is the thin synchronous wire conversation: one connected
+// socket, one request/ack exchange at a time, with server-pushed
+// detection batches collected on the side while an ack is awaited.
+// RemoteBackend stacks it under the ExecutionBackend interface so a
+// DetectionService whose shards live in another process is driven by
+// exactly the code that drives an in-process one:
+//
+//   DetectionService (client process)          ShardServer (server)
+//     create_session(key, cfg) ──open-session frame──▶ create_session(key, cfg)
+//     ingest(handle, chunk)    ──chunk frame─────────▶ ingest(shard, chunk)
+//     flush()                  ──flush frame─────────▶ flush()
+//        ◀──detection frames, flush-ack──
+//
+// The client service still allocates handles and validates configs and
+// chunks locally (its Engines hold the mirrored sessions but never
+// classify — compute happens server-side), and the routing key crosses
+// the wire so the server's splitmix64 routing sees exactly what the
+// in-process router saw. Parity contract: per session, the detections
+// a remote service delivers are bit-for-bit the ones an in-process
+// service (and therefore a single Engine) would deliver
+// (tests/net/test_loopback.cpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "common/types.hpp"
+#include "engine/backend.hpp"
+#include "engine/patient_session.hpp"
+#include "net/wire.hpp"
+#include "platform/socket.hpp"
+#include "signal/annotation.hpp"
+
+namespace esl::net {
+
+/// Synchronous conversation with one ShardServer. Not thread-safe —
+/// callers (RemoteBackend) serialize. Every call that awaits an ack
+/// surfaces a server-reported failure as the matching exception type
+/// (InvalidArgument / DataError / Error) carrying the server's message.
+class ShardClient {
+ public:
+  ShardClient() = default;
+
+  /// Connects and runs the hello handshake (version, endianness and
+  /// sample width are checked on every frame by validate()).
+  void connect(const platform::SocketAddress& address);
+  bool connected() const { return socket_.valid(); }
+
+  /// Server topology, learned from the hello ack.
+  std::uint32_t shard_count() const { return shard_count_; }
+  bool has_registry() const {
+    return (flags_ & k_hello_flag_registry) != 0;
+  }
+
+  /// Opens a server-side session mirroring client session `client_id`
+  /// (an opaque key the server addresses detections back to; the
+  /// RemoteBackend uses the packed SessionHandle value). Returns the
+  /// server's own handle value (diagnostic only).
+  std::uint64_t open_session(std::uint64_t client_id,
+                             std::uint64_t routing_key,
+                             const engine::SessionConfig& config);
+
+  /// Sends one ingest chunk (no ack; errors surface on the next
+  /// awaited call or as a connection failure).
+  void ingest(std::uint64_t client_id,
+              const std::vector<std::span<const Real>>& chunk);
+
+  /// Flush barrier: every chunk sent before the call has been
+  /// classified server-side when this returns. Detections received up
+  /// to the ack (including any collected while awaiting earlier acks)
+  /// are appended to `out` with client session ids.
+  void flush(std::vector<engine::Detection>& out);
+
+  engine::EngineStats stats();
+
+  /// Deploys the server registry's artifact for `key` onto the mirrored
+  /// session.
+  void swap_model(std::uint64_t client_id, std::string_view key);
+
+  /// Patient-reported event on the mirrored session: the server runs
+  /// the a-posteriori labeling trigger and returns the labeled window.
+  signal::Interval label(std::uint64_t client_id);
+
+  /// Orderly goodbye (close / close-ack), then drops the socket.
+  /// Detections still in flight are discarded. Idempotent.
+  void close();
+
+ private:
+  /// Reads frames until the ack of `type` echoing `sequence` arrives;
+  /// pushed detection frames encountered on the way are translated into
+  /// `pending_`, an error frame is thrown as its exception type, and
+  /// stale acks (a reply overtaken by an earlier error) are skipped.
+  FrameView await(FrameType type, std::uint64_t sequence);
+  void send_frame();
+
+  platform::Socket socket_;
+  FrameBuffer incoming_;
+  std::vector<std::byte> outgoing_;  // encode scratch, sent per call
+  std::uint64_t next_sequence_ = 1;
+  std::uint32_t shard_count_ = 0;
+  std::uint32_t flags_ = 0;
+  /// Detections pushed by the server while another ack was awaited.
+  std::vector<engine::Detection> pending_;
+};
+
+/// ExecutionBackend that forwards every shard's traffic to a
+/// ShardServer. The DetectionService using it keeps local handle
+/// allocation, config and chunk validation, and splitmix64 placement;
+/// classification happens in the server process, and detections flow
+/// back into the service's DetectionSink at flush() exactly as the
+/// in-process backends deliver them.
+///
+/// One mutex serializes the wire conversation: ingest from concurrent
+/// sessions, session creation, flush and the control-plane extras all
+/// take turns on the socket. flush() is the only call that reads, so
+/// server-pushed detection batches ride the TCP buffer until then.
+class RemoteBackend final : public engine::ExecutionBackend {
+ public:
+  explicit RemoteBackend(platform::SocketAddress address);
+  ~RemoteBackend() override;
+
+  const char* name() const override { return "remote"; }
+  void start(std::vector<std::unique_ptr<engine::Shard>>& shards,
+             engine::DetectionSink& sink) override;
+  void stop() override;
+  void ingest(engine::Shard& shard, std::uint64_t local_id,
+              const std::vector<std::span<const Real>>& chunk) override;
+  void flush() override;
+  void on_session_created(std::uint32_t shard_index, std::uint64_t local_id,
+                          std::uint64_t routing_key,
+                          const engine::SessionConfig& config) override;
+
+  /// Control-plane extras addressed to the server process (the local
+  /// DetectionService equivalents would consult the idle mirror
+  /// Engines). All thread-safe.
+  engine::EngineStats remote_stats();
+  void remote_swap_model(engine::SessionHandle handle, std::string_view key);
+  signal::Interval remote_trigger(engine::SessionHandle handle);
+  bool server_has_registry();
+
+ private:
+  platform::SocketAddress address_;
+  engine::DetectionSink* sink_ = nullptr;
+  mutable Mutex mutex_;
+  ShardClient client_ ESL_GUARDED_BY(mutex_);
+  std::vector<engine::Detection> scratch_ ESL_GUARDED_BY(mutex_);
+};
+
+}  // namespace esl::net

@@ -1,0 +1,457 @@
+#include "net/shard_server.hpp"
+
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/error.hpp"
+
+#if ESL_HAVE_POSIX_SOCKETS
+#include <poll.h>
+#endif
+
+namespace esl::net {
+
+namespace {
+
+WireErrorCode code_of(const Error& error) {
+  if (dynamic_cast<const InvalidArgument*>(&error) != nullptr) {
+    return WireErrorCode::kInvalidArgument;
+  }
+  if (dynamic_cast<const DataError*>(&error) != nullptr) {
+    return WireErrorCode::kDataError;
+  }
+  if (dynamic_cast<const LogicError*>(&error) != nullptr) {
+    return WireErrorCode::kLogicError;
+  }
+  return WireErrorCode::kInternal;
+}
+
+std::unique_ptr<engine::ExecutionBackend> make_backend(bool threaded) {
+  if (threaded) {
+    return std::make_unique<engine::ThreadPoolBackend>();
+  }
+  return std::make_unique<engine::InlineBackend>();
+}
+
+}  // namespace
+
+ShardServer::ShardServer(
+    std::shared_ptr<const core::RealtimeDetector> fleet_model,
+    ShardServerConfig config)
+    : config_(std::move(config)), sink_(*this) {
+  service_ = std::make_unique<engine::DetectionService>(
+      std::move(fleet_model), config_.service,
+      make_backend(config_.threaded_backend));
+  service_->set_detection_sink(&sink_);
+  if (!config_.registry_directory.empty()) {
+    engine::RegistryConfig registry_config;
+    registry_config.directory = config_.registry_directory;
+    registry_ = std::make_unique<engine::ModelRegistry>(registry_config);
+  }
+}
+
+ShardServer::~ShardServer() {
+  try {
+    stop();
+  } catch (...) {
+    // Teardown failures (a worker error surfacing in service stop) have
+    // nowhere to go from a destructor.
+  }
+}
+
+void ShardServer::start() {
+  expects(!running(), "ShardServer: already started");
+  listener_ = platform::ListenSocket::listen(config_.address);
+  // The loop trusts poll() for readiness but must never sleep inside
+  // accept() on a spurious wakeup.
+  listener_.set_nonblocking(true);
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  loop_ = std::thread([this] { run(); });
+}
+
+void ShardServer::stop() {
+  if (!running()) {
+    return;
+  }
+  stopping_.store(true, std::memory_order_release);
+  wake_.wake();
+  if (loop_.joinable()) {
+    loop_.join();
+  }
+  {
+    MutexLock lock(route_mutex_);
+    routes_.clear();
+  }
+  connections_.clear();
+  listener_.close();
+  running_.store(false, std::memory_order_release);
+  service_->stop();
+}
+
+void ShardServer::Sink::on_detections(
+    std::span<const engine::Detection> detections) {
+  // Translate server handles back to client session ids and queue one
+  // detections frame per destination connection. The whole pass holds
+  // route_mutex_, which is what keeps a Connection alive here: the loop
+  // erases a dropped connection's routes under the same mutex before
+  // freeing it.
+  std::unordered_map<Connection*, std::vector<WireDetection>> grouped;
+  MutexLock lock(server_.route_mutex_);
+  for (const engine::Detection& detection : detections) {
+    const auto route = server_.routes_.find(detection.session_id);
+    if (route == server_.routes_.end()) {
+      continue;  // the owning connection is gone; drop on the floor
+    }
+    WireDetection wire = to_wire(detection);
+    wire.session_id = route->second.client_id;
+    grouped[route->second.connection].push_back(wire);
+  }
+  std::vector<std::byte> bytes;
+  for (auto& [connection, wires] : grouped) {
+    bytes.clear();
+    encode_detections(bytes, 0, wires);
+    server_.queue_bytes(*connection, bytes);
+  }
+}
+
+void ShardServer::queue_bytes(Connection& connection,
+                              std::span<const std::byte> bytes) {
+  {
+    MutexLock lock(connection.outbox_mutex);
+    connection.outbox.insert(connection.outbox.end(), bytes.begin(),
+                             bytes.end());
+  }
+  wake_.wake();
+}
+
+void ShardServer::queue_error(Connection& connection, std::uint64_t sequence,
+                              WireErrorCode code, std::string_view message) {
+  std::vector<std::byte> bytes;
+  encode_error(bytes, sequence, code, message);
+  queue_bytes(connection, bytes);
+}
+
+#if ESL_HAVE_POSIX_SOCKETS
+
+void ShardServer::run() {
+  std::vector<pollfd> fds;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    fds.clear();
+    fds.push_back(pollfd{wake_.read_fd(), POLLIN, 0});
+    fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
+    // accept_pending() below may grow connections_; only this snapshot
+    // has a pollfd, so only this prefix may be walked afterwards.
+    const std::size_t polled = connections_.size();
+    for (const auto& connection : connections_) {
+      short events = POLLIN;
+      if (wants_output(*connection)) {
+        events |= POLLOUT;
+      }
+      fds.push_back(pollfd{connection->socket.fd(), events, 0});
+    }
+    const int ready = ::poll(fds.data(), fds.size(), -1);
+    if (ready < 0) {
+      continue;  // EINTR
+    }
+    if ((fds[0].revents & POLLIN) != 0) {
+      wake_.drain();
+    }
+    if ((fds[1].revents & POLLIN) != 0) {
+      accept_pending();
+    }
+    // Walk connections back to front so drops do not disturb the
+    // pollfd <-> connection correspondence of earlier entries. Freshly
+    // accepted connections (indices >= polled) wait for the next pass.
+    for (std::size_t i = polled; i-- > 0;) {
+      Connection& connection = *connections_[i];
+      const short revents = fds[i + 2].revents;
+      if ((revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+          (revents & POLLIN) == 0) {
+        drop_connection(i);
+        continue;
+      }
+      if ((revents & POLLIN) != 0 && !service_input(connection)) {
+        drop_connection(i);
+        continue;
+      }
+      if (wants_output(connection) && !service_output(connection)) {
+        drop_connection(i);
+        continue;
+      }
+      if (connection.closing && !wants_output(connection)) {
+        drop_connection(i);  // goodbye fully written
+      }
+    }
+  }
+  // Orderly loop exit: flush nothing further, just close sockets.
+  connections_.clear();
+}
+
+#else
+
+void ShardServer::run() {}  // start() cannot succeed without sockets
+
+#endif
+
+void ShardServer::accept_pending() {
+  while (true) {
+    platform::Socket accepted = listener_.accept();
+    if (!accepted.valid()) {
+      return;
+    }
+    accepted.set_nonblocking(true);
+    auto connection = std::make_unique<Connection>();
+    connection->socket = std::move(accepted);
+    connections_.push_back(std::move(connection));
+  }
+}
+
+bool ShardServer::service_input(Connection& connection) {
+  std::byte buffer[16384];
+  while (true) {
+    bool would_block = false;
+    std::size_t got = 0;
+    try {
+      got = connection.socket.recv_some(buffer, &would_block);
+    } catch (const Error&) {
+      return false;  // reset by peer
+    }
+    if (would_block) {
+      break;
+    }
+    if (got == 0) {
+      return false;  // EOF
+    }
+    connection.incoming.append(std::span<const std::byte>(buffer, got));
+  }
+  try {
+    FrameView view;
+    while (connection.incoming.next(view)) {
+      handle_frame(connection, view);
+      if (connection.closing) {
+        break;  // ignore anything framed after the goodbye
+      }
+    }
+  } catch (const Error&) {
+    // Malformed bytes at the stream front: the connection is poisoned
+    // (no resynchronization) — drop it.
+    return false;
+  }
+  return true;
+}
+
+void ShardServer::handle_frame(Connection& connection, const FrameView& view) {
+  const auto type = static_cast<FrameType>(view.header.type);
+  const std::uint64_t sequence = view.header.sequence;
+
+  if (type == FrameType::kHello) {
+    decode_hello(view);  // structural check; nonce echoed below
+    connection.saw_hello = true;
+    HelloAckPayload ack;
+    ack.nonce = decode_hello(view).nonce;
+    ack.shard_count = static_cast<std::uint32_t>(service_->shard_count());
+    ack.flags = registry_ != nullptr ? k_hello_flag_registry : 0;
+    std::vector<std::byte> bytes;
+    encode_hello_ack(bytes, sequence, ack);
+    queue_bytes(connection, bytes);
+    return;
+  }
+  if (!connection.saw_hello) {
+    // Protocol violation, not a request failure: poison the stream so
+    // the caller drops the connection.
+    throw DataError("ShardServer: first frame must be a hello");
+  }
+
+  switch (type) {
+    case FrameType::kOpenSession: {
+      const std::uint64_t client_id = view.header.session_id;
+      if (connection.sessions.count(client_id) != 0) {
+        queue_error(connection, sequence, WireErrorCode::kInvalidArgument,
+                    "session id is already open on this connection");
+        return;
+      }
+      const OpenSessionPayload payload = decode_open_session(view);
+      engine::SessionHandle handle;
+      try {
+        handle = service_->create_session(payload.routing_key,
+                                          session_config_of(payload));
+      } catch (const Error& error) {
+        queue_error(connection, sequence, code_of(error), error.what());
+        return;
+      }
+      connection.sessions.emplace(client_id, handle);
+      {
+        MutexLock lock(route_mutex_);
+        routes_[handle.value] = Route{&connection, client_id};
+      }
+      OpenSessionAckPayload ack;
+      ack.server_session = handle.value;
+      std::vector<std::byte> bytes;
+      encode_open_session_ack(bytes, client_id, sequence, ack);
+      queue_bytes(connection, bytes);
+      return;
+    }
+    case FrameType::kChunk: {
+      const auto session = connection.sessions.find(view.header.session_id);
+      if (session == connection.sessions.end()) {
+        queue_error(connection, sequence, WireErrorCode::kInvalidArgument,
+                    "chunk addresses a session this connection never opened");
+        return;
+      }
+      const ChunkView chunk = decode_chunk(view);
+      std::vector<std::span<const Real>> channels;
+      channels.reserve(chunk.channel_count);
+      for (std::uint32_t c = 0; c < chunk.channel_count; ++c) {
+        channels.push_back(chunk.channel(c));
+      }
+      try {
+        service_->ingest(session->second, channels);
+      } catch (const Error& error) {
+        queue_error(connection, sequence, code_of(error), error.what());
+      }
+      return;
+    }
+    case FrameType::kLabel: {
+      const auto session = connection.sessions.find(view.header.session_id);
+      if (session == connection.sessions.end()) {
+        queue_error(connection, sequence, WireErrorCode::kInvalidArgument,
+                    "label addresses a session this connection never opened");
+        return;
+      }
+      try {
+        const signal::Interval interval =
+            service_->patient_trigger(session->second);
+        LabelAckPayload ack;
+        ack.onset_s = interval.onset;
+        ack.offset_s = interval.offset;
+        std::vector<std::byte> bytes;
+        encode_label_ack(bytes, view.header.session_id, sequence, ack);
+        queue_bytes(connection, bytes);
+      } catch (const Error& error) {
+        queue_error(connection, sequence, code_of(error), error.what());
+      }
+      return;
+    }
+    case FrameType::kStatsRequest: {
+      std::vector<std::byte> bytes;
+      encode_stats(bytes, sequence, to_wire(service_->stats()));
+      queue_bytes(connection, bytes);
+      return;
+    }
+    case FrameType::kSwapModel: {
+      const std::string_view key = decode_swap_model(view);
+      const auto session = connection.sessions.find(view.header.session_id);
+      if (session == connection.sessions.end()) {
+        queue_error(connection, sequence, WireErrorCode::kInvalidArgument,
+                    "model swap addresses a session this connection never "
+                    "opened");
+        return;
+      }
+      if (registry_ == nullptr) {
+        queue_error(connection, sequence, WireErrorCode::kDataError,
+                    "server has no model registry mounted");
+        return;
+      }
+      try {
+        service_->swap_model(session->second, *registry_, key);
+        std::vector<std::byte> bytes;
+        encode_swap_model_ack(bytes, view.header.session_id, sequence);
+        queue_bytes(connection, bytes);
+      } catch (const Error& error) {
+        queue_error(connection, sequence, code_of(error), error.what());
+      }
+      return;
+    }
+    case FrameType::kFlush: {
+      try {
+        // The barrier delivers every pending detection into the
+        // connection outboxes (through the sink) before the ack is
+        // queued below — the ordering clients rely on.
+        service_->flush();
+      } catch (const Error& error) {
+        queue_error(connection, sequence, code_of(error), error.what());
+        return;
+      }
+      std::vector<std::byte> bytes;
+      encode_flush_ack(bytes, sequence);
+      queue_bytes(connection, bytes);
+      return;
+    }
+    case FrameType::kClose: {
+      std::vector<std::byte> bytes;
+      encode_close_ack(bytes, sequence);
+      queue_bytes(connection, bytes);
+      connection.closing = true;
+      return;
+    }
+    default:
+      // Server-bound streams never carry acks/detections/stats replies;
+      // poison the stream.
+      throw DataError("ShardServer: frame type is not valid from a client");
+  }
+}
+
+bool ShardServer::wants_output(Connection& connection) {
+  if (connection.sent < connection.sending.size()) {
+    return true;
+  }
+  MutexLock lock(connection.outbox_mutex);
+  return !connection.outbox.empty();
+}
+
+bool ShardServer::service_output(Connection& connection) {
+  // Pull what the sinks queued into loop-private staging first.
+  {
+    MutexLock lock(connection.outbox_mutex);
+    if (!connection.outbox.empty()) {
+      if (connection.sent == connection.sending.size()) {
+        connection.sending.clear();
+        connection.sent = 0;
+      }
+      connection.sending.insert(connection.sending.end(),
+                                connection.outbox.begin(),
+                                connection.outbox.end());
+      connection.outbox.clear();
+    }
+  }
+  while (connection.sent < connection.sending.size()) {
+    bool would_block = false;
+    std::size_t wrote = 0;
+    try {
+      wrote = connection.socket.send_some(
+          std::span<const std::byte>(connection.sending)
+              .subspan(connection.sent),
+          &would_block);
+    } catch (const Error&) {
+      return false;  // peer is gone
+    }
+    if (would_block) {
+      return true;  // poll will report POLLOUT when there is room
+    }
+    connection.sent += wrote;
+  }
+  connection.sending.clear();
+  connection.sent = 0;
+  return true;
+}
+
+void ShardServer::drop_connection(std::size_t index) {
+  Connection& connection = *connections_[index];
+  {
+    // Erase the sink routes under the mutex before freeing: a sink call
+    // holding route_mutex_ either still sees the routes (and queues to
+    // a live outbox) or sees none — never a dangling connection.
+    MutexLock lock(route_mutex_);
+    for (const auto& [client_id, handle] : connection.sessions) {
+      routes_.erase(handle.value);
+    }
+  }
+  // The server-side sessions idle on (no removal API yet; see ROADMAP).
+  connections_.erase(connections_.begin() +
+                     static_cast<std::ptrdiff_t>(index));
+}
+
+}  // namespace esl::net

@@ -1,0 +1,168 @@
+// ShardServer: the serving front door for a DetectionService.
+//
+// One server process owns a DetectionService (N shards, inline or
+// thread-pool backend) plus an optional ModelRegistry, listens on a
+// POSIX socket (unix or tcp, platform/socket.hpp), and speaks the
+// net/wire.hpp frame protocol with any number of client connections.
+// Each connection is an independent conversation: hello, then open
+// sessions (routed by the client's routing key through the service's
+// own splitmix64 hash), stream chunks, flush barriers, label triggers,
+// registry model swaps, stats — with detection batches streamed back
+// tagged with the client's own session ids.
+//
+// Concurrency shape: one event-loop thread multiplexes the listener
+// and every connection with poll(2). Frame decode + service calls run
+// on the loop thread; detections are produced wherever the service's
+// backend runs them (the loop thread under inline, shard workers under
+// threads) and land in per-connection outboxes through the DetectionSink
+// — the only cross-thread seam, guarded by a per-connection mutex plus
+// a self-pipe wake so the loop starts writing without waiting for
+// socket traffic.
+//
+// Backpressure: client -> server ingest backpressure is the socket
+// buffer (the loop stops reading a connection only while poll says so);
+// server -> client detection flow is absorbed by the outbox, bounded in
+// practice by the flush cadence. A kFlush runs the service-wide flush
+// barrier on the loop thread — simple and correct (the ack cannot
+// overtake the detections it promises), at the cost of stalling other
+// connections for the barrier's duration; see ROADMAP for the follow-on.
+//
+// Failure semantics: malformed bytes (bad magic/version/length) poison
+// the connection — it is dropped, nothing else is affected. Well-formed
+// frames whose *request* fails (unknown session, bad config, registry
+// miss) get a kError frame carrying the exception type and message, and
+// the conversation continues. A disconnected client's server-side
+// sessions idle until the process exits (session removal is a ROADMAP
+// follow-on).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "engine/model_registry.hpp"
+#include "engine/service.hpp"
+#include "net/wire.hpp"
+#include "platform/socket.hpp"
+
+namespace esl::net {
+
+struct ShardServerConfig {
+  /// Listen address ("unix:PATH" or "tcp:HOST:PORT"; tcp port 0 binds
+  /// an ephemeral port, readable from address() after start()).
+  platform::SocketAddress address;
+  /// Shards + per-shard engine config for the owned service.
+  engine::ServiceConfig service;
+  /// False: InlineBackend (classification on the loop thread at flush).
+  /// True: ThreadPoolBackend (one worker per shard, detections stream
+  /// back between flushes).
+  bool threaded_backend = false;
+  /// Model registry directory for kSwapModel; empty disables swaps.
+  std::string registry_directory;
+};
+
+class ShardServer {
+ public:
+  ShardServer(std::shared_ptr<const core::RealtimeDetector> fleet_model,
+              ShardServerConfig config);
+  ~ShardServer();
+
+  ShardServer(const ShardServer&) = delete;
+  ShardServer& operator=(const ShardServer&) = delete;
+
+  /// Binds the listener and spawns the event-loop thread. Throws
+  /// DataError when the address cannot be bound.
+  void start();
+  /// Wakes and joins the loop, closes every connection, stops the
+  /// service. Idempotent; the destructor calls it.
+  void stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The resolved listen address (tcp port 0 becomes the kernel's
+  /// choice). Valid after start().
+  const platform::SocketAddress& address() const {
+    return listener_.address();
+  }
+
+  /// The owned service (e.g. for out-of-band stats in tests/tools).
+  engine::DetectionService& service() { return *service_; }
+
+ private:
+  /// One client conversation. Only the loop thread touches a
+  /// Connection, except `outbox` which detection sinks fill from
+  /// wherever the service backend runs.
+  struct Connection {
+    platform::Socket socket;
+    FrameBuffer incoming;
+    /// Frames queued for this socket by other threads (detection
+    /// batches); the loop moves them into `sending`.
+    Mutex outbox_mutex;
+    std::vector<std::byte> outbox ESL_GUARDED_BY(outbox_mutex);
+    /// Loop-thread staging for partially-written bytes.
+    std::vector<std::byte> sending;
+    std::size_t sent = 0;
+    /// Client session id -> server handle (loop thread only).
+    std::unordered_map<std::uint64_t, engine::SessionHandle> sessions;
+    bool saw_hello = false;
+    /// Close-ack queued: drop the connection once `sending` drains.
+    bool closing = false;
+  };
+
+  /// Translates service detections (server handles) back to client
+  /// session ids and queues one kDetections frame per connection.
+  class Sink final : public engine::DetectionSink {
+   public:
+    explicit Sink(ShardServer& server) : server_(server) {}
+    void on_detections(std::span<const engine::Detection> detections) override;
+
+   private:
+    ShardServer& server_;
+  };
+
+  void run();
+  void accept_pending();
+  /// Reads and handles every buffered frame; returns false when the
+  /// connection must be dropped (EOF or poisoned stream).
+  bool service_input(Connection& connection);
+  void handle_frame(Connection& connection, const FrameView& view);
+  /// Moves outbox bytes into `sending` and writes what the socket
+  /// accepts; returns false when the peer is gone.
+  bool service_output(Connection& connection);
+  bool wants_output(Connection& connection);
+  void drop_connection(std::size_t index);
+  void queue_error(Connection& connection, std::uint64_t sequence,
+                   WireErrorCode code, std::string_view message);
+  /// Appends encoded bytes to a connection outbox (any thread) and
+  /// wakes the loop.
+  void queue_bytes(Connection& connection, std::span<const std::byte> bytes);
+
+  ShardServerConfig config_;
+  std::unique_ptr<engine::DetectionService> service_;
+  std::unique_ptr<engine::ModelRegistry> registry_;
+  Sink sink_;
+
+  platform::ListenSocket listener_;
+  platform::WakePipe wake_;
+  std::thread loop_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::vector<std::unique_ptr<Connection>> connections_;  // loop thread only
+
+  /// Reverse route for the sink: server handle value -> (connection,
+  /// client session id). Written by the loop on open, erased on drop;
+  /// read by detection sinks on backend threads.
+  struct Route {
+    Connection* connection = nullptr;
+    std::uint64_t client_id = 0;
+  };
+  mutable Mutex route_mutex_;
+  std::unordered_map<std::uint64_t, Route> routes_ ESL_GUARDED_BY(route_mutex_);
+};
+
+}  // namespace esl::net

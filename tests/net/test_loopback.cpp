@@ -1,0 +1,447 @@
+// Loopback client/server integration: a ShardServer and a
+// RemoteBackend-driven DetectionService in one process, talking over a
+// real unix-domain socket.
+//
+// The headline contract is the PR-2 parity test lifted across the
+// process boundary: for the same per-session input streams, a service
+// whose backend is a socket + another service reproduces the
+// single-threaded Engine's detections bit-for-bit per session — for
+// inline and threaded server backends at several shard counts. The
+// rest covers the control plane (stats, registry model swap, label
+// trigger error propagation), hostile clients (bad configs, unknown
+// sessions, garbage bytes), and a concurrent-ingest run that TSan
+// checks end to end (client mutex, server event loop, shard workers).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "engine/service.hpp"
+#include "ml/artifact.hpp"
+#include "ml/dataset.hpp"
+#include "net/client.hpp"
+#include "net/shard_server.hpp"
+#include "sim/cohort.hpp"
+
+namespace esl::net {
+namespace {
+
+using engine::Detection;
+using engine::DetectionService;
+using engine::Engine;
+using engine::EngineConfig;
+using engine::ScreeningConfig;
+using engine::ServiceConfig;
+using engine::SessionHandle;
+
+std::vector<std::span<const Real>> chunk_views(const signal::EegRecord& record,
+                                               std::size_t offset,
+                                               std::size_t count) {
+  std::vector<std::span<const Real>> views;
+  for (std::size_t c = 0; c < record.channel_count(); ++c) {
+    views.push_back(
+        std::span<const Real>(record.channel(c).samples).subspan(offset, count));
+  }
+  return views;
+}
+
+/// Per-session observable outcome of one classified window (the
+/// bit-for-bit comparison unit, as in tests/engine/test_service.cpp).
+struct WindowOutcome {
+  std::size_t window_index;
+  Seconds window_start_s;
+  int label;
+  bool screened_out;
+  bool alarm;
+
+  friend bool operator==(const WindowOutcome&, const WindowOutcome&) = default;
+};
+
+WindowOutcome outcome_of(const Detection& d) {
+  return {d.window_index, d.window_start_s, d.label, d.screened_out, d.alarm};
+}
+
+/// A fresh socket path per test: ctest runs suites concurrently and a
+/// shared path would cross-bind.
+platform::SocketAddress loopback_address() {
+  const std::string path =
+      ::testing::TempDir() + "esl_loopback_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".sock";
+  return platform::SocketAddress::parse("unix:" + path);
+}
+
+/// Fleet detector + mixed seizure/background workload, sized down from
+/// the engine suite (the wire adds a syscall-bound loop per chunk).
+class NetLoopback : public ::testing::Test {
+ protected:
+  static constexpr std::size_t k_sessions = 6;
+  static constexpr Seconds k_stream_seconds = 120.0;
+  static constexpr std::size_t k_chunk = 1600;  // 6.25 s, misaligned to hop
+
+  static void SetUpTestSuite() {
+    simulator_ = new sim::CohortSimulator();
+    const auto events = simulator_->events_for_patient(4);
+    train_record_ = new signal::EegRecord(
+        simulator_->synthesize_sample(events[0], 0, 500.0, 600.0));
+    seizure_record_ = new signal::EegRecord(
+        simulator_->synthesize(events[1], sim::RecordSpec{180.0, 60.0}, 1));
+    background_record_ = new signal::EegRecord(
+        simulator_->synthesize_background_record(4, 180.0, 2));
+
+    train_set_ = new ml::Dataset(core::build_window_dataset(
+        *train_record_, train_record_->seizures()));
+    Rng rng(1);
+    const ml::Dataset balanced = ml::balance_classes(*train_set_, rng);
+    auto fitted = std::make_shared<core::RealtimeDetector>();
+    fitted->fit(balanced, 7);
+    fleet_ = new std::shared_ptr<const core::RealtimeDetector>(fitted);
+  }
+  static void TearDownTestSuite() {
+    delete fleet_;
+    delete train_set_;
+    delete background_record_;
+    delete seizure_record_;
+    delete train_record_;
+    delete simulator_;
+    fleet_ = nullptr;
+    train_set_ = nullptr;
+    background_record_ = nullptr;
+    seizure_record_ = nullptr;
+    train_record_ = nullptr;
+    simulator_ = nullptr;
+  }
+
+  static const signal::EegRecord& record_for(std::size_t s) {
+    return s % 2 == 0 ? *seizure_record_ : *background_record_;
+  }
+
+  static std::size_t stream_samples(const signal::EegRecord& record) {
+    return std::min(record.length_samples(),
+                    static_cast<std::size_t>(k_stream_seconds *
+                                             record.sample_rate_hz()));
+  }
+
+  static EngineConfig screened_config() {
+    EngineConfig config;
+    config.screening = ScreeningConfig{
+        14, core::fit_stage1_threshold(*train_set_, 0.98, 14)};
+    return config;
+  }
+
+  /// Ground truth: one Engine, chunk/poll per round.
+  static std::vector<std::vector<WindowOutcome>> reference_outcomes() {
+    Engine engine(*fleet_, screened_config());
+    for (std::size_t s = 0; s < k_sessions; ++s) {
+      engine.add_session();
+    }
+    std::vector<std::vector<WindowOutcome>> outcomes(k_sessions);
+    const std::size_t rounds = stream_samples(*background_record_) / k_chunk;
+    for (std::size_t round = 0; round < rounds; ++round) {
+      for (std::size_t s = 0; s < k_sessions; ++s) {
+        const signal::EegRecord& record = record_for(s);
+        if ((round + 1) * k_chunk <= stream_samples(record)) {
+          engine.ingest(s, chunk_views(record, round * k_chunk, k_chunk));
+        }
+      }
+      for (const Detection& d : engine.poll()) {
+        outcomes[d.session_id].push_back(outcome_of(d));
+      }
+    }
+    return outcomes;
+  }
+
+  /// A running server with the given backend/shard topology and the
+  /// fixture's fleet model.
+  static std::unique_ptr<ShardServer> make_server(
+      const platform::SocketAddress& address, std::size_t shards,
+      bool threaded, std::string registry_directory = {}) {
+    ShardServerConfig config;
+    config.address = address;
+    config.service.shards = shards;
+    config.service.engine = screened_config();
+    config.threaded_backend = threaded;
+    config.registry_directory = std::move(registry_directory);
+    auto server = std::make_unique<ShardServer>(*fleet_, std::move(config));
+    server->start();
+    return server;
+  }
+
+  /// A client-side service whose backend is the wire.
+  static std::unique_ptr<DetectionService> make_remote_service(
+      const platform::SocketAddress& address, std::size_t shards,
+      RemoteBackend** backend_out = nullptr) {
+    ServiceConfig config;
+    config.shards = shards;
+    config.engine = screened_config();
+    auto backend = std::make_unique<RemoteBackend>(address);
+    if (backend_out != nullptr) {
+      *backend_out = backend.get();
+    }
+    return std::make_unique<DetectionService>(*fleet_, config,
+                                              std::move(backend));
+  }
+
+  static sim::CohortSimulator* simulator_;
+  static signal::EegRecord* train_record_;
+  static signal::EegRecord* seizure_record_;
+  static signal::EegRecord* background_record_;
+  static ml::Dataset* train_set_;
+  static std::shared_ptr<const core::RealtimeDetector>* fleet_;
+};
+
+sim::CohortSimulator* NetLoopback::simulator_ = nullptr;
+signal::EegRecord* NetLoopback::train_record_ = nullptr;
+signal::EegRecord* NetLoopback::seizure_record_ = nullptr;
+signal::EegRecord* NetLoopback::background_record_ = nullptr;
+ml::Dataset* NetLoopback::train_set_ = nullptr;
+std::shared_ptr<const core::RealtimeDetector>* NetLoopback::fleet_ = nullptr;
+
+TEST_F(NetLoopback, ParityRemoteServiceMatchesSingleEngineBitForBit) {
+  const std::vector<std::vector<WindowOutcome>> reference =
+      reference_outcomes();
+
+  struct Topology {
+    bool threaded;
+    std::size_t shards;
+  };
+  const Topology topologies[] = {
+      {false, 1}, {false, 3}, {true, 2}, {true, 4}};
+  for (const Topology& topology : topologies) {
+    SCOPED_TRACE(std::string(topology.threaded ? "threads" : "inline") +
+                 " x " + std::to_string(topology.shards) + " shards");
+    const platform::SocketAddress address = loopback_address();
+    auto server = make_server(address, topology.shards, topology.threaded);
+    auto service = make_remote_service(address, topology.shards);
+
+    std::vector<SessionHandle> handles;
+    for (std::size_t s = 0; s < k_sessions; ++s) {
+      handles.push_back(service->create_session());
+    }
+    EXPECT_EQ(service->backend_name(), std::string("remote"));
+
+    std::map<std::uint64_t, std::vector<WindowOutcome>> outcomes;
+    std::vector<Detection> drained;
+    const std::size_t rounds = stream_samples(*background_record_) / k_chunk;
+    for (std::size_t round = 0; round < rounds; ++round) {
+      for (std::size_t s = 0; s < k_sessions; ++s) {
+        const signal::EegRecord& record = record_for(s);
+        if ((round + 1) * k_chunk <= stream_samples(record)) {
+          service->ingest(handles[s],
+                          chunk_views(record, round * k_chunk, k_chunk));
+        }
+      }
+      service->flush();
+      drained.clear();
+      service->drain(drained);
+      for (const Detection& d : drained) {
+        outcomes[d.session_id].push_back(outcome_of(d));
+      }
+    }
+
+    for (std::size_t s = 0; s < k_sessions; ++s) {
+      SCOPED_TRACE("session " + std::to_string(s));
+      EXPECT_EQ(outcomes[handles[s].value], reference[s]);
+    }
+    service->stop();
+    server->stop();
+  }
+}
+
+TEST_F(NetLoopback, RemoteStatsMatchTheServersOwnCounters) {
+  const platform::SocketAddress address = loopback_address();
+  auto server = make_server(address, 2, false);
+  RemoteBackend* backend = nullptr;
+  auto service = make_remote_service(address, 2, &backend);
+
+  const SessionHandle handle = service->create_session();
+  const signal::EegRecord& record = record_for(0);
+  for (std::size_t round = 0; round < 8; ++round) {
+    service->ingest(handle, chunk_views(record, round * k_chunk, k_chunk));
+  }
+  service->flush();
+
+  const engine::EngineStats remote = backend->remote_stats();
+  const engine::EngineStats local = server->service().stats();
+  EXPECT_GT(remote.windows_classified, 0u);
+  EXPECT_EQ(remote.windows_classified, local.windows_classified);
+  EXPECT_EQ(remote.forest_windows, local.forest_windows);
+  EXPECT_EQ(remote.screened_windows, local.screened_windows);
+  EXPECT_EQ(remote.alarms, local.alarms);
+  // The mirror Engines classified nothing: the compute happened in the
+  // "server process".
+  EXPECT_EQ(service->stats().windows_classified, 0u);
+}
+
+TEST_F(NetLoopback, SwapModelByRegistryKeyDeploysOnTheServer) {
+  // Publish a personalized artifact into a registry directory.
+  const std::string directory = ::testing::TempDir() + "esl_net_registry";
+  std::filesystem::create_directories(directory);
+  ml::RandomForest forest;
+  Rng rng(7);
+  const ml::Dataset balanced = ml::balance_classes(*train_set_, rng);
+  forest.fit(balanced, 3);
+  ml::save_artifact(directory + "/patient-4.eslm", ml::CompiledForest(forest));
+
+  const platform::SocketAddress address = loopback_address();
+  auto server = make_server(address, 1, false, directory);
+  RemoteBackend* backend = nullptr;
+  auto service = make_remote_service(address, 1, &backend);
+  EXPECT_TRUE(backend->server_has_registry());
+
+  const SessionHandle handle = service->create_session();
+  // One shard on both sides: the server-side handle for the first
+  // session is the same packed value.
+  const auto before = server->service().session_model(handle);
+  backend->remote_swap_model(handle, "patient-4");
+  const auto after = server->service().session_model(handle);
+  EXPECT_NE(after, nullptr);
+  EXPECT_NE(after, before);  // the registry artifact is now deployed
+
+  // Unknown key: the registry's DataError crosses the wire typed.
+  EXPECT_THROW(backend->remote_swap_model(handle, "patient-5"), DataError);
+}
+
+TEST_F(NetLoopback, ServerErrorsComeBackTypedAndTheConnectionSurvives) {
+  const platform::SocketAddress address = loopback_address();
+  auto server = make_server(address, 1, false);
+
+  ShardClient client;
+  client.connect(address);
+  EXPECT_EQ(client.shard_count(), 1u);
+  EXPECT_FALSE(client.has_registry());
+
+  // Bad stream geometry is rejected by the server's own validation and
+  // surfaces as the same exception type the in-process call throws.
+  engine::SessionConfig bad;
+  bad.overlap = 2.0;
+  EXPECT_THROW(client.open_session(1, 0, bad), InvalidArgument);
+
+  // The conversation survives a rejected request.
+  EXPECT_NO_THROW(client.open_session(1, 0, engine::SessionConfig{}));
+  // Chunks for a session this connection never opened are refused.
+  const std::vector<Real> samples(k_chunk, 0.0);
+  std::vector<std::span<const Real>> chunk(4,
+                                           std::span<const Real>(samples));
+  EXPECT_THROW(
+      {
+        client.ingest(99, chunk);
+        std::vector<Detection> out;
+        client.flush(out);
+      },
+      InvalidArgument);
+
+  // A label trigger without self-learning attached fails server-side;
+  // the error crosses the wire instead of killing the conversation.
+  EXPECT_THROW(client.label(1), Error);
+
+  // Still alive for a clean goodbye.
+  std::vector<Detection> out;
+  client.flush(out);
+  client.close();
+  server->stop();
+}
+
+TEST_F(NetLoopback, GarbageBytesPoisonOnlyTheirOwnConnection) {
+  const platform::SocketAddress address = loopback_address();
+  auto server = make_server(address, 1, false);
+
+  // A well-behaved conversation on connection A...
+  ShardClient good;
+  good.connect(address);
+  good.open_session(1, 0, engine::SessionConfig{});
+
+  // ...survives connection B spraying garbage and getting dropped.
+  {
+    platform::Socket hostile = platform::Socket::connect(address);
+    std::vector<std::byte> garbage(256, std::byte{0x5A});
+    hostile.send_all(garbage);
+    std::byte buffer[64];
+    // The server drops the connection without replying: recv sees EOF.
+    EXPECT_EQ(hostile.recv_some(buffer), 0u);
+  }
+
+  const signal::EegRecord& record = record_for(0);
+  good.ingest(1, chunk_views(record, 0, k_chunk * 8));
+  std::vector<Detection> detections;
+  good.flush(detections);
+  EXPECT_FALSE(detections.empty());
+  good.close();
+  server->stop();
+}
+
+TEST_F(NetLoopback, ConcurrentSessionIngestOverOneConnection) {
+  // One connection, many threads: the RemoteBackend serializes the wire
+  // while the threaded server classifies on shard workers. Run under
+  // TSan in CI (suite matched by the tsan job regex). Parity must hold
+  // per session: serialization may interleave sessions arbitrarily but
+  // never reorders one session's chunks.
+  const std::vector<std::vector<WindowOutcome>> reference =
+      reference_outcomes();
+
+  const platform::SocketAddress address = loopback_address();
+  auto server = make_server(address, 2, true);
+  auto service = make_remote_service(address, 2);
+
+  std::vector<SessionHandle> handles;
+  for (std::size_t s = 0; s < k_sessions; ++s) {
+    handles.push_back(service->create_session());
+  }
+
+  std::vector<std::thread> streams;
+  for (std::size_t s = 0; s < k_sessions; ++s) {
+    streams.emplace_back([&, s] {
+      const signal::EegRecord& record = record_for(s);
+      const std::size_t rounds = stream_samples(record) / k_chunk;
+      for (std::size_t round = 0; round < rounds; ++round) {
+        service->ingest(handles[s],
+                        chunk_views(record, round * k_chunk, k_chunk));
+      }
+    });
+  }
+  for (std::thread& stream : streams) {
+    stream.join();
+  }
+  service->flush();
+
+  std::vector<Detection> drained;
+  service->drain(drained);
+  std::map<std::uint64_t, std::vector<WindowOutcome>> outcomes;
+  for (const Detection& d : drained) {
+    outcomes[d.session_id].push_back(outcome_of(d));
+  }
+  // One barrier at the end instead of per-round flushes: every window
+  // of the stream is classified, so each session's full sequence must
+  // match the reference's full sequence.
+  for (std::size_t s = 0; s < k_sessions; ++s) {
+    SCOPED_TRACE("session " + std::to_string(s));
+    EXPECT_EQ(outcomes[handles[s].value], reference[s]);
+  }
+  service->stop();
+  server->stop();
+}
+
+TEST_F(NetLoopback, TcpLoopbackWithEphemeralPortServes) {
+  // Same wire over TCP: bind port 0, read the kernel's choice back.
+  auto server = make_server(platform::SocketAddress::parse("tcp:127.0.0.1:0"),
+                            1, false);
+  const platform::SocketAddress address = server->address();
+  EXPECT_NE(address.port, 0);
+
+  auto service = make_remote_service(address, 1);
+  const SessionHandle handle = service->create_session();
+  const signal::EegRecord& record = record_for(0);
+  service->ingest(handle, chunk_views(record, 0, k_chunk * 4));
+  service->flush();
+  std::vector<Detection> detections;
+  service->drain(detections);
+  EXPECT_FALSE(detections.empty());
+  service->stop();
+  server->stop();
+}
+
+}  // namespace
+}  // namespace esl::net

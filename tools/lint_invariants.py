@@ -4,10 +4,11 @@
 Checks (all scoped to src/):
 
 1. hot-contract-messages — expects()/ensures() in the hot-path modules
-   (src/dsp, src/ml, src/engine) must pass a *string literal* message
-   (the const char* overloads in common/error.hpp). Building the message
-   with operator+ / std::to_string allocates on every evaluation, even
-   when the check passes — on the per-window path that is a steady-state
+   (src/dsp, src/ml, src/engine, src/net) must pass a *string literal*
+   message (the const char* overloads in common/error.hpp). Building the
+   message with operator+ / std::to_string allocates on every
+   evaluation, even when the check passes — on the per-window path
+   (which now includes per-frame wire validation) that is a steady-state
    allocation the ZeroAllocation suites would flag far less precisely.
 
 2. hot-loop-strings — no std::string construction (std::string(...),
@@ -35,7 +36,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
 
-HOT_CONTRACT_DIRS = ("dsp", "ml", "engine")
+HOT_CONTRACT_DIRS = ("dsp", "ml", "engine", "net")
 HOT_LOOP_DIRS = ("dsp", "ml")
 
 ALLOW_STRING = re.compile(r"//\s*lint:\s*allow-string\(")
