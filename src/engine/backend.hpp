@@ -112,7 +112,10 @@ class ExecutionBackend {
   /// after the shard's Engine accepted it. In-process backends ignore
   /// this (the shard's Engine already owns the session); a remote
   /// backend mirrors the session to its server with the original
-  /// routing key so both sides of the wire route identically.
+  /// routing key so both sides of the wire route identically. Called
+  /// with the session's shard mutex held (a throw here rolls the local
+  /// session back atomically), so implementations must not call back
+  /// into the service. Throwing fails the create with no session made.
   virtual void on_session_created(std::uint32_t shard_index,
                                   std::uint64_t local_id,
                                   std::uint64_t routing_key,

@@ -26,6 +26,12 @@ std::uint64_t Engine::add_session(const SessionConfig& config) {
   return id;
 }
 
+void Engine::pop_session(std::uint64_t id) {
+  expects(id + 1 == slots_.size(),
+          "Engine: pop_session must name the most recently added session");
+  slots_.pop_back();
+}
+
 Engine::Slot& Engine::slot(std::uint64_t id) {
   expects(id < slots_.size(), "Engine: unknown session id");
   return slots_[id];

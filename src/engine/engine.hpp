@@ -89,6 +89,12 @@ class Engine {
   /// windowing path on the first chunk.
   std::uint64_t add_session();
   std::uint64_t add_session(const SessionConfig& config);
+  /// Rolls back the most recent add_session: `id` must be the id it
+  /// returned, with no add_session in between. This is the creation
+  /// rollback hook for DetectionService — when a backend fails to
+  /// mirror a freshly created session (remote open rejected), the local
+  /// slot is removed so local and remote session sets stay consistent.
+  void pop_session(std::uint64_t id);
   std::size_t session_count() const { return slots_.size(); }
   PatientSession& session(std::uint64_t id);
   const PatientSession& session(std::uint64_t id) const;

@@ -95,20 +95,6 @@ const Shard& DetectionService::shard_for(SessionHandle handle) const {
   return *shards_[handle.shard()];
 }
 
-SessionHandle DetectionService::create_on_shard(std::uint32_t shard_index,
-                                                const SessionConfig& config) {
-  Shard& shard = *shards_[shard_index];
-  std::uint64_t local = 0;
-  {
-    MutexLock lock(shard.mutex);
-    local = shard.engine->add_session(config);
-    // Published under the shard mutex: concurrent creates on one shard
-    // must not let a stale (smaller) count overwrite a newer one.
-    shard_sessions_[shard_index].store(local + 1, std::memory_order_release);
-  }
-  return SessionHandle::pack(shard_index, local);
-}
-
 SessionHandle DetectionService::create_session() {
   return create_session(config_.engine.session);
 }
@@ -121,16 +107,29 @@ SessionHandle DetectionService::create_session(const SessionConfig& config) {
 SessionHandle DetectionService::create_session(std::uint64_t routing_key,
                                                const SessionConfig& config) {
   // Engine::add_session validates the config (InvalidArgument on bad
-  // geometry) before anything is created on the shard.
+  // geometry) before anything is created on the shard, and the announce
+  // runs after the Engine accepted it, so a backend that mirrors
+  // sessions remotely never sees a config the local validation
+  // rejected. The shard mutex is held across the announce: a failed
+  // mirror pops the slot before any concurrent create lands on this
+  // shard, and the session count publishes only once both sides agree
+  // the session exists — a throwing create_session leaves no local-only
+  // session behind.
   const auto shard_index =
       static_cast<std::uint32_t>(mix64(routing_key) % shards_.size());
-  const SessionHandle handle = create_on_shard(shard_index, config);
-  // Announce after the Engine accepted the config, so a backend that
-  // mirrors sessions remotely never sees one the local validation
-  // rejected.
-  backend_->on_session_created(shard_index, handle.local_id(), routing_key,
-                               config);
-  return handle;
+  Shard& shard = *shards_[shard_index];
+  MutexLock lock(shard.mutex);
+  const std::uint64_t local = shard.engine->add_session(config);
+  try {
+    backend_->on_session_created(shard_index, local, routing_key, config);
+  } catch (...) {
+    shard.engine->pop_session(local);
+    throw;
+  }
+  // Published under the shard mutex: concurrent creates on one shard
+  // must not let a stale (smaller) count overwrite a newer one.
+  shard_sessions_[shard_index].store(local + 1, std::memory_order_release);
+  return SessionHandle::pack(shard_index, local);
 }
 
 std::size_t DetectionService::session_count() const {

@@ -184,8 +184,6 @@ class DetectionService {
 
   Shard& shard_for(SessionHandle handle);
   const Shard& shard_for(SessionHandle handle) const;
-  SessionHandle create_on_shard(std::uint32_t shard_index,
-                                const SessionConfig& config);
 
   ServiceConfig config_;
   std::vector<std::unique_ptr<Engine>> engines_;

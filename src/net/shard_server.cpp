@@ -79,13 +79,8 @@ void ShardServer::stop() {
   stopping_.store(true, std::memory_order_release);
   wake_.wake();
   if (loop_.joinable()) {
-    loop_.join();
+    loop_.join();  // run()'s exit path has torn down routes_/connections_
   }
-  {
-    MutexLock lock(route_mutex_);
-    routes_.clear();
-  }
-  connections_.clear();
   listener_.close();
   running_.store(false, std::memory_order_release);
   service_->stop();
@@ -186,7 +181,15 @@ void ShardServer::run() {
       }
     }
   }
-  // Orderly loop exit: flush nothing further, just close sockets.
+  // Orderly loop exit: erase the sink routes under the mutex before
+  // freeing the connections — the drop_connection invariant. Backend
+  // workers are still delivering detections until stop() joins them; a
+  // sink call racing this teardown either sees live routes (and queues
+  // to outboxes that are still alive) or none, never a freed Connection.
+  {
+    MutexLock lock(route_mutex_);
+    routes_.clear();
+  }
   connections_.clear();
 }
 

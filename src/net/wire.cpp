@@ -1,5 +1,6 @@
 #include "net/wire.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/error.hpp"
@@ -321,21 +322,30 @@ void encode_chunk(std::vector<std::byte>& out, std::uint64_t session_id,
     expects(channel.size() == samples_per_channel,
             "wire chunk channels must share one sample count");
   }
-  const std::size_t payload_bytes =
-      sizeof(ChunkPayload) +
-      chunk.size() * samples_per_channel * sizeof(Real);
-  std::size_t at = append_header(out, FrameType::kChunk, session_id, sequence,
-                                 payload_bytes);
-  ChunkPayload prologue;
-  prologue.channel_count = static_cast<std::uint32_t>(chunk.size());
-  prologue.samples_per_channel =
-      static_cast<std::uint32_t>(samples_per_channel);
-  std::memcpy(out.data() + at, &prologue, sizeof(prologue));
-  at += sizeof(prologue);
-  for (const auto& channel : chunk) {
-    std::memcpy(out.data() + at, channel.data(),
-                channel.size() * sizeof(Real));
-    at += channel.size() * sizeof(Real);
+  // Chunks above one frame's payload budget are split along the sample
+  // axis: ingest only appends samples to the session's ring, so slice
+  // boundaries are semantically invisible and chunk sizes the
+  // in-process backends accept never hit a wire-only limit.
+  const std::size_t max_per_channel =
+      k_max_chunk_samples_per_frame / chunk.size();
+  for (std::size_t taken = 0; taken < samples_per_channel;) {
+    const std::size_t take =
+        std::min(samples_per_channel - taken, max_per_channel);
+    const std::size_t payload_bytes =
+        sizeof(ChunkPayload) + chunk.size() * take * sizeof(Real);
+    std::size_t at = append_header(out, FrameType::kChunk, session_id,
+                                   sequence, payload_bytes);
+    ChunkPayload prologue;
+    prologue.channel_count = static_cast<std::uint32_t>(chunk.size());
+    prologue.samples_per_channel = static_cast<std::uint32_t>(take);
+    std::memcpy(out.data() + at, &prologue, sizeof(prologue));
+    at += sizeof(prologue);
+    for (const auto& channel : chunk) {
+      std::memcpy(out.data() + at, channel.data() + taken,
+                  take * sizeof(Real));
+      at += take * sizeof(Real);
+    }
+    taken += take;
   }
 }
 
@@ -351,18 +361,26 @@ void encode_label_ack(std::vector<std::byte>& out, std::uint64_t session_id,
 
 void encode_detections(std::vector<std::byte>& out, std::uint64_t sequence,
                        std::span<const WireDetection> detections) {
-  const std::size_t payload_bytes =
-      sizeof(DetectionsPayload) + detections.size() * sizeof(WireDetection);
-  std::size_t at = append_header(out, FrameType::kDetections, 0, sequence,
-                                 payload_bytes);
-  DetectionsPayload prologue;
-  prologue.count = static_cast<std::uint32_t>(detections.size());
-  std::memcpy(out.data() + at, &prologue, sizeof(prologue));
-  at += sizeof(prologue);
-  if (!detections.empty()) {
-    std::memcpy(out.data() + at, detections.data(),
-                detections.size() * sizeof(WireDetection));
-  }
+  // Batches above one frame's payload budget (an InlineBackend flush
+  // can deliver a whole backlog at once) are split across frames;
+  // receivers accumulate per frame, so the split is invisible.
+  do {
+    const std::size_t take =
+        std::min(detections.size(), k_max_detections_per_frame);
+    const std::size_t payload_bytes =
+        sizeof(DetectionsPayload) + take * sizeof(WireDetection);
+    std::size_t at = append_header(out, FrameType::kDetections, 0, sequence,
+                                   payload_bytes);
+    DetectionsPayload prologue;
+    prologue.count = static_cast<std::uint32_t>(take);
+    std::memcpy(out.data() + at, &prologue, sizeof(prologue));
+    at += sizeof(prologue);
+    if (take != 0) {
+      std::memcpy(out.data() + at, detections.data(),
+                  take * sizeof(WireDetection));
+    }
+    detections = detections.subspan(take);
+  } while (!detections.empty());
 }
 
 void encode_stats_request(std::vector<std::byte>& out, std::uint64_t sequence) {

@@ -179,6 +179,13 @@ struct ChunkPayload {
 };
 static_assert(sizeof(ChunkPayload) == 8);
 
+/// Most samples (summed over channels) one kChunk frame can carry under
+/// k_max_payload_bytes; encode_chunk splits larger chunks along the
+/// sample axis into back-to-back frames, so in-process chunk sizes
+/// never hit a wire-only limit.
+inline constexpr std::size_t k_max_chunk_samples_per_frame =
+    (k_max_payload_bytes - sizeof(ChunkPayload)) / sizeof(Real);
+
 /// One classified window on the wire (engine::Detection with pinned
 /// widths; session_id lives in the surrounding struct so a batch frame
 /// can mix sessions).
@@ -199,6 +206,12 @@ struct DetectionsPayload {
   std::uint32_t reserved = 0;
 };
 static_assert(sizeof(DetectionsPayload) == 8);
+
+/// Most detections one kDetections frame can carry under
+/// k_max_payload_bytes; encode_detections splits larger batches across
+/// frames (receivers accumulate per frame, so the split is invisible).
+inline constexpr std::size_t k_max_detections_per_frame =
+    (k_max_payload_bytes - sizeof(DetectionsPayload)) / sizeof(WireDetection);
 
 struct LabelAckPayload {
   double onset_s = 0.0;
@@ -314,7 +327,12 @@ ErrorView decode_error(const FrameView& view);
 // -------------------------------------------------------------- encode
 // Encoders append one complete frame (header + payload + padding) onto
 // `out`; senders batch several frames per send_all. The sequence is
-// caller-assigned; acks echo the request's.
+// caller-assigned; acks echo the request's. The two variable-array
+// encoders (encode_chunk, encode_detections) split input larger than
+// one frame's payload budget across several back-to-back frames, each
+// carrying the same session id and sequence — ingest appends and
+// detection batches accumulate receiver-side, so the split carries no
+// semantics.
 
 void encode_hello(std::vector<std::byte>& out, std::uint64_t sequence,
                   const HelloPayload& payload);

@@ -264,6 +264,49 @@ TEST_F(ServiceTest, CreateSessionValidatesConfigUpFront) {
   EXPECT_EQ(service.session_count(), 0u);
 }
 
+TEST_F(ServiceTest, FailedBackendMirrorRollsTheSessionBack) {
+  // A backend whose on_session_created throws models a remote mirror
+  // rejecting the open: the create must fail with no local-only session
+  // left behind, and the next create must start from a clean slate.
+  class FailingBackend final : public ExecutionBackend {
+   public:
+    const char* name() const override { return "failing"; }
+    void start(std::vector<std::unique_ptr<Shard>>&, DetectionSink&) override {
+    }
+    void stop() override {}
+    void ingest(Shard&, std::uint64_t,
+                const std::vector<std::span<const Real>>&) override {}
+    void flush() override {}
+    void on_session_created(std::uint32_t, std::uint64_t, std::uint64_t,
+                            const SessionConfig&) override {
+      if (fail) {
+        throw DataError("remote mirror rejected the session");
+      }
+      ++announced;
+    }
+    bool fail = false;
+    std::size_t announced = 0;
+  };
+  auto backend = std::make_unique<FailingBackend>();
+  FailingBackend* control = backend.get();
+  DetectionService service(*fleet_, ServiceConfig{}, std::move(backend));
+
+  control->fail = true;
+  EXPECT_THROW(service.create_session(), DataError);
+  EXPECT_EQ(service.session_count(), 0u);
+
+  control->fail = false;
+  const SessionHandle handle = service.create_session();
+  EXPECT_EQ(service.session_count(), 1u);
+  EXPECT_EQ(control->announced, 1u);
+  EXPECT_EQ(handle.local_id(), 0u);  // the rolled-back slot was reclaimed
+  service.ingest(handle, chunk_views(*background_record_, 0, 256));
+  EXPECT_THROW(
+      service.ingest(SessionHandle::pack(handle.shard(), handle.local_id() + 1),
+                     chunk_views(*background_record_, 0, 256)),
+      InvalidArgument);
+}
+
 TEST_F(ServiceTest, IngestRejectsUnknownSessionsAndMalformedChunks) {
   ServiceConfig config;
   config.shards = 2;

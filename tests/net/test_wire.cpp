@@ -193,6 +193,76 @@ TEST(WireDecode, DetectionsRoundTripAndRejectCountMismatch) {
   EXPECT_THROW(decode_detections(parse_frame(bytes)), InvalidArgument);
 }
 
+TEST(WireEncode, OversizedChunksSplitAcrossFramesAndReassemble) {
+  // A chunk larger than one frame's payload budget must not throw (the
+  // in-process backends accept it); it splits along the sample axis
+  // into in-order frames that reassemble to the original samples.
+  constexpr std::size_t k_channels = 4;
+  const std::size_t per_frame = k_max_chunk_samples_per_frame / k_channels;
+  const std::size_t samples_per_channel = 2 * per_frame + 100;
+  std::vector<std::vector<Real>> channels(k_channels);
+  std::vector<std::span<const Real>> views;
+  for (std::size_t c = 0; c < k_channels; ++c) {
+    channels[c].resize(samples_per_channel);
+    for (std::size_t i = 0; i < samples_per_channel; ++i) {
+      channels[c][i] = static_cast<Real>(c * 1000000 + i);
+    }
+    views.push_back(std::span<const Real>(channels[c]));
+  }
+  std::vector<std::byte> bytes;
+  encode_chunk(bytes, 9, 1, views);
+
+  FrameBuffer buffer;
+  buffer.append(bytes);
+  std::vector<std::vector<Real>> reassembled(k_channels);
+  std::size_t frames = 0;
+  FrameView view;
+  while (buffer.next(view)) {
+    EXPECT_EQ(static_cast<FrameType>(view.header.type), FrameType::kChunk);
+    EXPECT_EQ(view.header.session_id, 9u);
+    const ChunkView chunk = decode_chunk(view);
+    ASSERT_EQ(chunk.channel_count, k_channels);
+    for (std::uint32_t c = 0; c < k_channels; ++c) {
+      reassembled[c].insert(reassembled[c].end(), chunk.channel(c).begin(),
+                            chunk.channel(c).end());
+    }
+    ++frames;
+  }
+  EXPECT_EQ(frames, 3u);
+  for (std::size_t c = 0; c < k_channels; ++c) {
+    EXPECT_EQ(reassembled[c], channels[c]);
+  }
+}
+
+TEST(WireEncode, OversizedDetectionBatchesSplitAcrossFrames) {
+  // An InlineBackend flush can deliver a whole backlog in one sink
+  // call; above one frame's budget the batch must split, not throw.
+  const std::size_t count = k_max_detections_per_frame + 7;
+  std::vector<WireDetection> batch(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    batch[i].window_index = i;
+  }
+  std::vector<std::byte> bytes;
+  encode_detections(bytes, 3, batch);
+
+  FrameBuffer buffer;
+  buffer.append(bytes);
+  std::size_t seen = 0;
+  std::size_t frames = 0;
+  FrameView view;
+  while (buffer.next(view)) {
+    EXPECT_EQ(static_cast<FrameType>(view.header.type),
+              FrameType::kDetections);
+    for (const WireDetection& detection : decode_detections(view)) {
+      EXPECT_EQ(detection.window_index, seen);
+      ++seen;
+    }
+    ++frames;
+  }
+  EXPECT_EQ(frames, 2u);
+  EXPECT_EQ(seen, count);
+}
+
 TEST(WireDecode, StatsRoundTripThroughTheWireStruct) {
   engine::EngineStats stats;
   stats.windows_classified = 100;
