@@ -49,6 +49,7 @@
 // section, and the artifact stage when enabled) as machine-readable
 // JSON, e.g. BENCH_engine.json, so the perf trajectory can be tracked
 // across commits.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -251,6 +252,13 @@ struct WireResult {
   double wire_windows_per_s = 0.0;     // every chunk crosses the socket
   double inproc_sessions_per_s = 0.0;  // same workload, ThreadPoolBackend
   double inproc_windows_per_s = 0.0;
+  // Per-round ingest+flush round-trip time — the delay between samples
+  // arriving and their windows being classified, i.e. the per-window
+  // delivery-latency proxy for a 1 s streaming cadence.
+  double wire_latency_p50_ms = 0.0;
+  double wire_latency_p99_ms = 0.0;
+  double inproc_latency_p50_ms = 0.0;
+  double inproc_latency_p99_ms = 0.0;
 };
 
 constexpr std::size_t k_wire_shards = 2;
@@ -259,12 +267,14 @@ constexpr std::size_t k_wire_shards = 2;
 /// session creation separately from streaming. `windows` reads the
 /// classified-window counter wherever the compute actually runs (the
 /// remote server for the wire run — the client's mirror Engines never
-/// classify).
+/// classify). Each round's ingest+flush round trip is recorded; the
+/// p50/p99 of those are the per-window delivery-latency proxy.
 template <typename WindowCount>
 void drive_service(engine::DetectionService& service,
                    const signal::EegRecord& record, std::size_t sessions,
                    Seconds stream_seconds, WindowCount&& windows,
-                   double& sessions_per_s, double& windows_per_s) {
+                   double& sessions_per_s, double& windows_per_s,
+                   double& latency_p50_ms, double& latency_p99_ms) {
   auto start = Clock::now();
   std::vector<engine::SessionHandle> handles;
   for (std::size_t s = 0; s < sessions; ++s) {
@@ -275,17 +285,28 @@ void drive_service(engine::DetectionService& service,
   const auto chunk = static_cast<std::size_t>(record.sample_rate_hz());
   const auto rounds = static_cast<std::size_t>(stream_seconds);
   const std::size_t length = record.length_samples();
+  std::vector<double> round_ms;
+  round_ms.reserve(rounds);
   const std::uint64_t before = windows();
   start = Clock::now();
   for (std::size_t round = 0; round < rounds; ++round) {
+    const auto round_start = Clock::now();
     for (std::size_t s = 0; s < sessions; ++s) {
       const std::size_t offset = ((round + s * 37) * chunk) % (length - chunk);
       service.ingest(handles[s], chunk_views(record, offset, chunk));
     }
     service.flush();
+    round_ms.push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - round_start)
+            .count());
   }
   const double elapsed = seconds_since(start);
   windows_per_s = static_cast<double>(windows() - before) / elapsed;
+  if (!round_ms.empty()) {
+    std::sort(round_ms.begin(), round_ms.end());
+    latency_p50_ms = round_ms[round_ms.size() / 2];
+    latency_p99_ms = round_ms[(round_ms.size() * 99) / 100];
+  }
 }
 
 /// Client side of the wire stage: the streaming workload through a
@@ -307,7 +328,8 @@ WireResult wire_client_stage(
     drive_service(
         service, record, sessions, stream_seconds,
         [&] { return remote->remote_stats().windows_classified; },
-        result.wire_sessions_per_s, result.wire_windows_per_s);
+        result.wire_sessions_per_s, result.wire_windows_per_s,
+        result.wire_latency_p50_ms, result.wire_latency_p99_ms);
     service.stop();
   }
   {
@@ -319,7 +341,8 @@ WireResult wire_client_stage(
     drive_service(
         service, record, sessions, stream_seconds,
         [&] { return service.stats().windows_classified; },
-        result.inproc_sessions_per_s, result.inproc_windows_per_s);
+        result.inproc_sessions_per_s, result.inproc_windows_per_s,
+        result.inproc_latency_p50_ms, result.inproc_latency_p99_ms);
     service.stop();
   }
   return result;
@@ -612,8 +635,16 @@ void write_json(
                  wire->wire_windows_per_s);
     std::fprintf(f, "    \"inproc_sessions_per_s\": %.1f,\n",
                  wire->inproc_sessions_per_s);
-    std::fprintf(f, "    \"inproc_windows_per_s\": %.1f\n",
+    std::fprintf(f, "    \"inproc_windows_per_s\": %.1f,\n",
                  wire->inproc_windows_per_s);
+    std::fprintf(f, "    \"wire_latency_p50_ms\": %.3f,\n",
+                 wire->wire_latency_p50_ms);
+    std::fprintf(f, "    \"wire_latency_p99_ms\": %.3f,\n",
+                 wire->wire_latency_p99_ms);
+    std::fprintf(f, "    \"inproc_latency_p50_ms\": %.3f,\n",
+                 wire->inproc_latency_p50_ms);
+    std::fprintf(f, "    \"inproc_latency_p99_ms\": %.3f\n",
+                 wire->inproc_latency_p99_ms);
     std::fprintf(f, "  }");
   }
   if (artifact == nullptr) {
@@ -784,6 +815,11 @@ int main(int argc, char** argv) {
                 wire.inproc_sessions_per_s);
     std::printf("%12s %16.0f %16.0f\n", "windows/s", wire.wire_windows_per_s,
                 wire.inproc_windows_per_s);
+    std::printf("%12s %13.2f ms %13.2f ms   (per-round ingest+flush)\n",
+                "p50 latency", wire.wire_latency_p50_ms,
+                wire.inproc_latency_p50_ms);
+    std::printf("%12s %13.2f ms %13.2f ms\n", "p99 latency",
+                wire.wire_latency_p99_ms, wire.inproc_latency_p99_ms);
   }
 
   ArtifactResult artifact;

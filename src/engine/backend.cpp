@@ -18,6 +18,11 @@ void translate_ids(std::uint32_t shard_index,
 
 }  // namespace
 
+void ExecutionBackend::close_session(Shard& shard, std::uint64_t local_id) {
+  MutexLock lock(shard.mutex);
+  shard.engine->remove_session(local_id);
+}
+
 // ---------------------------------------------------------------- inline
 
 void InlineBackend::start(std::vector<std::unique_ptr<Shard>>& shards,
@@ -37,18 +42,30 @@ void InlineBackend::ingest(Shard& shard, std::uint64_t local_id,
   shard.engine->ingest(local_id, chunk);
 }
 
+void InlineBackend::poll_shard(const Shard& shard) {
+  scratch_.clear();
+  {
+    MutexLock lock(shard.mutex);
+    shard.engine->poll_into(scratch_);
+  }
+  translate_ids(shard.index, scratch_);
+  if (!scratch_.empty()) {
+    sink_->on_detections(scratch_);
+  }
+}
+
 void InlineBackend::flush() {
   ensures(shards_ != nullptr, "InlineBackend: flush before start");
   for (const auto& shard : *shards_) {
-    scratch_.clear();
-    {
-      MutexLock lock(shard->mutex);
-      shard->engine->poll_into(scratch_);
-    }
-    translate_ids(shard->index, scratch_);
-    if (!scratch_.empty()) {
-      sink_->on_detections(scratch_);
-    }
+    poll_shard(*shard);
+  }
+}
+
+void InlineBackend::flush_shards(
+    std::span<const std::uint32_t> shard_indices) {
+  ensures(shards_ != nullptr, "InlineBackend: flush before start");
+  for (const std::uint32_t index : shard_indices) {
+    poll_shard(*(*shards_)[index]);
   }
 }
 
@@ -78,12 +95,14 @@ void ThreadPoolBackend::start(std::vector<std::unique_ptr<Shard>>& shards,
   workers_.reserve(shards.size());
   for (std::size_t i = 0; i < shards.size(); ++i) {
     auto worker = std::make_unique<Worker>();
-    worker->queue = std::make_unique<IngestQueue>(config_.queue_capacity);
+    if (config_.single_producer) {
+      worker->queue =
+          std::make_unique<SpscIngestQueue>(config_.queue_capacity);
+    } else {
+      worker->queue =
+          std::make_unique<MutexIngestQueue>(config_.queue_capacity);
+    }
     workers_.push_back(std::move(worker));
-  }
-  {
-    MutexLock lock(flush_mutex_);
-    progress_.assign(workers_.size(), WorkerProgress{});
   }
   for (std::size_t i = 0; i < workers_.size(); ++i) {
     workers_[i]->thread = std::thread([this, i] { run_worker(i); });
@@ -129,37 +148,94 @@ void ThreadPoolBackend::flush() {
   rethrow_worker_error();
 }
 
+void ThreadPoolBackend::flush_shards(
+    std::span<const std::uint32_t> shard_indices) {
+  run_barrier(shard_indices, nullptr);
+  rethrow_worker_error();
+}
+
+void ThreadPoolBackend::flush_shards_async(
+    std::span<const std::uint32_t> shard_indices,
+    std::function<void()> done) {
+  // Surface any captured worker error on the caller's thread *before*
+  // registering: the callback runs on a worker, where a throw would be
+  // fatal.
+  rethrow_worker_error();
+  if (!done) {
+    run_barrier(shard_indices, nullptr);
+    return;
+  }
+  run_barrier(shard_indices, std::move(done));
+}
+
 void ThreadPoolBackend::flush_barrier() {
   if (workers_.empty()) {
     return;
   }
-  std::uint64_t target = 0;
-  {
-    MutexLock lock(flush_mutex_);
-    target = ++flush_epoch_;
-    // Snapshot how much each queue has ever received: the barrier only
-    // waits for *those* chunks, so it completes even while producers
-    // keep streaming new ones past it. Overlapping flushes monotonically
-    // raise the watermark, which at worst makes an earlier waiter wait
-    // for the later flush's (finite) snapshot too.
-    for (std::size_t i = 0; i < workers_.size(); ++i) {
-      progress_[i].flush_watermark = workers_[i]->queue->pushed();
-    }
+  std::vector<std::uint32_t> all(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    all[i] = static_cast<std::uint32_t>(i);
   }
-  for (const auto& worker : workers_) {
-    worker->queue->wake();
-  }
-  MutexLock lock(flush_mutex_);
-  while (!flush_done(target)) {
-    flush_cv_.wait(lock);
-  }
+  run_barrier(all, nullptr);
 }
 
-bool ThreadPoolBackend::flush_done(std::uint64_t target) const {
-  return std::all_of(progress_.begin(), progress_.end(),
-                     [target](const WorkerProgress& progress) {
-                       return progress.done_epoch >= target;
-                     });
+void ThreadPoolBackend::run_barrier(
+    std::span<const std::uint32_t> shard_indices,
+    std::function<void()> callback) {
+  if (workers_.empty()) {
+    // No workers yet (backend not started): nothing can be in flight.
+    if (callback) {
+      callback();
+    }
+    return;
+  }
+  auto barrier = std::make_unique<FlushBarrier>();
+  barrier->callback = std::move(callback);
+  // Snapshot how much each covered queue has ever received: the barrier
+  // only waits for *those* chunks, so it completes even while producers
+  // keep streaming new ones past it. Legs are not filtered against
+  // popped() here — popped() advances before the worker delivers to the
+  // sink, so a "pre-satisfied" leg could otherwise complete a barrier
+  // ahead of its detections.
+  barrier->legs.reserve(shard_indices.size());
+  for (const std::uint32_t index : shard_indices) {
+    ensures(index < workers_.size(), "ThreadPoolBackend: bad shard index");
+    barrier->legs.emplace_back(static_cast<std::size_t>(index),
+                               workers_[index]->queue->pushed());
+  }
+  if (barrier->legs.empty()) {
+    if (barrier->callback) {
+      barrier->callback();
+    }
+    return;
+  }
+  FlushBarrier* handle = barrier.get();
+  const bool sync = handle->callback == nullptr;
+  {
+    MutexLock lock(flush_mutex_);
+    barriers_.push_back(std::move(barrier));
+  }
+  // Wake every covered worker so idle queues confirm their (already
+  // reached) watermarks promptly. Iterates the caller's span, not the
+  // registered barrier: workers may already be erasing its legs — and,
+  // on the async path, the whole barrier.
+  for (const std::uint32_t index : shard_indices) {
+    workers_[index]->queue->wake();
+  }
+  if (!sync) {
+    return;  // the confirming worker runs the callback and erases it
+  }
+  MutexLock lock(flush_mutex_);
+  while (!handle->completed) {
+    flush_cv_.wait(lock);
+  }
+  // The waiter owns its barrier's lifetime on the sync path.
+  for (std::size_t i = 0; i < barriers_.size(); ++i) {
+    if (barriers_[i].get() == handle) {
+      barriers_.erase(barriers_.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
 }
 
 void ThreadPoolBackend::rethrow_worker_error() {
@@ -177,6 +253,7 @@ void ThreadPoolBackend::run_worker(std::size_t index) {
   std::vector<IngestChunk> chunks;
   std::vector<Detection> detections;
   std::vector<std::span<const Real>> views;
+  std::vector<std::function<void()>> ready_callbacks;
 
   while (true) {
     worker.queue->wait();
@@ -210,24 +287,47 @@ void ThreadPoolBackend::run_worker(std::size_t index) {
       worker.queue->recycle(chunks);
     }
 
-    // A flush epoch completes once this queue's popped() count reaches
-    // the watermark snapshotted by the flush: every chunk the barrier
-    // covers has then been ingested *and* polled (this point is only
-    // reached after the drained batch went through poll_into), even if
-    // producers have already pushed newer chunks behind it.
+    // Barrier scan. A leg of this worker's confirms once the queue's
+    // popped() count reaches the leg's watermark: every chunk the
+    // barrier covers has then been ingested *and* polled *and*
+    // delivered (this point is only reached after the drained batch
+    // went through poll_into and the sink), even if producers have
+    // already pushed newer chunks behind it.
     bool notify = false;
     {
       MutexLock lock(flush_mutex_);
-      WorkerProgress& progress = progress_[index];
-      if (progress.done_epoch < flush_epoch_ &&
-          worker.queue->popped() >= progress.flush_watermark) {
-        progress.done_epoch = flush_epoch_;
-        notify = true;
+      const std::uint64_t done = worker.queue->popped();
+      for (auto it = barriers_.begin(); it != barriers_.end();) {
+        FlushBarrier& barrier = **it;
+        auto& legs = barrier.legs;
+        legs.erase(std::remove_if(legs.begin(), legs.end(),
+                                  [index, done](const auto& leg) {
+                                    return leg.first == index &&
+                                           done >= leg.second;
+                                  }),
+                   legs.end());
+        if (legs.empty() && !barrier.completed) {
+          barrier.completed = true;
+          if (barrier.callback) {
+            // Async barrier: this worker runs the callback (outside the
+            // lock) and owns the erase; sync waiters erase their own.
+            ready_callbacks.push_back(std::move(barrier.callback));
+            it = barriers_.erase(it);
+            continue;
+          }
+          notify = true;
+        }
+        ++it;
       }
     }
     if (notify) {
       flush_cv_.notify_all();
     }
+    for (auto& callback : ready_callbacks) {
+      callback();
+    }
+    ready_callbacks.clear();
+
     if (stopping_.load(std::memory_order_acquire) &&
         worker.queue->size() == 0) {
       return;

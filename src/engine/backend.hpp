@@ -10,11 +10,15 @@
 //     queues; the right choice for tests, embedding, and single-core
 //     edge gateways.
 //   * ThreadPoolBackend — one worker thread per shard. ingest() copies
-//     the chunk into the shard's bounded MPSC IngestQueue and returns;
-//     the worker drains the queue, runs Engine::ingest + poll off the
-//     caller's thread, and delivers detections to the DetectionSink.
-//     flush() is a barrier: every chunk enqueued before it has been
-//     windowed, classified, and delivered when it returns.
+//     the chunk into the shard's bounded IngestQueue (mutex MPSC by
+//     default, lock-free SPSC when the owner declares a single
+//     producer) and returns; the worker drains the queue, runs
+//     Engine::ingest + poll off the caller's thread, and delivers
+//     detections to the DetectionSink. flush() is a barrier: every
+//     chunk enqueued before it has been windowed, classified, and
+//     delivered when it returns; flush_shards()/flush_shards_async()
+//     scope the barrier to a subset of shards so one caller's barrier
+//     does not stall the rest of the fleet.
 //
 // Ordering guarantee (both backends): detections for one session are
 // always delivered in window order. Cross-session/cross-shard ordering
@@ -25,9 +29,11 @@
 #include <atomic>
 #include <cstdint>
 #include <exception>
+#include <functional>
 #include <memory>
 #include <span>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/annotations.hpp"
@@ -129,6 +135,36 @@ class ExecutionBackend {
   /// Barrier: when it returns, every chunk ingested before the call has
   /// been windowed, classified, and delivered to the sink.
   virtual void flush() = 0;
+
+  /// Scoped barrier: like flush(), but only chunks ingested into the
+  /// named shards are covered — other shards are untouched and keep
+  /// streaming. The default falls back to the full barrier, which is a
+  /// correct (if wider) superset.
+  virtual void flush_shards(std::span<const std::uint32_t> shard_indices) {
+    (void)shard_indices;
+    flush();
+  }
+
+  /// Asynchronous scoped barrier: `done` runs exactly once, after every
+  /// chunk already ingested into the named shards has been delivered to
+  /// the sink. The caller's thread is not blocked; `done` may run on a
+  /// worker thread (or inline, on backends without workers), so it must
+  /// not call back into the backend. Errors captured from workers are
+  /// rethrown here, before the barrier is registered.
+  virtual void flush_shards_async(std::span<const std::uint32_t> shard_indices,
+                                  std::function<void()> done) {
+    flush_shards(shard_indices);
+    if (done) {
+      done();
+    }
+  }
+
+  /// Removes one session from its shard's Engine: the slot is
+  /// tombstoned (its id is never reused), chunks still queued for it
+  /// are silently dropped when the worker reaches them, and a remote
+  /// backend mirrors the close to its server. Flush first if pending
+  /// windows must still be delivered.
+  virtual void close_session(Shard& shard, std::uint64_t local_id);
 };
 
 /// Caller-thread execution: ingest() forwards straight into the Engine,
@@ -143,8 +179,11 @@ class InlineBackend final : public ExecutionBackend {
   void ingest(Shard& shard, std::uint64_t local_id,
               const std::vector<std::span<const Real>>& chunk) override;
   void flush() override;
+  void flush_shards(std::span<const std::uint32_t> shard_indices) override;
 
  private:
+  void poll_shard(const Shard& shard);
+
   std::vector<std::unique_ptr<Shard>>* shards_ = nullptr;
   DetectionSink* sink_ = nullptr;
   std::vector<Detection> scratch_;  // reused per-flush detection buffer
@@ -153,9 +192,14 @@ class InlineBackend final : public ExecutionBackend {
 struct ThreadPoolConfig {
   /// Bounded chunks per shard ingest queue; producers block when full.
   std::size_t queue_capacity = 64;
+  /// When the owner guarantees at most one thread calls ingest() at a
+  /// time (per shard), each shard gets the lock-free SpscIngestQueue
+  /// instead of the mutex MPSC queue. The ShardServer's single event
+  /// loop is exactly this case. Violating the contract is a data race.
+  bool single_producer = false;
 };
 
-/// One worker thread per shard; chunks flow through bounded MPSC ingest
+/// One worker thread per shard; chunks flow through bounded ingest
 /// queues so producers never run feature extraction or inference.
 class ThreadPoolBackend final : public ExecutionBackend {
  public:
@@ -169,6 +213,9 @@ class ThreadPoolBackend final : public ExecutionBackend {
   void ingest(Shard& shard, std::uint64_t local_id,
               const std::vector<std::span<const Real>>& chunk) override;
   void flush() override;
+  void flush_shards(std::span<const std::uint32_t> shard_indices) override;
+  void flush_shards_async(std::span<const std::uint32_t> shard_indices,
+                          std::function<void()> done) override;
 
  private:
   struct Worker {
@@ -176,23 +223,29 @@ class ThreadPoolBackend final : public ExecutionBackend {
     std::thread thread;
   };
 
-  /// Flush-barrier bookkeeping for one worker (progress_[i] belongs to
-  /// workers_[i]; kept out of Worker so the guarded_by annotation can
-  /// name flush_mutex_ — Clang's analysis cannot tie an inner-struct
-  /// member to an outer-class mutex). A flush captures queue->pushed()
-  /// as the watermark; the worker completes the epoch once
-  /// queue->popped() reaches it, so barriers finish even under
-  /// continuous ingest.
-  struct WorkerProgress {
-    std::uint64_t done_epoch = 0;
-    std::uint64_t flush_watermark = 0;
+  /// One outstanding scoped barrier. Each covered worker owns one leg
+  /// (its index plus the queue->pushed() watermark snapshotted when the
+  /// barrier was made); a worker confirms its leg once queue->popped()
+  /// reaches the watermark *at its post-delivery scan point* — popped()
+  /// advances in pop_all, before detections reach the sink, so legs are
+  /// never pre-filtered at creation. When the last leg confirms, the
+  /// barrier completes: sync waiters are notified via flush_cv_, async
+  /// barriers run `callback` on the confirming worker's thread (outside
+  /// flush_mutex_).
+  struct FlushBarrier {
+    std::vector<std::pair<std::size_t, std::uint64_t>> legs;
+    bool completed = false;
+    std::function<void()> callback;
   };
 
   void run_worker(std::size_t index);
   /// flush() without the worker-error rethrow (stop() must join first).
   void flush_barrier();
-  /// True once every worker's done_epoch reached `target`.
-  bool flush_done(std::uint64_t target) const ESL_REQUIRES(flush_mutex_);
+  /// Registers a barrier over `shard_indices`. Null callback: blocks
+  /// until the barrier completes. Non-null: returns immediately; the
+  /// callback runs when it completes.
+  void run_barrier(std::span<const std::uint32_t> shard_indices,
+                   std::function<void()> callback);
   /// Rethrows the first captured worker exception, if any.
   void rethrow_worker_error();
 
@@ -203,8 +256,8 @@ class ThreadPoolBackend final : public ExecutionBackend {
 
   mutable Mutex flush_mutex_;
   CondVar flush_cv_;
-  std::uint64_t flush_epoch_ ESL_GUARDED_BY(flush_mutex_) = 0;
-  std::vector<WorkerProgress> progress_ ESL_GUARDED_BY(flush_mutex_);
+  std::vector<std::unique_ptr<FlushBarrier>> barriers_
+      ESL_GUARDED_BY(flush_mutex_);
   std::atomic<bool> stopping_{false};
 
   // First exception thrown on a worker thread (engine precondition

@@ -32,6 +32,16 @@ void Engine::pop_session(std::uint64_t id) {
   slots_.pop_back();
 }
 
+void Engine::remove_session(std::uint64_t id) {
+  Slot& s = live_slot(id);
+  // Tombstone: the slot stays (ids are indices and are never reused),
+  // its state goes. Pending windows die with the session.
+  s.session.reset();
+  s.pipeline.reset();
+  s.model.reset();
+  s.override_model.reset();
+}
+
 Engine::Slot& Engine::slot(std::uint64_t id) {
   expects(id < slots_.size(), "Engine: unknown session id");
   return slots_[id];
@@ -42,17 +52,34 @@ const Engine::Slot& Engine::slot(std::uint64_t id) const {
   return slots_[id];
 }
 
+Engine::Slot& Engine::live_slot(std::uint64_t id) {
+  Slot& s = slot(id);
+  expects(s.session != nullptr, "Engine: session was closed");
+  return s;
+}
+
+const Engine::Slot& Engine::live_slot(std::uint64_t id) const {
+  const Slot& s = slot(id);
+  expects(s.session != nullptr, "Engine: session was closed");
+  return s;
+}
+
 PatientSession& Engine::session(std::uint64_t id) {
-  return *slot(id).session;
+  return *live_slot(id).session;
 }
 
 const PatientSession& Engine::session(std::uint64_t id) const {
-  return *slot(id).session;
+  return *live_slot(id).session;
 }
 
 std::size_t Engine::ingest(std::uint64_t id,
                            const std::vector<std::span<const Real>>& chunk) {
-  return slot(id).session->ingest(chunk);
+  Slot& s = slot(id);
+  if (s.session == nullptr) {
+    // Chunks queued before a close silently drain away; see the header.
+    return 0;
+  }
+  return s.session->ingest(chunk);
 }
 
 std::shared_ptr<const ml::InferenceModel> Engine::fleet_model() const {
@@ -78,7 +105,9 @@ void Engine::classify_group(const ml::InferenceModel* model) {
   batch_src_.clear();
   const bool fitted = model != nullptr;
   for (std::size_t i = 0; i < slots_.size(); ++i) {
-    if (slots_[i].model.get() != model) {
+    // Tombstones first: a closed slot's null model would otherwise join
+    // the unfitted (nullptr) group.
+    if (slots_[i].session == nullptr || slots_[i].model.get() != model) {
       continue;
     }
     const Matrix& pending = slots_[i].session->pending();
@@ -122,15 +151,20 @@ void Engine::poll_into(std::vector<Detection>& out) {
 
   // Refresh each session's effective model (override > pipeline >
   // fleet) so mid-stream fits and swaps take effect this poll.
+  // Tombstoned (closed) slots are skipped throughout.
   for (auto& s : slots_) {
-    refresh_model(s);
+    if (s.session != nullptr) {
+      refresh_model(s);
+    }
   }
 
   labels_.resize(slots_.size());
   screened_.resize(slots_.size());
   for (std::size_t i = 0; i < slots_.size(); ++i) {
-    labels_[i].assign(slots_[i].session->pending().rows(), 0);
-    screened_[i].assign(slots_[i].session->pending().rows(), 0);
+    const std::size_t rows =
+        slots_[i].session != nullptr ? slots_[i].session->pending().rows() : 0;
+    labels_[i].assign(rows, 0);
+    screened_[i].assign(rows, 0);
   }
 
   // One batched pass per distinct model, first-appearance order (the
@@ -138,7 +172,7 @@ void Engine::poll_into(std::vector<Detection>& out) {
   // number of personalized patients + 1, so the scan stays cheap.
   std::vector<const ml::InferenceModel*> distinct;
   for (const auto& s : slots_) {
-    if (s.session->pending().rows() == 0) {
+    if (s.session == nullptr || s.session->pending().rows() == 0) {
       continue;
     }
     bool seen = false;
@@ -155,6 +189,9 @@ void Engine::poll_into(std::vector<Detection>& out) {
 
   // Per-session post-processing in window order: alarm run-lengths, hooks.
   for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].session == nullptr) {
+      continue;
+    }
     PatientSession& session = *slots_[i].session;
     const Matrix& pending = session.pending();
     const auto& indices = session.pending_window_indices();
@@ -181,7 +218,7 @@ void Engine::poll_into(std::vector<Detection>& out) {
 
 void Engine::attach_self_learning(std::uint64_t id,
                                   const core::SelfLearningConfig& config) {
-  Slot& s = slot(id);
+  Slot& s = live_slot(id);
   expects(s.session->history_enabled(),
           "Engine::attach_self_learning: session needs history_seconds > 0 "
           "for a-posteriori labeling");
@@ -193,7 +230,7 @@ bool Engine::has_self_learning(std::uint64_t id) const {
 }
 
 signal::Interval Engine::patient_trigger(std::uint64_t id) {
-  Slot& s = slot(id);
+  Slot& s = live_slot(id);
   expects(s.pipeline != nullptr,
           "Engine::patient_trigger: no self-learning pipeline attached");
   // Times in the returned label are relative to the start of the history
@@ -213,7 +250,7 @@ signal::Interval Engine::patient_trigger(std::uint64_t id) {
 
 void Engine::swap_model(std::uint64_t id,
                         std::shared_ptr<const ml::InferenceModel> model) {
-  Slot& s = slot(id);
+  Slot& s = live_slot(id);
   s.override_model = std::move(model);
   refresh_model(s);  // effective immediately, not just at the next poll
 }

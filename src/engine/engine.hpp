@@ -95,6 +95,16 @@ class Engine {
   /// mirror a freshly created session (remote open rejected), the local
   /// slot is removed so local and remote session sets stay consistent.
   void pop_session(std::uint64_t id);
+  /// Tombstones a live session: its state (session, pipeline, models)
+  /// is released, its id is never reused, and polls skip the slot from
+  /// now on. Pending windows not yet polled are dropped. ingest() for a
+  /// tombstoned id silently discards the chunk — under a threaded
+  /// backend, chunks already queued when the close lands race the
+  /// worker benignly instead of faulting — while every other accessor
+  /// (session(), swap_model(), ...) treats the id as unknown.
+  void remove_session(std::uint64_t id);
+  /// Created-session high-watermark: tombstones still count (ids are
+  /// never reused, so this is "ids handed out", not "sessions alive").
   std::size_t session_count() const { return slots_.size(); }
   PatientSession& session(std::uint64_t id);
   const PatientSession& session(std::uint64_t id) const;
@@ -173,6 +183,9 @@ class Engine {
 
   Slot& slot(std::uint64_t id);
   const Slot& slot(std::uint64_t id) const;
+  /// slot(id) plus an alive check: throws for tombstoned sessions.
+  Slot& live_slot(std::uint64_t id);
+  const Slot& live_slot(std::uint64_t id) const;
   /// Fleet model when fitted, nullptr otherwise.
   std::shared_ptr<const ml::InferenceModel> fleet_model() const;
   /// Recomputes the slot's effective model: override > personalized

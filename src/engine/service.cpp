@@ -1,5 +1,7 @@
 #include "engine/service.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "engine/model_registry.hpp"
 
@@ -159,6 +161,50 @@ void DetectionService::ingest(SessionHandle handle,
 }
 
 void DetectionService::flush() { backend_->flush(); }
+
+void DetectionService::flush_sessions(
+    std::span<const SessionHandle> handles) {
+  std::vector<std::uint32_t> shards;
+  collect_shards(handles, shards);
+  if (!shards.empty()) {
+    backend_->flush_shards(shards);
+  }
+}
+
+void DetectionService::flush_sessions_async(
+    std::span<const SessionHandle> handles, std::function<void()> done) {
+  std::vector<std::uint32_t> shards;
+  collect_shards(handles, shards);
+  if (shards.empty()) {
+    if (done) {
+      done();
+    }
+    return;
+  }
+  backend_->flush_shards_async(shards, std::move(done));
+}
+
+void DetectionService::collect_shards(std::span<const SessionHandle> handles,
+                                      std::vector<std::uint32_t>& out) const {
+  for (const SessionHandle handle : handles) {
+    expects(handle.shard() < shards_.size(),
+            "DetectionService: handle addresses an unknown shard");
+    const std::uint32_t shard = handle.shard();
+    // Linear dedupe: shard counts are small (≤ cores), so this beats a
+    // set allocation on the flush path.
+    if (std::find(out.begin(), out.end(), shard) == out.end()) {
+      out.push_back(shard);
+    }
+  }
+}
+
+void DetectionService::close_session(SessionHandle handle) {
+  Shard& shard = shard_for(handle);
+  expects(handle.local_id() <
+              shard_sessions_[handle.shard()].load(std::memory_order_acquire),
+          "DetectionService::close_session: unknown session");
+  backend_->close_session(shard, handle.local_id());
+}
 
 std::size_t DetectionService::drain(std::vector<Detection>& out) {
   return collector_.drain(out);

@@ -94,6 +94,29 @@ class DetectionService {
   /// InlineBackend this is the per-round poll.
   void flush();
 
+  /// Scoped barrier: like flush(), but only covers the shards hosting
+  /// `handles` — other shards keep streaming unbarriered. Duplicate
+  /// shards in `handles` are coalesced; an empty span is a no-op.
+  void flush_sessions(std::span<const SessionHandle> handles);
+
+  /// Asynchronous scoped barrier: returns immediately; `done` runs
+  /// exactly once, after every chunk already ingested for `handles`'
+  /// shards has been delivered to the sink. Under ThreadPoolBackend
+  /// `done` runs on a shard worker thread — it must not call back into
+  /// the service. Backends without workers run it inline before
+  /// returning.
+  void flush_sessions_async(std::span<const SessionHandle> handles,
+                            std::function<void()> done);
+
+  /// Closes one session: its engine slot is tombstoned (the id is never
+  /// reused and session_count() still counts it), pending undelivered
+  /// windows are dropped (flush first to keep them), and later ingest()
+  /// calls for the handle silently discard their chunks — chunks
+  /// already queued on a shard worker race the close benignly. Control
+  /// accessors (session(), swap_model(), ...) throw for a closed
+  /// handle. A remote backend mirrors the close to its server.
+  void close_session(SessionHandle handle);
+
   /// Moves every detection collected since the last drain onto the back
   /// of `out`; returns how many. Typically called after flush(). Only
   /// meaningful while no custom sink is set.
@@ -184,6 +207,9 @@ class DetectionService {
 
   Shard& shard_for(SessionHandle handle);
   const Shard& shard_for(SessionHandle handle) const;
+  /// Deduplicated shard indices hosting `handles`, appended onto `out`.
+  void collect_shards(std::span<const SessionHandle> handles,
+                      std::vector<std::uint32_t>& out) const;
 
   ServiceConfig config_;
   std::vector<std::unique_ptr<Engine>> engines_;

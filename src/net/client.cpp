@@ -52,7 +52,6 @@ std::uint64_t ShardClient::open_session(std::uint64_t client_id,
                                         std::uint64_t routing_key,
                                         const engine::SessionConfig& config) {
   expects(socket_.valid(), "ShardClient: not connected");
-  outgoing_.clear();
   const std::uint64_t sequence = next_sequence_++;
   encode_open_session(outgoing_, client_id, sequence,
                       make_open_session(routing_key, config));
@@ -64,14 +63,18 @@ std::uint64_t ShardClient::open_session(std::uint64_t client_id,
 void ShardClient::ingest(std::uint64_t client_id,
                          const std::vector<std::span<const Real>>& chunk) {
   expects(socket_.valid(), "ShardClient: not connected");
-  outgoing_.clear();
   encode_chunk(outgoing_, client_id, next_sequence_++, chunk);
-  send_frame();
+  // Batch: one syscall carries many chunks. TCP ordering keeps every
+  // batched chunk ahead of the next awaited request (which calls
+  // send_frame() first), so barriers still cover everything sent-or-
+  // batched before them.
+  if (outgoing_.size() >= k_ingest_batch_bytes) {
+    send_frame();
+  }
 }
 
 void ShardClient::flush(std::vector<engine::Detection>& out) {
   expects(socket_.valid(), "ShardClient: not connected");
-  outgoing_.clear();
   const std::uint64_t sequence = next_sequence_++;
   encode_flush(outgoing_, sequence);
   send_frame();
@@ -84,7 +87,6 @@ void ShardClient::flush(std::vector<engine::Detection>& out) {
 
 engine::EngineStats ShardClient::stats() {
   expects(socket_.valid(), "ShardClient: not connected");
-  outgoing_.clear();
   const std::uint64_t sequence = next_sequence_++;
   encode_stats_request(outgoing_, sequence);
   send_frame();
@@ -93,7 +95,6 @@ engine::EngineStats ShardClient::stats() {
 
 void ShardClient::swap_model(std::uint64_t client_id, std::string_view key) {
   expects(socket_.valid(), "ShardClient: not connected");
-  outgoing_.clear();
   const std::uint64_t sequence = next_sequence_++;
   encode_swap_model(outgoing_, client_id, sequence, key);
   send_frame();
@@ -102,7 +103,6 @@ void ShardClient::swap_model(std::uint64_t client_id, std::string_view key) {
 
 signal::Interval ShardClient::label(std::uint64_t client_id) {
   expects(socket_.valid(), "ShardClient: not connected");
-  outgoing_.clear();
   const std::uint64_t sequence = next_sequence_++;
   encode_label(outgoing_, client_id, sequence);
   send_frame();
@@ -111,12 +111,19 @@ signal::Interval ShardClient::label(std::uint64_t client_id) {
   return signal::Interval{ack.onset_s, ack.offset_s};
 }
 
+void ShardClient::close_session(std::uint64_t client_id) {
+  expects(socket_.valid(), "ShardClient: not connected");
+  const std::uint64_t sequence = next_sequence_++;
+  encode_close_session(outgoing_, client_id, sequence);
+  send_frame();
+  await(FrameType::kCloseSessionAck, sequence);
+}
+
 void ShardClient::close() {
   if (!socket_.valid()) {
     return;
   }
   try {
-    outgoing_.clear();
     const std::uint64_t sequence = next_sequence_++;
     encode_close(outgoing_, sequence);
     send_frame();
@@ -126,10 +133,14 @@ void ShardClient::close() {
   }
   socket_.close();
   incoming_.clear();
+  outgoing_.clear();
   pending_.clear();
 }
 
-void ShardClient::send_frame() { socket_.send_all(outgoing_); }
+void ShardClient::send_frame() {
+  socket_.send_all(outgoing_);
+  outgoing_.clear();
+}
 
 FrameView ShardClient::await(FrameType type, std::uint64_t sequence) {
   std::byte chunk[16384];
@@ -190,6 +201,21 @@ void RemoteBackend::on_session_created(std::uint32_t shard_index,
       engine::SessionHandle::pack(shard_index, local_id).value;
   MutexLock lock(mutex_);
   client_.open_session(client_id, routing_key, config);
+}
+
+void RemoteBackend::close_session(engine::Shard& shard,
+                                  std::uint64_t local_id) {
+  // Tombstone the local mirror first (same lock order as
+  // on_session_created: shard.mutex, then mutex_), then retire the
+  // server-side session.
+  {
+    MutexLock lock(shard.mutex);
+    shard.engine->remove_session(local_id);
+  }
+  const std::uint64_t client_id =
+      engine::SessionHandle::pack(shard.index, local_id).value;
+  MutexLock lock(mutex_);
+  client_.close_session(client_id);
 }
 
 void RemoteBackend::ingest(engine::Shard& shard, std::uint64_t local_id,

@@ -38,6 +38,12 @@
 
 namespace esl::net {
 
+/// Ingest chunks accumulate in the client's encode buffer until this
+/// many bytes are pending, then go out in one send; any awaited call
+/// (flush, stats, ...) sends the pending batch first, so batching never
+/// reorders a chunk past the barrier that should cover it.
+inline constexpr std::size_t k_ingest_batch_bytes = 64 * 1024;
+
 /// Synchronous conversation with one ShardServer. Not thread-safe —
 /// callers (RemoteBackend) serialize. Every call that awaits an ack
 /// surfaces a server-reported failure as the matching exception type
@@ -65,8 +71,10 @@ class ShardClient {
                              std::uint64_t routing_key,
                              const engine::SessionConfig& config);
 
-  /// Sends one ingest chunk (no ack; errors surface on the next
-  /// awaited call or as a connection failure).
+  /// Queues one ingest chunk (no ack; errors surface on the next
+  /// awaited call or as a connection failure). Chunks batch in the
+  /// encode buffer and go out once k_ingest_batch_bytes are pending or
+  /// any awaited call runs, whichever comes first.
   void ingest(std::uint64_t client_id,
               const std::vector<std::span<const Real>>& chunk);
 
@@ -86,6 +94,11 @@ class ShardClient {
   /// the a-posteriori labeling trigger and returns the labeled window.
   signal::Interval label(std::uint64_t client_id);
 
+  /// Retires the server-side session mirroring `client_id`: the server
+  /// frees its engine slot and forgets the detection route. Awaits the
+  /// ack, so on return no more detections for this session arrive.
+  void close_session(std::uint64_t client_id);
+
   /// Orderly goodbye (close / close-ack), then drops the socket.
   /// Detections still in flight are discarded. Idempotent.
   void close();
@@ -100,7 +113,9 @@ class ShardClient {
 
   platform::Socket socket_;
   FrameBuffer incoming_;
-  std::vector<std::byte> outgoing_;  // encode scratch, sent per call
+  /// Encode buffer: ingest chunks accumulate here until the batch
+  /// threshold or an awaited call sends them; send_frame() drains it.
+  std::vector<std::byte> outgoing_;
   std::uint64_t next_sequence_ = 1;
   std::uint32_t shard_count_ = 0;
   std::uint32_t flags_ = 0;
@@ -134,6 +149,9 @@ class RemoteBackend final : public engine::ExecutionBackend {
   void on_session_created(std::uint32_t shard_index, std::uint64_t local_id,
                           std::uint64_t routing_key,
                           const engine::SessionConfig& config) override;
+  /// Tombstones the local mirror slot, then retires the server-side
+  /// session so neither process leaks the slot.
+  void close_session(engine::Shard& shard, std::uint64_t local_id) override;
 
   /// Control-plane extras addressed to the server process (the local
   /// DetectionService equivalents would consult the idle mirror

@@ -30,7 +30,11 @@ WireErrorCode code_of(const Error& error) {
 
 std::unique_ptr<engine::ExecutionBackend> make_backend(bool threaded) {
   if (threaded) {
-    return std::make_unique<engine::ThreadPoolBackend>();
+    engine::ThreadPoolConfig config;
+    // The event loop is the only thread that ever calls ingest, so each
+    // shard queue can run the lock-free SPSC fast path.
+    config.single_producer = true;
+    return std::make_unique<engine::ThreadPoolBackend>(config);
   }
   return std::make_unique<engine::InlineBackend>();
 }
@@ -88,45 +92,66 @@ void ShardServer::stop() {
 
 void ShardServer::Sink::on_detections(
     std::span<const engine::Detection> detections) {
-  // Translate server handles back to client session ids and queue one
-  // detections frame per destination connection. The whole pass holds
-  // route_mutex_, which is what keeps a Connection alive here: the loop
-  // erases a dropped connection's routes under the same mutex before
-  // freeing it.
-  std::unordered_map<Connection*, std::vector<WireDetection>> grouped;
-  MutexLock lock(server_.route_mutex_);
-  for (const engine::Detection& detection : detections) {
-    const auto route = server_.routes_.find(detection.session_id);
-    if (route == server_.routes_.end()) {
-      continue;  // the owning connection is gone; drop on the floor
-    }
-    WireDetection wire = to_wire(detection);
-    wire.session_id = route->second.client_id;
-    grouped[route->second.connection].push_back(wire);
-  }
-  std::vector<std::byte> bytes;
-  for (auto& [connection, wires] : grouped) {
-    bytes.clear();
-    encode_detections(bytes, 0, wires);
-    server_.queue_bytes(*connection, bytes);
-  }
-}
-
-void ShardServer::queue_bytes(Connection& connection,
-                              std::span<const std::byte> bytes) {
+  // Translate server handles back to client session ids, accumulating
+  // into each destination connection's reusable batcher, then encode
+  // one kDetections frame per connection straight into its outbox — a
+  // warm path with no per-call heap allocation (pinned by
+  // tests/net/test_net_alloc.cpp). The whole pass holds route_mutex_,
+  // which is what keeps a Connection alive here: the loop erases a
+  // dropped connection's routes under the same mutex before freeing it.
+  bool queued = false;
   {
-    MutexLock lock(connection.outbox_mutex);
-    connection.outbox.insert(connection.outbox.end(), bytes.begin(),
-                             bytes.end());
+    MutexLock lock(server_.route_mutex_);
+    server_.sink_touched_.clear();
+    for (const engine::Detection& detection : detections) {
+      const auto route = server_.routes_.find(detection.session_id);
+      if (route == server_.routes_.end()) {
+        continue;  // the owning connection is gone; drop on the floor
+      }
+      Connection* connection = route->second.connection;
+      if (connection->batcher.empty()) {
+        server_.sink_touched_.push_back(connection);
+      }
+      connection->batcher.add(detection, route->second.client_id);
+    }
+    for (Connection* connection : server_.sink_touched_) {
+      MutexLock outbox(connection->outbox_mutex);
+      connection->batcher.encode_into(connection->outbox, 0);
+    }
+    queued = !server_.sink_touched_.empty();
   }
-  wake_.wake();
+  if (queued) {
+    server_.wake_.wake();
+  }
 }
 
 void ShardServer::queue_error(Connection& connection, std::uint64_t sequence,
                               WireErrorCode code, std::string_view message) {
-  std::vector<std::byte> bytes;
-  encode_error(bytes, sequence, code, message);
-  queue_bytes(connection, bytes);
+  queue_frame(connection, [&](std::vector<std::byte>& out) {
+    encode_error(out, sequence, code, message);
+  });
+}
+
+void ShardServer::complete_flush(std::uint64_t connection_id,
+                                 std::uint64_t sequence) {
+  // Runs on whichever thread confirmed the barrier. The connection may
+  // have died while the barrier was in flight: look it up by id under
+  // route_mutex_ (the loop unregisters ids there before freeing), and
+  // queue the ack only into a live outbox.
+  bool queued = false;
+  {
+    MutexLock lock(route_mutex_);
+    const auto it = live_.find(connection_id);
+    if (it != live_.end()) {
+      Connection& connection = *it->second;
+      MutexLock outbox(connection.outbox_mutex);
+      encode_flush_ack(connection.outbox, sequence);
+      queued = true;
+    }
+  }
+  if (queued) {
+    wake_.wake();
+  }
 }
 
 #if ESL_HAVE_POSIX_SOCKETS
@@ -189,6 +214,7 @@ void ShardServer::run() {
   {
     MutexLock lock(route_mutex_);
     routes_.clear();
+    live_.clear();
   }
   connections_.clear();
 }
@@ -208,6 +234,11 @@ void ShardServer::accept_pending() {
     accepted.set_nonblocking(true);
     auto connection = std::make_unique<Connection>();
     connection->socket = std::move(accepted);
+    connection->id = next_connection_id_++;
+    {
+      MutexLock lock(route_mutex_);
+      live_[connection->id] = connection.get();
+    }
     connections_.push_back(std::move(connection));
   }
 }
@@ -257,9 +288,9 @@ void ShardServer::handle_frame(Connection& connection, const FrameView& view) {
     ack.nonce = decode_hello(view).nonce;
     ack.shard_count = static_cast<std::uint32_t>(service_->shard_count());
     ack.flags = registry_ != nullptr ? k_hello_flag_registry : 0;
-    std::vector<std::byte> bytes;
-    encode_hello_ack(bytes, sequence, ack);
-    queue_bytes(connection, bytes);
+    queue_frame(connection, [&](std::vector<std::byte>& out) {
+      encode_hello_ack(out, sequence, ack);
+    });
     return;
   }
   if (!connection.saw_hello) {
@@ -292,9 +323,9 @@ void ShardServer::handle_frame(Connection& connection, const FrameView& view) {
       }
       OpenSessionAckPayload ack;
       ack.server_session = handle.value;
-      std::vector<std::byte> bytes;
-      encode_open_session_ack(bytes, client_id, sequence, ack);
-      queue_bytes(connection, bytes);
+      queue_frame(connection, [&](std::vector<std::byte>& out) {
+        encode_open_session_ack(out, client_id, sequence, ack);
+      });
       return;
     }
     case FrameType::kChunk: {
@@ -330,18 +361,19 @@ void ShardServer::handle_frame(Connection& connection, const FrameView& view) {
         LabelAckPayload ack;
         ack.onset_s = interval.onset;
         ack.offset_s = interval.offset;
-        std::vector<std::byte> bytes;
-        encode_label_ack(bytes, view.header.session_id, sequence, ack);
-        queue_bytes(connection, bytes);
+        queue_frame(connection, [&](std::vector<std::byte>& out) {
+          encode_label_ack(out, view.header.session_id, sequence, ack);
+        });
       } catch (const Error& error) {
         queue_error(connection, sequence, code_of(error), error.what());
       }
       return;
     }
     case FrameType::kStatsRequest: {
-      std::vector<std::byte> bytes;
-      encode_stats(bytes, sequence, to_wire(service_->stats()));
-      queue_bytes(connection, bytes);
+      const StatsPayload stats = to_wire(service_->stats());
+      queue_frame(connection, [&](std::vector<std::byte>& out) {
+        encode_stats(out, sequence, stats);
+      });
       return;
     }
     case FrameType::kSwapModel: {
@@ -360,33 +392,66 @@ void ShardServer::handle_frame(Connection& connection, const FrameView& view) {
       }
       try {
         service_->swap_model(session->second, *registry_, key);
-        std::vector<std::byte> bytes;
-        encode_swap_model_ack(bytes, view.header.session_id, sequence);
-        queue_bytes(connection, bytes);
+        queue_frame(connection, [&](std::vector<std::byte>& out) {
+          encode_swap_model_ack(out, view.header.session_id, sequence);
+        });
       } catch (const Error& error) {
         queue_error(connection, sequence, code_of(error), error.what());
       }
       return;
     }
     case FrameType::kFlush: {
+      // Scoped, asynchronous barrier over this connection's sessions
+      // only: the loop keeps serving other connections while the
+      // covered shards drain. The completion queues the kFlushAck, so
+      // the ack still lands behind every detection the barrier covers
+      // (each covered worker delivers to the sink before confirming its
+      // leg) — the ordering clients rely on.
+      flush_scratch_.clear();
+      for (const auto& [client_id, handle] : connection.sessions) {
+        (void)client_id;
+        flush_scratch_.push_back(handle);
+      }
+      const std::uint64_t connection_id = connection.id;
       try {
-        // The barrier delivers every pending detection into the
-        // connection outboxes (through the sink) before the ack is
-        // queued below — the ordering clients rely on.
-        service_->flush();
+        service_->flush_sessions_async(
+            flush_scratch_, [this, connection_id, sequence] {
+              complete_flush(connection_id, sequence);
+            });
+      } catch (const Error& error) {
+        queue_error(connection, sequence, code_of(error), error.what());
+      }
+      return;
+    }
+    case FrameType::kCloseSession: {
+      const std::uint64_t client_id = view.header.session_id;
+      const auto session = connection.sessions.find(client_id);
+      if (session == connection.sessions.end()) {
+        queue_error(connection, sequence, WireErrorCode::kInvalidArgument,
+                    "close addresses a session this connection never opened");
+        return;
+      }
+      const engine::SessionHandle handle = session->second;
+      try {
+        service_->close_session(handle);
       } catch (const Error& error) {
         queue_error(connection, sequence, code_of(error), error.what());
         return;
       }
-      std::vector<std::byte> bytes;
-      encode_flush_ack(bytes, sequence);
-      queue_bytes(connection, bytes);
+      {
+        MutexLock lock(route_mutex_);
+        routes_.erase(handle.value);
+      }
+      connection.sessions.erase(session);
+      queue_frame(connection, [&](std::vector<std::byte>& out) {
+        encode_close_session_ack(out, client_id, sequence);
+      });
       return;
     }
     case FrameType::kClose: {
-      std::vector<std::byte> bytes;
-      encode_close_ack(bytes, sequence);
-      queue_bytes(connection, bytes);
+      queue_frame(connection, [&](std::vector<std::byte>& out) {
+        encode_close_ack(out, sequence);
+      });
       connection.closing = true;
       return;
     }
@@ -444,15 +509,27 @@ bool ShardServer::service_output(Connection& connection) {
 void ShardServer::drop_connection(std::size_t index) {
   Connection& connection = *connections_[index];
   {
-    // Erase the sink routes under the mutex before freeing: a sink call
-    // holding route_mutex_ either still sees the routes (and queues to
-    // a live outbox) or sees none — never a dangling connection.
+    // Erase the sink routes and the liveness entry under the mutex
+    // before freeing: a sink call or flush completion holding
+    // route_mutex_ either still sees the connection (and queues to a
+    // live outbox) or sees nothing — never a dangling Connection.
     MutexLock lock(route_mutex_);
     for (const auto& [client_id, handle] : connection.sessions) {
       routes_.erase(handle.value);
     }
+    live_.erase(connection.id);
   }
-  // The server-side sessions idle on (no removal API yet; see ROADMAP).
+  // Reap the dropped client's server-side sessions so engine slots do
+  // not leak across client churn. Outside route_mutex_: close_session
+  // takes the shard mutex, and a shard worker holding its shard mutex
+  // takes route_mutex_ in the sink — the inverse order would deadlock.
+  for (const auto& [client_id, handle] : connection.sessions) {
+    try {
+      service_->close_session(handle);
+    } catch (const Error&) {
+      // Best-effort teardown: a session already gone is not an event.
+    }
+  }
   connections_.erase(connections_.begin() +
                      static_cast<std::ptrdiff_t>(index));
 }

@@ -22,18 +22,28 @@
 // Backpressure: client -> server ingest backpressure is the socket
 // buffer (the loop stops reading a connection only while poll says so);
 // server -> client detection flow is absorbed by the outbox, bounded in
-// practice by the flush cadence. A kFlush runs the service-wide flush
-// barrier on the loop thread — simple and correct (the ack cannot
-// overtake the detections it promises), at the cost of stalling other
-// connections for the barrier's duration; see ROADMAP for the follow-on.
+// practice by the flush cadence. Under the threaded backend the loop
+// thread is the only ingest producer, so each shard queue runs the
+// lock-free SPSC fast path (engine/ingest_queue.hpp).
+//
+// Flush: a kFlush barriers only the requesting connection's sessions
+// (their shards), asynchronously — the loop registers the scoped
+// barrier and keeps serving every connection; when the last covered
+// shard worker confirms delivery, it queues the kFlushAck behind the
+// detections the barrier covered (the ack-never-overtakes-detections
+// ordering clients rely on). One chatty client's flush cadence
+// therefore cannot serialize the fleet. Under the inline backend the
+// barrier degenerates to a synchronous per-shard poll on the loop
+// thread.
 //
 // Failure semantics: malformed bytes (bad magic/version/length) poison
 // the connection — it is dropped, nothing else is affected. Well-formed
 // frames whose *request* fails (unknown session, bad config, registry
 // miss) get a kError frame carrying the exception type and message, and
-// the conversation continues. A disconnected client's server-side
-// sessions idle until the process exits (session removal is a ROADMAP
-// follow-on).
+// the conversation continues. A client can retire one session with
+// kCloseSession; dropping a connection (orderly close, EOF, or poison)
+// closes all of its server-side sessions, so engine slots do not leak
+// across client churn.
 #pragma once
 
 #include <atomic>
@@ -99,13 +109,23 @@ class ShardServer {
   struct Connection {
     platform::Socket socket;
     FrameBuffer incoming;
+    /// Server-unique id, assigned at accept (loop thread only after
+    /// that). Async flush completions address the connection by id so a
+    /// completion racing the drop can miss cleanly instead of touching
+    /// a freed Connection.
+    std::uint64_t id = 0;
     /// Frames queued for this socket by other threads (detection
-    /// batches); the loop moves them into `sending`.
+    /// batches, flush acks); the loop moves them into `sending`.
     Mutex outbox_mutex;
     std::vector<std::byte> outbox ESL_GUARDED_BY(outbox_mutex);
     /// Loop-thread staging for partially-written bytes.
     std::vector<std::byte> sending;
     std::size_t sent = 0;
+    /// Reusable per-connection detection accumulator for the sink path.
+    /// Accessed only with route_mutex_ held (the sink's translate pass
+    /// runs under it; Clang's analysis cannot tie this member to
+    /// another object's mutex, so the discipline is by comment).
+    DetectionBatcher batcher;
     /// Client session id -> server handle (loop thread only).
     std::unordered_map<std::uint64_t, engine::SessionHandle> sessions;
     bool saw_hello = false;
@@ -137,9 +157,22 @@ class ShardServer {
   void drop_connection(std::size_t index);
   void queue_error(Connection& connection, std::uint64_t sequence,
                    WireErrorCode code, std::string_view message);
-  /// Appends encoded bytes to a connection outbox (any thread) and
-  /// wakes the loop.
-  void queue_bytes(Connection& connection, std::span<const std::byte> bytes);
+  /// Runs `encode(outbox)` under the connection's outbox mutex and
+  /// wakes the loop — encoders append straight into the outbox, so the
+  /// reply path allocates nothing once the outbox is warm. Any thread.
+  template <typename Encode>
+  void queue_frame(Connection& connection, Encode&& encode) {
+    {
+      MutexLock lock(connection.outbox_mutex);
+      encode(connection.outbox);
+    }
+    wake_.wake();
+  }
+  /// Async-flush completion: queues the kFlushAck to connection
+  /// `connection_id` if it is still alive. Runs on a shard worker
+  /// thread under the threaded backend, inline on the loop thread under
+  /// the inline backend.
+  void complete_flush(std::uint64_t connection_id, std::uint64_t sequence);
 
   ShardServerConfig config_;
   std::unique_ptr<engine::DetectionService> service_;
@@ -153,6 +186,9 @@ class ShardServer {
   std::atomic<bool> stopping_{false};
 
   std::vector<std::unique_ptr<Connection>> connections_;  // loop thread only
+  std::uint64_t next_connection_id_ = 1;                  // loop thread only
+  /// Loop-thread scratch for scoped flushes (reused per kFlush).
+  std::vector<engine::SessionHandle> flush_scratch_;
 
   /// Reverse route for the sink: server handle value -> (connection,
   /// client session id). Written by the loop on open, erased on drop;
@@ -163,6 +199,13 @@ class ShardServer {
   };
   mutable Mutex route_mutex_;
   std::unordered_map<std::uint64_t, Route> routes_ ESL_GUARDED_BY(route_mutex_);
+  /// Connections alive, by id — the async flush completion's existence
+  /// check. Maintained alongside connections_ under route_mutex_.
+  std::unordered_map<std::uint64_t, Connection*> live_
+      ESL_GUARDED_BY(route_mutex_);
+  /// Sink scratch: connections touched by one on_detections pass
+  /// (guarded by route_mutex_, which serializes sink passes).
+  std::vector<Connection*> sink_touched_ ESL_GUARDED_BY(route_mutex_);
 };
 
 }  // namespace esl::net

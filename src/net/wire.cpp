@@ -53,13 +53,17 @@ PayloadBounds payload_bounds(FrameType type) {
       return {0, true};
     case FrameType::kError:
       return {sizeof(ErrorPayload), false};
+    case FrameType::kCloseSession:
+      return {0, true};
+    case FrameType::kCloseSessionAck:
+      return {0, true};
   }
   throw InvalidArgument("wire frame type is not recognized");
 }
 
 bool known_frame_type(std::uint16_t type) {
   return type >= static_cast<std::uint16_t>(FrameType::kHello) &&
-         type <= static_cast<std::uint16_t>(FrameType::kError);
+         type <= static_cast<std::uint16_t>(FrameType::kCloseSessionAck);
 }
 
 /// memcpy a trivially-copyable payload struct out of a validated view.
@@ -422,6 +426,17 @@ void encode_flush(std::vector<std::byte>& out, std::uint64_t sequence) {
 
 void encode_flush_ack(std::vector<std::byte>& out, std::uint64_t sequence) {
   append_empty_frame(out, FrameType::kFlushAck, 0, sequence);
+}
+
+void encode_close_session(std::vector<std::byte>& out,
+                          std::uint64_t session_id, std::uint64_t sequence) {
+  append_empty_frame(out, FrameType::kCloseSession, session_id, sequence);
+}
+
+void encode_close_session_ack(std::vector<std::byte>& out,
+                              std::uint64_t session_id,
+                              std::uint64_t sequence) {
+  append_empty_frame(out, FrameType::kCloseSessionAck, session_id, sequence);
 }
 
 void encode_close(std::vector<std::byte>& out, std::uint64_t sequence) {

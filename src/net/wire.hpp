@@ -41,7 +41,12 @@
 //                               ModelRegistry by patient key
 //   kFlush / kFlushAck          barrier: every chunk framed before the
 //                               flush has been classified and its
-//                               detections sent before the ack
+//                               detections sent before the ack; the
+//                               barrier is scoped to this connection's
+//                               sessions, other connections keep flowing
+//   kCloseSession / ...Ack      removes one session server-side (frees
+//                               its engine slot; later chunks for the
+//                               id are refused)
 //   kClose / kCloseAck          orderly goodbye
 //   kError (server)             typed failure for the request sequence
 //
@@ -103,6 +108,8 @@ enum class FrameType : std::uint16_t {
   kClose = 15,
   kCloseAck = 16,
   kError = 17,
+  kCloseSession = 18,
+  kCloseSessionAck = 19,
 };
 
 /// Fixed frame prologue. Plain trivially-copyable scalars only — the
@@ -362,6 +369,11 @@ void encode_swap_model_ack(std::vector<std::byte>& out,
                            std::uint64_t session_id, std::uint64_t sequence);
 void encode_flush(std::vector<std::byte>& out, std::uint64_t sequence);
 void encode_flush_ack(std::vector<std::byte>& out, std::uint64_t sequence);
+void encode_close_session(std::vector<std::byte>& out,
+                          std::uint64_t session_id, std::uint64_t sequence);
+void encode_close_session_ack(std::vector<std::byte>& out,
+                              std::uint64_t session_id,
+                              std::uint64_t sequence);
 void encode_close(std::vector<std::byte>& out, std::uint64_t sequence);
 void encode_close_ack(std::vector<std::byte>& out, std::uint64_t sequence);
 void encode_error(std::vector<std::byte>& out, std::uint64_t sequence,
@@ -376,6 +388,43 @@ engine::EngineStats from_wire(const StatsPayload& stats);
 OpenSessionPayload make_open_session(std::uint64_t routing_key,
                                      const engine::SessionConfig& config);
 engine::SessionConfig session_config_of(const OpenSessionPayload& payload);
+
+// ------------------------------------------------------------- batching
+
+/// Reusable WireDetection accumulator for the server's outbox path:
+/// add() converts and collects, encode_into() emits one (split if
+/// oversized) kDetections frame and resets. Both the detection vector
+/// and the caller's byte buffer retain their capacity, so a warm
+/// batcher encodes without heap allocation (pinned by
+/// tests/net/test_net_alloc.cpp).
+class DetectionBatcher {
+ public:
+  void clear() { batch_.clear(); }
+  bool empty() const { return batch_.empty(); }
+  std::size_t size() const { return batch_.size(); }
+
+  /// Converts and queues one detection, addressed back to the client as
+  /// `wire_session_id` (the client-side handle the connection opened
+  /// the session under).
+  void add(const engine::Detection& detection, std::uint64_t wire_session_id) {
+    WireDetection wire = to_wire(detection);
+    wire.session_id = wire_session_id;
+    batch_.push_back(wire);
+  }
+
+  /// Appends the pending batch as kDetections frame(s) onto `out` and
+  /// clears the batch. No-op when empty.
+  void encode_into(std::vector<std::byte>& out, std::uint64_t sequence) {
+    if (batch_.empty()) {
+      return;
+    }
+    encode_detections(out, sequence, batch_);
+    batch_.clear();
+  }
+
+ private:
+  std::vector<WireDetection> batch_;
+};
 
 // --------------------------------------------------- stream reassembly
 

@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <map>
+#include <mutex>
 #include <set>
+#include <thread>
 
 #include "common/error.hpp"
 #include "ml/dataset.hpp"
@@ -695,6 +700,248 @@ TEST_F(ServiceTest, BoundedQueueBackpressurePreservesParity) {
     ASSERT_NE(it, outcomes.end()) << "session " << s;
     EXPECT_EQ(it->second, reference[s]) << "session " << s;
   }
+}
+
+TEST_F(ServiceTest, SingleProducerQueueParityAcrossShardCounts) {
+  // The SPSC fast path must be observationally identical to the mutex
+  // queue: same workload, driven from one producer thread (the SPSC
+  // contract), bit-for-bit the single-Engine reference at every shard
+  // count.
+  const std::vector<std::vector<WindowOutcome>> reference =
+      reference_outcomes();
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    SCOPED_TRACE("spsc x " + std::to_string(shards) + " shards");
+    ServiceConfig config;
+    config.shards = shards;
+    config.engine = screened_config();
+    ThreadPoolConfig pool;
+    pool.single_producer = true;
+    DetectionService service(*fleet_, config,
+                             std::make_unique<ThreadPoolBackend>(pool));
+    std::vector<SessionHandle> handles;
+    for (std::size_t s = 0; s < k_sessions; ++s) {
+      handles.push_back(service.create_session(s, SessionConfig{}));
+    }
+    const auto outcomes = service_outcomes(service, handles);
+    for (std::size_t s = 0; s < k_sessions; ++s) {
+      SCOPED_TRACE("session " + std::to_string(s));
+      const auto it = outcomes.find(handles[s].value);
+      ASSERT_NE(it, outcomes.end());
+      EXPECT_EQ(it->second, reference[s]);
+    }
+  }
+}
+
+TEST_F(ServiceTest, SingleProducerBackpressureAtCapacityOnePreservesParity) {
+  // Capacity 1 forces the SPSC producer through its blocking slow path
+  // on nearly every push; ordering and parity must survive.
+  const std::vector<std::vector<WindowOutcome>> reference =
+      reference_outcomes();
+  ServiceConfig config;
+  config.shards = 2;
+  config.engine = screened_config();
+  ThreadPoolConfig pool;
+  pool.single_producer = true;
+  pool.queue_capacity = 1;
+  DetectionService service(*fleet_, config,
+                           std::make_unique<ThreadPoolBackend>(pool));
+  std::vector<SessionHandle> handles;
+  for (std::size_t s = 0; s < k_sessions; ++s) {
+    handles.push_back(service.create_session(s, SessionConfig{}));
+  }
+  const auto outcomes = service_outcomes(service, handles);
+  for (std::size_t s = 0; s < k_sessions; ++s) {
+    const auto it = outcomes.find(handles[s].value);
+    ASSERT_NE(it, outcomes.end()) << "session " << s;
+    EXPECT_EQ(it->second, reference[s]) << "session " << s;
+  }
+}
+
+TEST_F(ServiceTest, ScopedFlushDeliversFullBarrierSemanticsForCoveredSessions) {
+  // flush_sessions({h}) must behave exactly like flush() as far as
+  // session h is concerned: every chunk ingested before the call is
+  // classified and delivered when it returns.
+  const std::vector<std::vector<WindowOutcome>> reference =
+      reference_outcomes();
+  ServiceConfig config;
+  config.shards = 2;
+  config.engine = screened_config();
+  DetectionService service(*fleet_, config,
+                           std::make_unique<ThreadPoolBackend>());
+  // Session 0 of the workload streams the seizure record.
+  const SessionHandle handle = service.create_session(0, SessionConfig{});
+
+  std::vector<WindowOutcome> outcomes;
+  std::vector<Detection> drained;
+  const std::size_t rounds = stream_samples(*background_record_) / k_chunk;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    if ((round + 1) * k_chunk <= stream_samples(*seizure_record_)) {
+      service.ingest(handle,
+                     chunk_views(*seizure_record_, round * k_chunk, k_chunk));
+    }
+    service.flush_sessions({&handle, 1});
+    drained.clear();
+    service.drain(drained);
+    for (const Detection& d : drained) {
+      ASSERT_EQ(d.session_id, handle.value);
+      outcomes.push_back(outcome_of(d));
+    }
+  }
+  EXPECT_EQ(outcomes, reference[0]);
+}
+
+TEST_F(ServiceTest, AsyncFlushRunsInlineWhenNothingIsCovered) {
+  DetectionService service(*fleet_, {},
+                           std::make_unique<ThreadPoolBackend>());
+  bool done = false;
+  service.flush_sessions_async({}, [&] { done = true; });
+  // No covered shard: the completion runs before the call returns.
+  EXPECT_TRUE(done);
+
+  // Inline backend: the scoped flush degenerates to a synchronous poll,
+  // so the completion also runs inline.
+  DetectionService inline_service(*fleet_);
+  const SessionHandle handle = inline_service.create_session();
+  bool inline_done = false;
+  inline_service.flush_sessions_async({&handle, 1},
+                                      [&] { inline_done = true; });
+  EXPECT_TRUE(inline_done);
+}
+
+TEST_F(ServiceTest, CloseSessionRetiresTheSlotAndDropsLateChunks) {
+  ServiceConfig config;
+  config.shards = 2;
+  DetectionService service(*fleet_, config,
+                           std::make_unique<ThreadPoolBackend>());
+  const SessionHandle closing = service.create_session(0, SessionConfig{});
+  const SessionHandle survivor = service.create_session(1, SessionConfig{});
+  EXPECT_EQ(service.session_count(), 2u);
+
+  service.ingest(closing, chunk_views(*background_record_, 0, k_chunk));
+  service.flush();
+  std::vector<Detection> drained;
+  service.drain(drained);
+  EXPECT_GT(drained.size(), 0u);  // alive: chunks classify
+
+  service.close_session(closing);
+  // The slot is a tombstone now: control accessors reject it...
+  EXPECT_THROW(service.session(closing), Error);
+  EXPECT_THROW(service.session_alarms(closing), Error);
+  EXPECT_THROW(service.patient_trigger(closing), Error);
+  // ...double close rejects too...
+  EXPECT_THROW(service.close_session(closing), Error);
+  // ...ids are never reused, so the count stays a high-watermark...
+  EXPECT_EQ(service.session_count(), 2u);
+  // ...and late chunks (a client that raced the close) drop silently.
+  service.ingest(closing, chunk_views(*background_record_, k_chunk, k_chunk));
+  service.flush();
+  drained.clear();
+  service.drain(drained);
+  EXPECT_EQ(drained.size(), 0u);
+
+  // The surviving session is untouched by its neighbor's close.
+  service.ingest(survivor, chunk_views(*background_record_, 0, k_chunk));
+  service.flush();
+  drained.clear();
+  service.drain(drained);
+  ASSERT_GT(drained.size(), 0u);
+  for (const Detection& d : drained) {
+    EXPECT_EQ(d.session_id, survivor.value);
+  }
+
+  // Unknown handles still fail loudly — close is for live-or-closed
+  // slots, not arbitrary ids.
+  EXPECT_THROW(service.close_session(SessionHandle::pack(0, 99)),
+               InvalidArgument);
+}
+
+TEST_F(ServiceTest, ScopedFlushOnOneShardDoesNotWaitForABlockedShard) {
+  // The serving-tier independence property: a flush covering only shard
+  // B's sessions completes while shard A's worker is wedged mid-delivery,
+  // and A's own async flush stays pending until its worker resumes.
+  class GateSink final : public DetectionSink {
+   public:
+    explicit GateSink(std::uint64_t gated_session)
+        : gated_session_(gated_session) {}
+    void on_detections(std::span<const Detection> detections) override {
+      bool gate = false;
+      for (const Detection& d : detections) {
+        gate |= d.session_id == gated_session_;
+      }
+      if (!gate) {
+        return;
+      }
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (gated_once_) {
+        return;  // only the first delivery blocks
+      }
+      gated_once_ = true;
+      blocked_ = true;
+      cv_.notify_all();
+      cv_.wait(lock, [&] { return released_; });
+      blocked_ = false;
+    }
+    void await_blocked() {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return blocked_; });
+    }
+    void release() {
+      std::lock_guard<std::mutex> lock(mutex_);
+      released_ = true;
+      cv_.notify_all();
+    }
+
+   private:
+    const std::uint64_t gated_session_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool gated_once_ = false;
+    bool blocked_ = false;
+    bool released_ = false;
+  };
+
+  ServiceConfig config;
+  config.shards = 2;
+  DetectionService service(*fleet_, config,
+                           std::make_unique<ThreadPoolBackend>());
+  // Probe routing keys until the two sessions land on distinct shards.
+  std::vector<SessionHandle> handles;
+  std::set<std::uint32_t> shards_seen;
+  for (std::uint64_t key = 0; shards_seen.size() < 2; ++key) {
+    const SessionHandle handle = service.create_session(key, SessionConfig{});
+    if (shards_seen.insert(handle.shard()).second) {
+      handles.push_back(handle);
+    }
+  }
+  const SessionHandle blocked_session = handles[0];
+  const SessionHandle free_session = handles[1];
+
+  GateSink sink(blocked_session.value);
+  service.set_detection_sink(&sink);
+
+  // Wedge the blocked session's shard worker inside the sink.
+  service.ingest(blocked_session, chunk_views(*background_record_, 0, k_chunk));
+  sink.await_blocked();
+
+  // An async flush of the wedged shard cannot complete yet.
+  std::atomic<bool> blocked_flush_done{false};
+  service.flush_sessions_async({&blocked_session, 1},
+                               [&] { blocked_flush_done.store(true); });
+  EXPECT_FALSE(blocked_flush_done.load());
+
+  // The other shard's sessions flush to completion regardless — this
+  // would deadlock (-> ctest timeout) under the old service-wide
+  // barrier.
+  service.ingest(free_session, chunk_views(*background_record_, 0, k_chunk));
+  service.flush_sessions({&free_session, 1});
+  EXPECT_FALSE(blocked_flush_done.load());
+
+  sink.release();
+  while (!blocked_flush_done.load()) {
+    std::this_thread::yield();
+  }
+  service.flush();
+  service.stop();
 }
 
 }  // namespace

@@ -13,8 +13,12 @@
 // checks end to end (client mutex, server event loop, shard workers).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <filesystem>
 #include <map>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -421,6 +425,192 @@ TEST_F(NetLoopback, ConcurrentSessionIngestOverOneConnection) {
     EXPECT_EQ(outcomes[handles[s].value], reference[s]);
   }
   service->stop();
+  server->stop();
+}
+
+TEST_F(NetLoopback, CloseSessionOverTheWireRetiresTheServerSlot) {
+  const platform::SocketAddress address = loopback_address();
+  auto server = make_server(address, 1, false);
+
+  ShardClient client;
+  client.connect(address);
+  const std::uint64_t server_session =
+      client.open_session(1, 0, engine::SessionConfig{});
+  const SessionHandle server_handle =
+      SessionHandle::pack(0, SessionHandle{server_session}.local_id());
+
+  const signal::EegRecord& record = record_for(0);
+  client.ingest(1, chunk_views(record, 0, k_chunk * 4));
+  std::vector<Detection> detections;
+  client.flush(detections);
+  EXPECT_FALSE(detections.empty());
+
+  client.close_session(1);
+  // The server engine slot is a tombstone now...
+  EXPECT_THROW(server->service().session_alarms(server_handle), Error);
+  // ...chunks for the retired client id are refused (the route is gone)...
+  client.ingest(1, chunk_views(record, 0, k_chunk));
+  EXPECT_THROW(
+      {
+        std::vector<Detection> out;
+        client.flush(out);
+      },
+      InvalidArgument);
+  // ...as is a second close, while the conversation itself survives.
+  EXPECT_THROW(client.close_session(1), InvalidArgument);
+  EXPECT_NO_THROW(client.open_session(2, 1, engine::SessionConfig{}));
+  client.close();
+  server->stop();
+}
+
+TEST_F(NetLoopback, DroppedConnectionReapsItsServerSessions) {
+  const platform::SocketAddress address = loopback_address();
+  auto server = make_server(address, 1, false);
+
+  {
+    ShardClient churner;
+    churner.connect(address);
+    churner.open_session(10, 0, engine::SessionConfig{});
+    churner.open_session(11, 1, engine::SessionConfig{});
+    const signal::EegRecord& record = record_for(0);
+    churner.ingest(10, chunk_views(record, 0, k_chunk * 2));
+    std::vector<Detection> out;
+    churner.flush(out);
+    churner.close();  // orderly goodbye -> the server drops the connection
+  }
+
+  // The drop closes both server-side sessions; poll until the loop
+  // thread has processed it.
+  const SessionHandle first = SessionHandle::pack(0, 0);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  for (;;) {
+    try {
+      server->service().session_alarms(first);
+    } catch (const Error&) {
+      break;  // tombstoned: the reap happened
+    }
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "server never reaped the dropped connection's sessions";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_THROW(server->service().session_alarms(SessionHandle::pack(0, 1)),
+               Error);
+  // Slot ids are never reused: the next client's session gets a fresh
+  // slot and serves normally.
+  ShardClient next;
+  next.connect(address);
+  const std::uint64_t fresh = next.open_session(20, 2, engine::SessionConfig{});
+  EXPECT_EQ(SessionHandle{fresh}.local_id(), 2u);
+  next.ingest(20, chunk_views(*background_record_, 0, k_chunk * 2));
+  std::vector<Detection> detections;
+  next.flush(detections);
+  EXPECT_FALSE(detections.empty());
+  next.close();
+  server->stop();
+}
+
+TEST_F(NetLoopback, OneConnectionsFlushDoesNotBlockAnothers) {
+  // The scoped-flush contract across the wire: connection A's kFlush
+  // barriers only A's shards. With A's shard worker wedged mid-delivery,
+  // connection B keeps completing full ingest+flush round trips — under
+  // the old service-wide barrier B's first flush would deadlock behind
+  // A's (-> ctest timeout). Run under TSan in CI.
+  class GateSink final : public engine::DetectionSink {
+   public:
+    void gate_on(std::uint64_t session) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      gated_session_ = session;
+    }
+    void on_detections(std::span<const Detection> detections) override {
+      std::unique_lock<std::mutex> lock(mutex_);
+      bool gate = false;
+      for (const Detection& d : detections) {
+        gate |= d.session_id == gated_session_;
+      }
+      if (!gate || gated_once_) {
+        return;
+      }
+      gated_once_ = true;
+      blocked_ = true;
+      cv_.notify_all();
+      cv_.wait(lock, [&] { return released_; });
+    }
+    void await_blocked() {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return blocked_; });
+    }
+    void release() {
+      std::lock_guard<std::mutex> lock(mutex_);
+      released_ = true;
+      cv_.notify_all();
+    }
+
+   private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::uint64_t gated_session_ = ~0ull;
+    bool gated_once_ = false;
+    bool blocked_ = false;
+    bool released_ = false;
+  };
+
+  const platform::SocketAddress address = loopback_address();
+  auto server = make_server(address, 2, true);
+  // Replace the server's detection routing with the gate: this test is
+  // about flush acks (which bypass the sink), so losing the detection
+  // frames is fine.
+  GateSink gate;
+  server->service().set_detection_sink(&gate);
+
+  ShardClient a;
+  a.connect(address);
+  const std::uint64_t a_session = a.open_session(1, 0, engine::SessionConfig{});
+  const std::uint32_t a_shard = SessionHandle{a_session}.shard();
+
+  // B's session must live on the other shard; probe routing keys. A
+  // probe that lands on A's shard would drag that shard into B's scoped
+  // flushes, so retire it (exercising kCloseSession along the way).
+  ShardClient b;
+  b.connect(address);
+  std::uint64_t b_key = 1;
+  for (;; ++b_key) {
+    const std::uint64_t candidate =
+        b.open_session(b_key, b_key, engine::SessionConfig{});
+    if (SessionHandle{candidate}.shard() != a_shard) {
+      break;
+    }
+    b.close_session(b_key);
+  }
+
+  // Wedge A's shard worker inside the sink delivery. The chunk must be
+  // big enough to cross the client's k_ingest_batch_bytes threshold, or
+  // it would sit in the batch buffer until A's flush.
+  gate.gate_on(a_session);
+  a.ingest(1, chunk_views(*seizure_record_, 0, k_chunk * 8));
+  gate.await_blocked();
+
+  // A's flush cannot complete while its worker is wedged.
+  std::atomic<bool> a_flushed{false};
+  std::thread a_flush([&] {
+    std::vector<Detection> out;
+    a.flush(out);
+    a_flushed.store(true);
+  });
+
+  // B completes several full round trips regardless.
+  for (std::size_t round = 0; round < 5; ++round) {
+    b.ingest(b_key, chunk_views(*background_record_, round * k_chunk, k_chunk));
+    std::vector<Detection> out;
+    b.flush(out);
+  }
+  EXPECT_FALSE(a_flushed.load());
+
+  gate.release();
+  a_flush.join();
+  EXPECT_TRUE(a_flushed.load());
+  a.close();
+  b.close();
   server->stop();
 }
 

@@ -1,0 +1,96 @@
+// Steady-state allocation regression for the serving outbox path.
+//
+// The ShardServer's detection sink translates every batch into wire
+// frames on a shard-worker thread; a heap allocation there is a hidden
+// per-batch cost and a contention point. The DetectionBatcher + warm
+// outbox must therefore encode arbitrarily many batches without
+// touching the allocator, exactly like the engine ingest path
+// (tests/engine/test_zero_allocation.cpp).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "../support/alloc_counter.hpp"
+#include "engine/engine.hpp"
+#include "net/wire.hpp"
+
+ESL_DEFINE_COUNTING_ALLOCATOR();
+
+namespace esl::net {
+namespace {
+
+engine::Detection make_detection(std::size_t index) {
+  engine::Detection d;
+  d.session_id = 7;  // server-side id; the batcher rewrites it anyway
+  d.window_index = index;
+  d.window_start_s = static_cast<Seconds>(index) * 0.5;
+  d.label = index % 3 == 0 ? 1 : 0;
+  d.screened_out = index % 5 == 0;
+  d.alarm = index % 8 == 0;
+  return d;
+}
+
+TEST(NetAllocation, DetectionOutboxEncodePathIsAllocationFreeWhenWarm) {
+  constexpr std::size_t k_batch = 32;
+  DetectionBatcher batcher;
+  std::vector<std::byte> outbox;
+
+  // Warm-up: the batcher's vector and the outbox reach steady capacity
+  // (the server reuses both per connection, so this models the second
+  // and every later delivery).
+  for (int pass = 0; pass < 4; ++pass) {
+    for (std::size_t i = 0; i < k_batch; ++i) {
+      batcher.add(make_detection(i), 1000 + i);
+    }
+    batcher.encode_into(outbox, 0);
+    outbox.clear();  // the event loop drained it; capacity is retained
+  }
+
+  const std::size_t before = esl::testing::allocation_count();
+  for (int pass = 0; pass < 16; ++pass) {
+    for (std::size_t i = 0; i < k_batch; ++i) {
+      batcher.add(make_detection(i), 1000 + i);
+    }
+    ASSERT_EQ(batcher.size(), k_batch);
+    batcher.encode_into(outbox, 0);
+    ASSERT_TRUE(batcher.empty());
+    ASSERT_FALSE(outbox.empty());
+    outbox.clear();
+  }
+  EXPECT_EQ(esl::testing::allocation_count() - before, 0u);
+}
+
+TEST(NetAllocation, EncodedBatchRoundTripsWithRewrittenIds) {
+  // The batcher's one semantic job besides batching: detections leave
+  // with the *client's* session id, everything else untouched.
+  DetectionBatcher batcher;
+  std::vector<std::byte> outbox;
+  for (std::size_t i = 0; i < 5; ++i) {
+    batcher.add(make_detection(i), 4200 + i);
+  }
+  batcher.encode_into(outbox, 9);
+
+  FrameBuffer buffer;
+  buffer.append(outbox);
+  FrameView view;
+  ASSERT_TRUE(buffer.next(view));
+  EXPECT_EQ(static_cast<FrameType>(view.header.type),
+            FrameType::kDetections);
+  EXPECT_EQ(view.header.sequence, 9u);
+  const std::span<const WireDetection> wire = decode_detections(view);
+  ASSERT_EQ(wire.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(wire[i].session_id, 4200 + i);
+    const engine::Detection reference = make_detection(i);
+    const engine::Detection decoded = from_wire(wire[i]);
+    EXPECT_EQ(decoded.window_index, reference.window_index);
+    EXPECT_EQ(decoded.window_start_s, reference.window_start_s);
+    EXPECT_EQ(decoded.label, reference.label);
+    EXPECT_EQ(decoded.screened_out, reference.screened_out);
+    EXPECT_EQ(decoded.alarm, reference.alarm);
+  }
+}
+
+}  // namespace
+}  // namespace esl::net
